@@ -1,0 +1,88 @@
+package sersim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/netlist"
+	"repro/internal/simulate"
+)
+
+// TestC17GroundTruth analyzes the genuine ISCAS'85 c17 circuit (the one
+// real benchmark small enough to ship and to enumerate exhaustively) and
+// pins exact signal probabilities and propagation probabilities, then checks
+// the EPP engine and both Monte Carlo baselines against them.
+func TestC17GroundTruth(t *testing.T) {
+	c, err := bench.ParseFile("testdata/c17.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 11 || len(c.PIs) != 5 || len(c.POs) != 2 {
+		t.Fatalf("c17 structure: %v", c.Stats())
+	}
+
+	// Exact signal probabilities under uniform inputs. Hand-checkable:
+	// G10 = NAND(G1,G3) -> 3/4; G11 = NAND(G3,G6) -> 3/4;
+	// G16 = NAND(G2,G11): P(1) = 1 - P(G2=1,G11=1) = 1 - (1/2)(3/4) = 5/8.
+	sp, err := exact.SignalProb(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSP := map[string]float64{
+		"G10": 0.75, "G11": 0.75, "G16": 0.625, "G19": 0.625,
+	}
+	for name, want := range wantSP {
+		if got := sp[c.ByName(name)]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("exact SP(%s) = %v, want %v", name, got, want)
+		}
+	}
+
+	// Exact propagation probabilities for every node, via enumeration.
+	truth := make([]float64, c.N())
+	for id := 0; id < c.N(); id++ {
+		p, err := exact.PSensitized(c, netlist.ID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth[id] = p
+	}
+	// Observed outputs always propagate.
+	for _, po := range c.POs {
+		if truth[po] != 1 {
+			t.Errorf("exact P(%s) = %v, want 1", c.NameOf(po), truth[po])
+		}
+	}
+
+	// EPP with exact SP: c17 has reconvergent fanout (G11 feeds G16 and
+	// G19, G16 feeds both outputs), so EPP is approximate; on a circuit
+	// this small the error must stay tight.
+	an := core.MustNew(c, sp, core.Options{})
+	maxErr := 0.0
+	for id := 0; id < c.N(); id++ {
+		got := an.EPP(netlist.ID(id)).PSensitized
+		if e := math.Abs(got - truth[id]); e > maxErr {
+			maxErr = e
+		}
+	}
+	t.Logf("c17: max |EPP - exact| over all 11 sites = %.4f", maxErr)
+	if maxErr > 0.1 {
+		t.Errorf("EPP error on c17 = %v, expected tight agreement", maxErr)
+	}
+
+	// Both Monte Carlo baselines converge to the same truth.
+	naive := simulate.NewNaive(c, simulate.MCOptions{Vectors: 1 << 14, Seed: 9})
+	bitp := simulate.NewMonteCarlo(c, simulate.MCOptions{Vectors: 1 << 14, Seed: 10})
+	for id := 0; id < c.N(); id++ {
+		rn := naive.EPP(netlist.ID(id))
+		rb := bitp.EPP(netlist.ID(id))
+		if math.Abs(rn.PSensitized-truth[id]) > 5*rn.StdErr+1e-9 {
+			t.Errorf("naive MC off at %s: %v vs %v", c.NameOf(netlist.ID(id)), rn.PSensitized, truth[id])
+		}
+		if math.Abs(rb.PSensitized-truth[id]) > 5*rb.StdErr+1e-9 {
+			t.Errorf("bit-parallel MC off at %s: %v vs %v", c.NameOf(netlist.ID(id)), rb.PSensitized, truth[id])
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command benchgen emits the synthetic ISCAS'89-profile circuits used by the
+// Table 2 reproduction as .bench files, so they can be inspected, diffed, or
+// fed to external tools. Real ISCAS'89 netlists can be substituted for these
+// files anywhere in the harness (see DESIGN.md, Substitution 1).
+//
+// Usage:
+//
+//	benchgen -out dir            write all eleven profiles into dir
+//	benchgen -circuit s953       write one profile to stdout
+//	benchgen -list               list available profiles with their stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "directory to write all profiles into")
+		circuit = flag.String("circuit", "", "write a single named profile to stdout")
+		list    = flag.Bool("list", false, "list available profiles")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		t := report.NewTable("ISCAS'89 profiles (synthetic stand-ins)",
+			"name", "PIs", "POs", "FFs", "gates", "nodes", "depth")
+		for _, p := range gen.ISCAS89 {
+			c, err := gen.FromProfile(p)
+			if err != nil {
+				fatal(err)
+			}
+			s := c.Stats()
+			t.AddRowf(p.Name, s.PIs, s.POs, s.FFs, s.Gates, s.Nodes, s.MaxLevel)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *circuit != "":
+		c, err := gen.ByName(*circuit)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.Write(os.Stdout, c); err != nil {
+			fatal(err)
+		}
+	case *out != "":
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+		for _, p := range gen.ISCAS89 {
+			c, err := gen.FromProfile(p)
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(*out, p.Name+".bench")
+			if err := bench.WriteFile(path, c); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%s)\n", path, c.Stats())
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package sersim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bddsp"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/simulate"
+)
+
+// TestEPPvsBDDExactOnS953 is the definitive accuracy experiment at real
+// benchmark scale: EPP P_sensitized against the symbolically exact value
+// (BDD miter, no independence assumption, no sampling noise) on the s953
+// profile — a circuit far beyond the reach of exhaustive enumeration.
+// The paper reports 4.3% difference vs random simulation on s953; we bound
+// the mean error vs ground truth at the same order.
+func TestEPPvsBDDExactOnS953(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BDD miters per site are seconds each; skipped in -short")
+	}
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact signal probabilities feed EPP, so the measured error is purely
+	// the propagation-step independence assumption (the method's intrinsic
+	// error), exactly what the paper's %Dif column tracks.
+	sp, err := bddsp.SignalProb(c, nil, 1<<23)
+	if err != nil {
+		t.Skipf("BDD budget: %v", err)
+	}
+	an := core.MustNew(c, sp, core.Options{})
+
+	sumAbs, sumTruth, n := 0.0, 0.0, 0
+	worst := 0.0
+	for id := 0; id < c.N(); id += 29 { // ~16 stratified sites
+		truth, err := bddsp.PSensitized(c, netlist.ID(id), nil, 1<<23)
+		if err != nil {
+			t.Skipf("BDD budget at site %d: %v", id, err)
+		}
+		got := an.EPP(netlist.ID(id)).PSensitized
+		d := math.Abs(got - truth)
+		sumAbs += d
+		sumTruth += truth
+		if d > worst {
+			worst = d
+		}
+		n++
+	}
+	mae := sumAbs / float64(n)
+	rel := 100 * sumAbs / sumTruth
+	t.Logf("s953: EPP vs BDD-exact over %d sites: MAE=%.4f, worst=%.4f, %%Dif-style=%.1f%%",
+		n, mae, worst, rel)
+	if rel > 25 {
+		t.Errorf("relative difference %v%% is far outside the paper's accuracy regime", rel)
+	}
+}
+
+// TestMCvsBDDExactOnS953: the random-simulation baseline also converges to
+// the same exact values, closing the triangle (EPP ≈ exact ≈ MC).
+func TestMCvsBDDExactOnS953(t *testing.T) {
+	if testing.Short() {
+		t.Skip("BDD miters per site are seconds each; skipped in -short")
+	}
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := simulate.NewMonteCarlo(c, simulate.MCOptions{Vectors: 1 << 15, Seed: 17})
+	for _, id := range []netlist.ID{5, netlist.ID(c.N() / 2), netlist.ID(c.N() - 3)} {
+		truth, err := bddsp.PSensitized(c, id, nil, 1<<23)
+		if err != nil {
+			t.Skipf("BDD budget: %v", err)
+		}
+		r := mc.EPP(id)
+		if math.Abs(r.PSensitized-truth) > 6*r.StdErr+1e-6 {
+			t.Errorf("site %d: MC %v ± %v, exact %v", id, r.PSensitized, r.StdErr, truth)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sersim_test
+
+import (
+	"fmt"
+	"log"
+
+	sersim "repro"
+)
+
+// Example runs the complete pipeline on a small circuit: parse, signal
+// probabilities, one EPP query, full SER estimate.
+func Example() {
+	c, err := sersim.ParseBenchString(`
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g = NAND(a, b)
+y = NOT(g)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := sersim.SignalProbabilities(c, sersim.SPConfig{})
+	an, err := sersim.NewAnalyzer(c, sp, sersim.AnalyzerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := an.EPP(c.ByName("g"))
+	fmt.Printf("P_sensitized(g) = %.2f\n", res.PSensitized)
+
+	rep, err := sersim.Estimate(c, sersim.EstimateConfig{Method: sersim.MethodEPP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("most vulnerable: %s\n", rep.TopK(1)[0].Name)
+	// Output:
+	// P_sensitized(g) = 1.00
+	// most vulnerable: g
+}

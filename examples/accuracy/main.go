@@ -1,0 +1,83 @@
+// Accuracy: compare the three P_sensitized estimators — analytical EPP,
+// random-vector Monte Carlo, and exhaustive enumeration — on circuits small
+// enough for exact ground truth, and show how the Monte Carlo error shrinks
+// with the vector budget while EPP is a fixed closed-form answer
+// (experiment A2).
+//
+//	go run ./examples/accuracy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/simulate"
+)
+
+func main() {
+	const seeds = 6
+	vecBudgets := []int{64, 256, 1024, 4096, 16384}
+
+	// Mean absolute error of each estimator vs exhaustive truth.
+	maeEPP := 0.0
+	maeBlind := 0.0 // polarity-tracking ablation
+	maeMC := make([]float64, len(vecBudgets))
+	sites := 0
+
+	for seed := uint64(0); seed < seeds; seed++ {
+		c := gen.SmallRandom(seed)
+		spTruth, err := exact.SignalProb(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		an, err := core.New(c, spTruth, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		blind, err := core.New(c, spTruth, core.Options{Rules: core.RulesNoPolarity})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mcs := make([]*simulate.MonteCarlo, len(vecBudgets))
+		for i, v := range vecBudgets {
+			mcs[i] = simulate.NewMonteCarlo(c, simulate.MCOptions{Vectors: v, Seed: seed + 1})
+		}
+		for id := 0; id < c.N(); id++ {
+			truth, err := exact.PSensitized(c, netlist.ID(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			maeEPP += math.Abs(an.EPP(netlist.ID(id)).PSensitized - truth)
+			maeBlind += math.Abs(blind.EPP(netlist.ID(id)).PSensitized - truth)
+			for i := range vecBudgets {
+				maeMC[i] += math.Abs(mcs[i].EPP(netlist.ID(id)).PSensitized - truth)
+			}
+			sites++
+		}
+	}
+
+	fmt.Printf("estimator accuracy vs exhaustive enumeration over %d error sites\n", sites)
+	fmt.Printf("(%d random circuits, uniform inputs, exact signal probabilities)\n\n", seeds)
+
+	t := report.NewTable("mean absolute error in P_sensitized",
+		"estimator", "MAE", "comment")
+	t.AddRowf("EPP (this paper)", maeEPP/float64(sites), "one topological pass per site")
+	t.AddRowf("EPP without polarity", maeBlind/float64(sites), "ablation: a̅ folded into a")
+	for i, v := range vecBudgets {
+		t.AddRowf(fmt.Sprintf("Monte Carlo %5d vec", v), maeMC[i]/float64(sites),
+			fmt.Sprintf("~1/sqrt(%d) sampling noise", v))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEPP's residual error is the signal-independence assumption at")
+	fmt.Println("reconvergent fanout; Monte Carlo's error is sampling noise that only")
+	fmt.Println("shrinks as the square root of the (expensive) vector budget.")
+}

@@ -1,0 +1,61 @@
+// Multicycle: the sequential extension of the paper's method. The DATE 2005
+// analysis counts an error as "sensitized" once it reaches a primary output
+// or a flip-flop D input; this example follows errors *through* the
+// flip-flops across clock cycles and plots the detection-latency curve
+// P(observed at a primary output within k cycles), validated against
+// two-machine sequential fault-injection simulation.
+//
+//	go run ./examples/multicycle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/seq"
+	"repro/internal/sigprob"
+	"repro/internal/simulate"
+)
+
+func main() {
+	c := gen.MustRandom(gen.Params{
+		Name: "pipeline", Seed: 21, PIs: 8, POs: 3, FFs: 12, Gates: 150,
+	})
+	fmt.Println(c.Stats())
+
+	sp := sigprob.Topological(c, sigprob.Config{})
+	an, err := seq.New(c, sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const frames = 8
+	// Pick a few error sites at different depths.
+	sites := []netlist.ID{
+		netlist.ID(c.N() / 8),
+		netlist.ID(c.N() / 2),
+		netlist.ID(c.N() - 2),
+	}
+	fmt.Printf("\ndetection probability within k cycles (analytic | simulated):\n")
+	fmt.Printf("%-8s", "site")
+	for k := 1; k <= frames; k++ {
+		fmt.Printf("  k=%-12d", k)
+	}
+	fmt.Println()
+	for _, site := range sites {
+		curve := an.PDetectCurve(site, frames)
+		fmt.Printf("%-8s", c.NameOf(site))
+		for k := 1; k <= frames; k++ {
+			sim := simulate.NewSequential(c, simulate.SeqOptions{
+				Frames: k, Trials: 1 << 13, Seed: 99,
+			}).PDetect(site)
+			fmt.Printf("  %.3f | %.3f", curve[k-1], sim.PDetect)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nthe single-cycle paper analysis is the k=1 column plus FF captures;")
+	fmt.Println("the multi-cycle extension shows how latched errors surface over time.")
+}

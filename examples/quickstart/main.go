@@ -1,0 +1,60 @@
+// Quickstart: build a small circuit programmatically, compute the error
+// propagation probability of one node, and print the full SER report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/ser"
+	"repro/internal/sigprob"
+)
+
+func main() {
+	// A 2-bit equality comparator with a registered result:
+	//   eq = AND(XNOR(a0,b0), XNOR(a1,b1));  q = DFF(eq)
+	b := netlist.NewBuilder("cmp2")
+	a0, b0 := b.Input("a0"), b.Input("b0")
+	a1, b1 := b.Input("a1"), b.Input("b1")
+	x0 := b.Xnor("x0", a0, b0)
+	x1 := b.Xnor("x1", a1, b1)
+	eq := b.And("eq", x0, x1)
+	b.MarkOutput(eq)
+	b.DFF("q", eq)
+	c, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Stats())
+
+	// Step 1: signal probabilities for off-path inputs (uniform inputs).
+	sp := sigprob.Topological(c, sigprob.Config{})
+	fmt.Printf("signal probability of eq: %.3f\n", sp[eq])
+
+	// Step 2: error propagation probability from one error site.
+	an, err := core.New(c, sp, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := an.EPP(x0)
+	fmt.Printf("\nSEU at %s: P_sensitized = %.4f (cone of %d on-path signals)\n",
+		c.NameOf(x0), res.PSensitized, res.ConeSize)
+	for _, o := range res.Outputs {
+		fmt.Printf("  reaches %-3s with state %v\n", c.NameOf(o.Output), o.State)
+	}
+
+	// Step 3: the full SER decomposition for every node.
+	rep, err := ser.Estimate(c, ser.Config{Method: ser.MethodEPP})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal circuit SER: %.4g FIT\n", rep.TotalFIT)
+	fmt.Println("rank  node  kind  SER(FIT)")
+	for i, n := range rep.TopK(5) {
+		fmt.Printf("%4d  %-4s  %-4s  %.4g\n", i+1, n.Name, c.Node(n.ID).Kind, n.SERFIT)
+	}
+}

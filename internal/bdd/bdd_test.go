@@ -1,0 +1,250 @@
+package bdd
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func mustVar(t *testing.T, m *Manager, i int) Ref {
+	t.Helper()
+	v, err := m.Var(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestTerminalsAndVar(t *testing.T) {
+	m := New(2, 0)
+	if m.Const(false) != False || m.Const(true) != True {
+		t.Fatal("constants broken")
+	}
+	a := mustVar(t, m, 0)
+	if m.Eval(a, []bool{true, false}) != true || m.Eval(a, []bool{false, true}) != false {
+		t.Fatal("Var(0) mis-evaluates")
+	}
+	if _, err := m.Var(5); err == nil {
+		t.Fatal("out-of-range var accepted")
+	}
+}
+
+// TestCanonicity: structurally equal functions share the same Ref.
+func TestCanonicity(t *testing.T) {
+	m := New(3, 0)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	ab1, err := m.And(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab2, err := m.And(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab1 != ab2 {
+		t.Error("AND not canonical under commutation")
+	}
+	// Double negation is the identity ref.
+	na, err := m.Not(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nna, err := m.Not(na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nna != a {
+		t.Error("double negation not identity")
+	}
+	// Tautology collapses to True.
+	taut, err := m.Or(a, na)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if taut != True {
+		t.Error("a + a̅ != True")
+	}
+}
+
+// TestOpsAgainstTruthTables: every operator agrees with brute-force
+// evaluation over all assignments of 4 variables.
+func TestOpsAgainstTruthTables(t *testing.T) {
+	m := New(4, 0)
+	vars := make([]Ref, 4)
+	for i := range vars {
+		vars[i] = mustVar(t, m, i)
+	}
+	// f = (x0 AND x1) XOR (x2 OR NOT x3)
+	and01, _ := m.And(vars[0], vars[1])
+	n3, _ := m.Not(vars[3])
+	or23, _ := m.Or(vars[2], n3)
+	f, err := m.Xor(and01, or23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 16; a++ {
+		asn := []bool{a&1 != 0, a&2 != 0, a&4 != 0, a&8 != 0}
+		want := (asn[0] && asn[1]) != (asn[2] || !asn[3])
+		if got := m.Eval(f, asn); got != want {
+			t.Fatalf("assignment %04b: got %v, want %v", a, got, want)
+		}
+	}
+}
+
+// TestIteProperty (quick): ITE agrees with its definition on random small
+// functions built from 3 variables.
+func TestIteProperty(t *testing.T) {
+	m := New(3, 0)
+	vars := make([]Ref, 3)
+	for i := range vars {
+		vars[i] = mustVar(t, m, i)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	randFn := func() Ref {
+		f := vars[rng.IntN(3)]
+		for k := 0; k < 3; k++ {
+			g := vars[rng.IntN(3)]
+			var err error
+			switch rng.IntN(3) {
+			case 0:
+				f, err = m.And(f, g)
+			case 1:
+				f, err = m.Or(f, g)
+			default:
+				f, err = m.Xor(f, g)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f
+	}
+	for trial := 0; trial < 50; trial++ {
+		f, g, h := randFn(), randFn(), randFn()
+		ite, err := m.Ite(f, g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < 8; a++ {
+			asn := []bool{a&1 != 0, a&2 != 0, a&4 != 0}
+			want := m.Eval(g, asn)
+			if !m.Eval(f, asn) {
+				want = m.Eval(h, asn)
+			}
+			if m.Eval(ite, asn) != want {
+				t.Fatalf("ITE violates definition at %03b", a)
+			}
+		}
+	}
+}
+
+// TestSatFractionUniform: known satisfying fractions.
+func TestSatFractionUniform(t *testing.T) {
+	m := New(3, 0)
+	a, b, c := mustVar(t, m, 0), mustVar(t, m, 1), mustVar(t, m, 2)
+	u := []float64{0.5, 0.5, 0.5}
+	and3, _ := m.AndN(a, b, c)
+	if got := m.SatFraction(and3, u); got != 0.125 {
+		t.Errorf("AND3 fraction = %v", got)
+	}
+	or2, _ := m.Or(a, b)
+	if got := m.SatFraction(or2, u); got != 0.75 {
+		t.Errorf("OR2 fraction = %v", got)
+	}
+	if m.SatFraction(True, u) != 1 || m.SatFraction(False, u) != 0 {
+		t.Error("terminal fractions wrong")
+	}
+}
+
+// TestSatFractionWeighted: P(a AND b) = pa·pb for independent inputs.
+func TestSatFractionWeighted(t *testing.T) {
+	m := New(2, 0)
+	a, b := mustVar(t, m, 0), mustVar(t, m, 1)
+	and2, _ := m.And(a, b)
+	got := m.SatFraction(and2, []float64{0.3, 0.8})
+	if math.Abs(got-0.24) > 1e-12 {
+		t.Errorf("weighted AND = %v, want 0.24", got)
+	}
+	xor2, _ := m.Xor(a, b)
+	got = m.SatFraction(xor2, []float64{0.3, 0.8})
+	if math.Abs(got-(0.3*0.2+0.7*0.8)) > 1e-12 {
+		t.Errorf("weighted XOR = %v", got)
+	}
+}
+
+// TestXorChainParity (quick): the satisfying fraction of an n-var XOR chain
+// under uniform inputs is exactly 1/2.
+func TestXorChainParity(t *testing.T) {
+	f := func(rawN uint8) bool {
+		n := int(rawN%6) + 2
+		m := New(n, 0)
+		refs := make([]Ref, n)
+		for i := range refs {
+			v, err := m.Var(i)
+			if err != nil {
+				return false
+			}
+			refs[i] = v
+		}
+		chain, err := m.XorN(refs...)
+		if err != nil {
+			return false
+		}
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = 0.5
+		}
+		return m.SatFraction(chain, w) == 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	m := New(3, 0)
+	a, b, c := mustVar(t, m, 0), mustVar(t, m, 1), mustVar(t, m, 2)
+	and3, _ := m.AndN(a, b, c)
+	// Ordered AND chain: exactly 3 internal nodes.
+	if got := m.NodeCount(and3); got != 3 {
+		t.Errorf("NodeCount(AND3) = %d, want 3", got)
+	}
+	if m.NodeCount(True) != 0 {
+		t.Error("terminal count must be 0")
+	}
+}
+
+// TestNodeLimit: the budget is enforced with ErrNodeLimit, not OOM.
+func TestNodeLimit(t *testing.T) {
+	m := New(8, 12) // absurdly small budget
+	var f Ref = True
+	var err error
+	for i := 0; i < 8; i++ {
+		v, verr := m.Var(i)
+		if verr != nil {
+			err = verr
+			break
+		}
+		f, err = m.Xor(f, v)
+		if err != nil {
+			break
+		}
+	}
+	if err != ErrNodeLimit {
+		t.Errorf("expected ErrNodeLimit, got %v", err)
+	}
+}
+
+func TestSizeGrowsMonotonically(t *testing.T) {
+	m := New(4, 0)
+	before := m.Size()
+	a, _ := m.Var(0)
+	b, _ := m.Var(1)
+	if _, err := m.And(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() <= before {
+		t.Error("size did not grow after construction")
+	}
+}

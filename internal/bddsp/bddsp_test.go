@@ -1,0 +1,145 @@
+package bddsp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/bench"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/sigprob"
+)
+
+func mustParse(t *testing.T, src string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSignalProbMatchesEnumeration: BDD-exact == enumeration-exact on small
+// random circuits (both are exact, so they must agree to float precision).
+func TestSignalProbMatchesEnumeration(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		c := gen.SmallRandom(seed + 400)
+		want, err := exact.SignalProb(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SignalProb(c, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < c.N(); id++ {
+			if math.Abs(got[id]-want[id]) > 1e-12 {
+				t.Fatalf("seed %d node %d: BDD %v, enumeration %v", seed, id, got[id], want[id])
+			}
+		}
+	}
+}
+
+// TestPSensitizedMatchesEnumeration: same for propagation probabilities,
+// including sequential circuits (FF boundaries).
+func TestPSensitizedMatchesEnumeration(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		c := gen.SmallRandomSequential(seed + 500)
+		for id := 0; id < c.N(); id += 3 {
+			want, err := exact.PSensitized(c, netlist.ID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := PSensitized(c, netlist.ID(id), nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("seed %d site %d: BDD %v, enumeration %v", seed, id, got, want)
+			}
+		}
+	}
+}
+
+// TestWeightedPSensitized: the BDD path supports biased sources exactly.
+func TestWeightedPSensitized(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	prob := make([]float64, c.N())
+	prob[c.ByName("a")] = 0.5
+	prob[c.ByName("b")] = 0.3
+	got, err := PSensitized(c, c.ByName("a"), prob, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("weighted BDD P_sens = %v, want 0.3", got)
+	}
+	want, err := exact.PSensitizedWeighted(c, c.ByName("a"), prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("BDD %v vs weighted enumeration %v", got, want)
+	}
+}
+
+// TestBeyondEnumerationLimit: the whole point — exact answers on a circuit
+// with more sources than the enumeration engine accepts (s953 has 45).
+func TestBeyondEnumerationLimit(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Sources()) <= exact.MaxSupport {
+		t.Fatalf("test premise broken: s953 has %d sources", len(c.Sources()))
+	}
+	if _, err := exact.SignalProb(c); err == nil {
+		t.Fatal("enumeration unexpectedly accepted s953")
+	}
+	sp, err := SignalProb(c, nil, 1<<23)
+	if err != nil {
+		t.Skipf("BDD budget exceeded on this profile: %v", err)
+	}
+	// Cross-check against high-volume Monte Carlo.
+	mc := sigprob.MonteCarlo(c, sigprob.Config{Vectors: 1 << 17, Seed: 3})
+	worst := 0.0
+	for id := 0; id < c.N(); id++ {
+		if d := math.Abs(sp[id] - mc[id]); d > worst {
+			worst = d
+		}
+	}
+	t.Logf("s953 exact-BDD vs 131k-vector MC: worst |diff| = %.4f", worst)
+	if worst > 0.02 {
+		t.Errorf("BDD SP diverges from converged MC by %v", worst)
+	}
+}
+
+// TestNodeLimitPropagates: a starved budget surfaces bdd.ErrNodeLimit.
+func TestNodeLimitPropagates(t *testing.T) {
+	c := gen.MustRandom(gen.Params{Name: "big", Seed: 3, PIs: 16, POs: 4, Gates: 400})
+	if _, err := SignalProb(c, nil, 64); err != bdd.ErrNodeLimit {
+		t.Errorf("expected ErrNodeLimit, got %v", err)
+	}
+}
+
+// TestConstantsInCircuit: tie cells become BDD constants, not variables.
+func TestConstantsInCircuit(t *testing.T) {
+	b := netlist.NewBuilder("ties")
+	in := b.Input("a")
+	one := b.Const("one", true)
+	y := b.And("y", in, one)
+	b.MarkOutput(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SignalProb(c, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[one] != 1 || sp[y] != 0.5 {
+		t.Errorf("SP with ties: one=%v y=%v", sp[one], sp[y])
+	}
+}

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+const sampleSrc = `
+# simple sequential sample
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G5)
+
+G2 = DFF(G4)        # state element
+G3 = NAND(G0, G1)
+G4 = OR(G3, G2)
+G5 = NOT(G4)
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := ParseString(sampleSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.N() != 6 {
+		t.Fatalf("N = %d, want 6", c.N())
+	}
+	if len(c.PIs) != 2 || len(c.POs) != 1 || len(c.FFs) != 1 {
+		t.Fatalf("interface: %d/%d/%d", len(c.PIs), len(c.POs), len(c.FFs))
+	}
+	g3 := c.ByName("G3")
+	if c.Node(g3).Kind != logic.Nand {
+		t.Errorf("G3 kind = %v", c.Node(g3).Kind)
+	}
+	if len(c.Node(g3).Fanin) != 2 {
+		t.Errorf("G3 fanin = %v", c.Node(g3).Fanin)
+	}
+	// DFF forward reference: G2 = DFF(G4) references G4 before definition.
+	g2 := c.ByName("G2")
+	if c.Node(g2).Kind != logic.DFF || c.NameOf(c.Node(g2).Fanin[0]) != "G4" {
+		t.Errorf("G2 = %+v", c.Node(g2))
+	}
+	if !c.Node(c.ByName("G5")).IsPO {
+		t.Error("G5 not marked PO")
+	}
+}
+
+func TestParseCaseInsensitiveAndWhitespace(t *testing.T) {
+	src := "input( a )\noutput(y)\ny = nand( a , a )\n"
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Node(c.ByName("y")).Kind != logic.Nand {
+		t.Error("lower-case nand not parsed")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := ParseString(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-Parse: %v\nsource:\n%s", err, buf.String())
+	}
+	if c2.N() != c.N() {
+		t.Fatalf("round trip changed node count: %d -> %d", c.N(), c2.N())
+	}
+	for i := range c.Nodes {
+		a, b := &c.Nodes[i], c2.Nodes[i]
+		if a.Name != b.Name || a.Kind != b.Kind || len(a.Fanin) != len(b.Fanin) || a.IsPO != b.IsPO {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Fanin {
+			if c.NameOf(a.Fanin[j]) != c2.NameOf(b.Fanin[j]) {
+				t.Fatalf("node %s fanin %d differs", a.Name, j)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string // expected substring of the error
+	}{
+		{"undefined", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "undefined signal"},
+		{"duplicate", "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = NOT(a)\n", "more than once"},
+		{"dup-input", "INPUT(a)\nINPUT(a)\nOUTPUT(a)\n", "more than once"},
+		{"badgate", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "unknown gate"},
+		{"malformed", "INPUT(a)\nOUTPUT(y)\ny = AND(a", "malformed"},
+		{"empty-args", "INPUT(a)\nOUTPUT(y)\ny = AND()\n", "empty argument"},
+		{"input-arity", "INPUT(a, b)\n", "exactly one"},
+		{"not-arity", "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n", "2 inputs"},
+		{"junk", "INPUT(a)\nwat\n", "malformed"},
+		{"empty", "  \n# only a comment\n", "empty netlist"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %q does not contain %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := ParseString("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), ":3:") {
+		t.Errorf("formatted error %q lacks line number", pe.Error())
+	}
+}
+
+func TestImplicitInputs(t *testing.T) {
+	src := "OUTPUT(y)\ny = AND(a, b)\n"
+	if _, err := ParseString(src); err == nil {
+		t.Fatal("undeclared signals accepted without option")
+	}
+	c, err := ParseWithOptions(strings.NewReader(src), Options{ImplicitInputs: true})
+	if err != nil {
+		t.Fatalf("ImplicitInputs parse: %v", err)
+	}
+	if len(c.PIs) != 2 {
+		t.Fatalf("implicit inputs: %d PIs", len(c.PIs))
+	}
+}
+
+func TestOutputOfUndeclaredSignal(t *testing.T) {
+	// OUTPUT referencing a never-defined signal is an error by default.
+	src := "INPUT(a)\nOUTPUT(ghost)\nx = NOT(a)\n"
+	if _, err := ParseString(src); err == nil {
+		t.Fatal("OUTPUT of undefined signal accepted")
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "# header\n\nINPUT(a) # trailing comment\n\n# mid\nOUTPUT(y)\ny = BUFF(a)\n"
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Node(c.ByName("y")).Kind != logic.Buf {
+		t.Error("BUFF not parsed")
+	}
+}
+
+func TestParseDFFChain(t *testing.T) {
+	// Two FFs in a row plus a purely sequential cycle (legal).
+	src := `
+INPUT(a)
+OUTPUT(q1)
+q0 = DFF(d0)
+q1 = DFF(q0)
+d0 = XOR(a, q1)
+`
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(c.FFs) != 2 {
+		t.Fatalf("FFs = %d", len(c.FFs))
+	}
+	// d0 must be an observation point (feeds q0's D); q0 feeds q1's D.
+	if !c.IsObserved(c.ByName("d0")) {
+		t.Error("d0 should be observed")
+	}
+	if !c.IsObserved(c.ByName("q0")) {
+		t.Error("q0 should be observed (feeds q1)")
+	}
+}
+
+func TestWriterRejectsTieCells(t *testing.T) {
+	// Build a circuit with a tie cell via the builder and confirm Write
+	// reports a clear error instead of emitting invalid .bench.
+	src := "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("plain circuit should serialize: %v", err)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	good := []string{"G0", "a_b", "n[3]", "x.y", "123", "a-b"}
+	bad := []string{"", "a b", "a,b", "a(b", "a)b", "a=b", "a#b"}
+	for _, s := range good {
+		if !validName(s) {
+			t.Errorf("validName(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if validName(s) {
+			t.Errorf("validName(%q) = true", s)
+		}
+	}
+}

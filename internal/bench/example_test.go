@@ -1,0 +1,46 @@
+package bench_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// ExampleParseString parses a tiny sequential netlist and prints its
+// structure.
+func ExampleParseString() {
+	c, err := bench.ParseString(`
+# toggle flop with enable
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+nq = NOT(q)
+d = AND(en, nq)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Stats())
+	// Output:
+	// circuit: 4 nodes (1 PI, 1 PO, 1 FF, 2 gates), depth 2, 4 edges
+}
+
+// ExampleWrite round-trips a netlist through the writer.
+func ExampleWrite() {
+	c, err := bench.ParseString("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bench.Write(os.Stdout, c); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// # circuit
+	// # 1 inputs, 1 outputs, 0 D-type flipflops, 1 gates
+	// INPUT(a)
+	// OUTPUT(y)
+	//
+	// y = NOT(a)
+}

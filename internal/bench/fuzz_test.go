@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the hand-written .bench parser with arbitrary input:
+// it must never panic, and any input it accepts must survive a
+// write/re-parse round trip with the node count preserved.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleSrc,
+		"INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n",
+		"INPUT(a)\nOUTPUT(y)\ny = AND(a, a)\n",
+		"# only a comment\n",
+		"INPUT(a)\nOUTPUT(q)\nq = DFF(d)\nd = XOR(a, q)\n",
+		"y = AND(", "INPUT(", "OUTPUT()", "a = ", "= NOT(a)",
+		"INPUT(a)\ny=BUFF(a)\nOUTPUT(y)",
+		strings.Repeat("INPUT(x)\n", 3),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseString(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, c); werr != nil {
+			return // tie cells etc. may be unserializable
+		}
+		c2, rerr := Parse(&buf)
+		if rerr != nil {
+			t.Fatalf("accepted netlist did not round-trip: %v\ninput: %q\nemitted:\n%s",
+				rerr, src, buf.String())
+		}
+		if c2.N() != c.N() {
+			t.Fatalf("round trip changed node count %d -> %d for input %q", c.N(), c2.N(), src)
+		}
+	})
+}

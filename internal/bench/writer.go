@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Write emits the circuit in .bench format: a header comment, INPUT and
+// OUTPUT declarations, then one assignment per flip-flop and gate in node
+// order. The output round-trips through Parse to an isomorphic circuit.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	s := c.Stats()
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d D-type flipflops, %d gates\n",
+		s.PIs, s.POs, s.FFs, s.Gates)
+	for _, id := range c.PIs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.NameOf(id))
+	}
+	for _, id := range c.POs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.NameOf(id))
+	}
+	fmt.Fprintln(bw)
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		switch n.Kind {
+		case logic.Input:
+			continue
+		case logic.Const0, logic.Const1:
+			// .bench has no tie-cell syntax; emit the conventional
+			// one-input workaround used by circulated benchmark variants.
+			return fmt.Errorf("bench: cannot serialize tie cell %q (kind %v)", n.Name, n.Kind)
+		default:
+			fmt.Fprintf(bw, "%s = %s(", n.Name, n.Kind)
+			for j, f := range n.Fanin {
+				if j > 0 {
+					bw.WriteString(", ")
+				}
+				bw.WriteString(c.NameOf(f))
+			}
+			bw.WriteString(")\n")
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the circuit to the file at path in .bench format.
+func WriteFile(path string, c *netlist.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/netlist"
+)
+
+// AllSites runs the EPP analysis with every node of the circuit as the error
+// site ("we consider all circuit nodes as possible error sites", paper §2)
+// and returns one Result per node, indexed by node ID. Output state slices
+// are populated; the analysis is single-threaded — see AllSitesParallel for
+// the multi-core variant used by the benchmark harness.
+func (a *Analyzer) AllSites() []Result {
+	out := make([]Result, a.c.N())
+	for id := 0; id < a.c.N(); id++ {
+		out[id] = a.EPP(netlist.ID(id))
+	}
+	return out
+}
+
+// PSensitizedAll computes only the P_sensitized value for every node,
+// avoiding per-output result allocation. This is the kernel timed as "SysT"
+// in the Table 2 reproduction.
+func (a *Analyzer) PSensitizedAll() []float64 {
+	out := make([]float64, a.c.N())
+	for id := 0; id < a.c.N(); id++ {
+		cone := a.walker.ForwardCone(netlist.ID(id))
+		a.sweep(&cone)
+		missAll := 1.0
+		for _, o := range cone.Outputs {
+			missAll *= 1 - a.state[o].PErr()
+		}
+		if len(cone.Outputs) == 0 {
+			out[id] = 0
+		} else {
+			out[id] = 1 - missAll
+		}
+	}
+	return out
+}
+
+// AllSitesParallel runs AllSites across workers goroutines (0 means
+// GOMAXPROCS), each with its own cloned Analyzer.
+func (a *Analyzer) AllSitesParallel(workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := a.c.N()
+	out := make([]Result, n)
+	var next int64
+	var mu sync.Mutex
+	take := func(chunk int) (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		lo := int(next)
+		if lo >= n {
+			return 0, 0
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		next = int64(hi)
+		return lo, hi
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := a.Clone()
+			for {
+				lo, hi := take(64)
+				if lo == hi {
+					return
+				}
+				for id := lo; id < hi; id++ {
+					out[id] = local.EPP(netlist.ID(id))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

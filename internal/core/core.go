@@ -1,0 +1,222 @@
+// Package core implements the paper's primary contribution: analytical
+// computation of the error propagation probability (EPP) from any error site
+// to all reachable outputs in a single topological sweep, using four-valued
+// probability states with error-polarity tracking (Asadi & Tahoori,
+// "An Accurate SER Estimation Method Based on Propagation Probability",
+// DATE 2005, §2).
+//
+// For an error site n the analysis follows the paper's three steps:
+//
+//  1. Path construction — extract all on-path signals (forward DFS from n,
+//     stopping at flip-flop boundaries).
+//  2. Ordering — visit the on-path gates in combinational topological order.
+//  3. EPP computation — propagate the (Pa, Pā, P0, P1) state through each
+//     on-path gate using the Table 1 rules, reading plain signal
+//     probabilities for off-path fanins.
+//
+// P_sensitized(n) = 1 − ∏_j (1 − (Pa(POj) + Pā(POj))) over reachable outputs.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// RuleSet selects the gate-rule implementation used by the sweep.
+type RuleSet int
+
+const (
+	// RulesClosedForm uses the paper's Table 1 product formulas for
+	// AND/OR/NAND/NOR/NOT/BUF and the pairwise fold for XOR/XNOR. This is
+	// the default and fastest implementation.
+	RulesClosedForm RuleSet = iota
+	// RulesPairwise folds every n-ary gate two inputs at a time through the
+	// exhaustive 4×4 symbol table. Equivalent results (an ablation target),
+	// useful as an executable specification.
+	RulesPairwise
+	// RulesNoPolarity is the ablation of the paper's key idea: after every
+	// gate the a̅ mass is folded into a, i.e. all reconvergent error paths
+	// are assumed to meet with an even inversion-count difference. Exact on
+	// fanout-free circuits, wrong wherever opposite-polarity paths
+	// reconverge (see TestPolarityAblation). Exists to quantify what the
+	// four-valued polarity tracking buys.
+	RulesNoPolarity
+)
+
+// String names the rule set.
+func (r RuleSet) String() string {
+	switch r {
+	case RulesClosedForm:
+		return "closed-form"
+	case RulesPairwise:
+		return "pairwise"
+	case RulesNoPolarity:
+		return "no-polarity"
+	}
+	return fmt.Sprintf("RuleSet(%d)", int(r))
+}
+
+// Options configure an Analyzer.
+type Options struct {
+	// Rules selects the propagation rule implementation.
+	Rules RuleSet
+}
+
+// OutputEPP records the four-valued state reaching one observation point.
+type OutputEPP struct {
+	Output netlist.ID
+	State  logic.Prob4
+}
+
+// Result is the EPP analysis of one error site.
+type Result struct {
+	Site netlist.ID
+	// PSensitized is the probability that the erroneous value is propagated
+	// to at least one reachable output (PO or FF D input).
+	PSensitized float64
+	// Outputs lists the reachable observation points with their final
+	// states, in topological order.
+	Outputs []OutputEPP
+	// ConeSize is the number of on-path signals traversed.
+	ConeSize int
+}
+
+// Analyzer computes EPP over a fixed circuit and a fixed off-path signal
+// probability assignment. It keeps reusable epoch-stamped scratch so a full
+// all-nodes analysis performs no per-site allocation beyond results. An
+// Analyzer is not safe for concurrent use; Clone one per goroutine.
+type Analyzer struct {
+	c      *netlist.Circuit
+	sp     []float64 // off-path signal probability per node
+	opt    Options
+	walker *graph.Walker
+	state  []logic.Prob4 // on-path state, valid where stamp == epoch
+	stamp  []uint32
+	epoch  uint32
+	ins    []logic.Prob4 // fanin gather scratch
+}
+
+// New returns an Analyzer for circuit c using the given signal probabilities
+// (indexed by node ID; typically from sigprob.Topological or
+// sigprob.MonteCarlo). The slice is read, not copied; it must not be
+// modified while the Analyzer is in use.
+func New(c *netlist.Circuit, sp []float64, opt Options) (*Analyzer, error) {
+	if len(sp) != c.N() {
+		return nil, fmt.Errorf("core: signal probability vector has %d entries for %d nodes", len(sp), c.N())
+	}
+	for i, p := range sp {
+		if p < 0 || p > 1 {
+			return nil, fmt.Errorf("core: signal probability of node %q is %v, outside [0,1]", c.NameOf(netlist.ID(i)), p)
+		}
+	}
+	return &Analyzer{
+		c:      c,
+		sp:     sp,
+		opt:    opt,
+		walker: graph.NewWalker(c),
+		state:  make([]logic.Prob4, c.N()),
+		stamp:  make([]uint32, c.N()),
+		ins:    make([]logic.Prob4, 0, 8),
+	}, nil
+}
+
+// MustNew is New for known-good arguments; it panics on error. Intended for
+// examples and tests.
+func MustNew(c *netlist.Circuit, sp []float64, opt Options) *Analyzer {
+	a, err := New(c, sp, opt)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Clone returns an independent Analyzer sharing the circuit and signal
+// probabilities, for concurrent use from another goroutine.
+func (a *Analyzer) Clone() *Analyzer {
+	cp, err := New(a.c, a.sp, a.opt)
+	if err != nil {
+		panic("core: Clone: " + err.Error())
+	}
+	return cp
+}
+
+// Circuit returns the analyzed circuit.
+func (a *Analyzer) Circuit() *netlist.Circuit { return a.c }
+
+// SignalProb returns the off-path signal probability of node id.
+func (a *Analyzer) SignalProb(id netlist.ID) float64 { return a.sp[id] }
+
+// EPP runs the three-step analysis for one error site and returns the
+// per-output states and P_sensitized.
+func (a *Analyzer) EPP(site netlist.ID) Result {
+	if site < 0 || int(site) >= a.c.N() {
+		panic(fmt.Sprintf("core: EPP: invalid site %d", site))
+	}
+	cone := a.walker.ForwardCone(site)
+	a.sweep(&cone)
+
+	res := Result{Site: site, ConeSize: cone.Size()}
+	if len(cone.Outputs) > 0 {
+		res.Outputs = make([]OutputEPP, len(cone.Outputs))
+	}
+	missAll := 1.0
+	for i, out := range cone.Outputs {
+		st := a.state[out]
+		res.Outputs[i] = OutputEPP{Output: out, State: st}
+		missAll *= 1 - st.PErr()
+	}
+	res.PSensitized = 1 - missAll
+	if len(cone.Outputs) == 0 {
+		res.PSensitized = 0 // error site reaches no latching point
+	}
+	return res
+}
+
+// sweep performs step 3: one pass over the cone in topological order.
+func (a *Analyzer) sweep(cone *graph.Cone) {
+	a.epoch++
+	if a.epoch == 0 { // uint32 wraparound: invalidate all stamps
+		for i := range a.stamp {
+			a.stamp[i] = 0
+		}
+		a.epoch = 1
+	}
+	a.state[cone.Root] = logic.ErrorSite()
+	a.stamp[cone.Root] = a.epoch
+
+	for _, id := range cone.Members[1:] {
+		n := a.c.Node(id)
+		a.ins = a.ins[:0]
+		for _, f := range n.Fanin {
+			if a.stamp[f] == a.epoch {
+				a.ins = append(a.ins, a.state[f]) // on-path fanin
+			} else {
+				a.ins = append(a.ins, logic.FromSP(a.sp[f])) // off-path fanin
+			}
+		}
+		var st logic.Prob4
+		if a.opt.Rules == RulesPairwise {
+			st = logic.CombineN(n.Kind, a.ins)
+		} else {
+			st = closedForm(n.Kind, a.ins)
+		}
+		if a.opt.Rules == RulesNoPolarity {
+			st[logic.SymA] += st[logic.SymABar]
+			st[logic.SymABar] = 0
+		}
+		a.state[id] = st
+		a.stamp[id] = a.epoch
+	}
+}
+
+// StateOf returns the four-valued state computed for node id by the most
+// recent EPP call, and whether the node was on-path in that analysis.
+func (a *Analyzer) StateOf(id netlist.ID) (logic.Prob4, bool) {
+	if a.stamp[id] != a.epoch || a.epoch == 0 {
+		return logic.Prob4{}, false
+	}
+	return a.state[id], true
+}

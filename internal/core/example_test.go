@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sigprob"
+)
+
+// ExampleAnalyzer_EPP reproduces the paper's Figure 1 calculation.
+func ExampleAnalyzer_EPP() {
+	c, err := bench.ParseString(`
+INPUT(A)
+INPUT(B)
+INPUT(C)
+INPUT(F)
+OUTPUT(H)
+E = NOT(A)
+G = AND(E, F)
+D = AND(A, B)
+H = OR(C, D, G)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob := make([]float64, c.N())
+	prob[c.ByName("A")] = 0.5
+	prob[c.ByName("B")] = 0.2
+	prob[c.ByName("C")] = 0.3
+	prob[c.ByName("F")] = 0.7
+	sp := sigprob.Topological(c, sigprob.Config{SourceProb: prob})
+
+	an, err := core.New(c, sp, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := an.EPP(c.ByName("A"))
+	state, _ := an.StateOf(c.ByName("H"))
+	fmt.Printf("P(H) = %v\n", state)
+	fmt.Printf("P_sensitized(A) = %.3f\n", res.PSensitized)
+	// Output:
+	// P(H) = 0.042(a) + 0.392(a̅) + 0.168(0) + 0.398(1)
+	// P_sensitized(A) = 0.434
+}

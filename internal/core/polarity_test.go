@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/sigprob"
+)
+
+// TestPolarityAblationCrispCase: the circuit where polarity tracking is the
+// difference between the right and the wrong answer.
+//
+//	n = NOT(a); x = XOR(a, n); y = AND(x, a)
+//
+// x is constant 1 (so y follows a and a flip at a always propagates,
+// P_sensitized = 1). Full polarity rules reach x as a ⊕ a̅ = 1 and get 1;
+// the no-polarity ablation sees a ⊕ a = 0 at x, kills the side input of the
+// AND, and reports 0.
+func TestPolarityAblationCrispCase(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+n = NOT(a)
+x = XOR(a, n)
+y = AND(x, a)
+`)
+	truth, err := exact.PSensitized(c, c.ByName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth != 1 {
+		t.Fatalf("ground truth = %v, want 1", truth)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+
+	full := MustNew(c, sp, Options{Rules: RulesClosedForm})
+	if got := full.EPP(c.ByName("a")).PSensitized; got != 1 {
+		t.Errorf("polarity-tracking rules: %v, want 1", got)
+	}
+
+	blind := MustNew(c, sp, Options{Rules: RulesNoPolarity})
+	if got := blind.EPP(c.ByName("a")).PSensitized; got != 0 {
+		t.Errorf("no-polarity ablation: %v, want 0 (the documented failure)", got)
+	}
+}
+
+// TestNoPolarityExactOnTrees: with no reconvergence there is nothing for
+// polarity tracking to disambiguate, so the ablation stays exact — the
+// degradation is specifically a reconvergence effect.
+func TestNoPolarityExactOnTrees(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		c := gen.TreeRandom(seed + 700)
+		sp, err := exact.SignalProb(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := MustNew(c, sp, Options{Rules: RulesNoPolarity})
+		for id := 0; id < c.N(); id++ {
+			got := a.EPP(netlist.ID(id)).PSensitized
+			want, err := exact.PSensitized(c, netlist.ID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("seed %d site %d: no-polarity %v, exact %v (trees must be exact)",
+					seed, id, got, want)
+			}
+		}
+	}
+}
+
+// TestPolarityAblationAggregate: on random reconvergent circuits the
+// polarity-tracking rules are at least as accurate in aggregate as the
+// ablation, quantifying the paper's central claim.
+func TestPolarityAblationAggregate(t *testing.T) {
+	maeFull, maeBlind := 0.0, 0.0
+	sites := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		c := gen.SmallRandom(seed + 900)
+		sp, err := exact.SignalProb(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := MustNew(c, sp, Options{Rules: RulesClosedForm})
+		blind := MustNew(c, sp, Options{Rules: RulesNoPolarity})
+		for id := 0; id < c.N(); id++ {
+			truth, err := exact.PSensitized(c, netlist.ID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			maeFull += math.Abs(full.EPP(netlist.ID(id)).PSensitized - truth)
+			maeBlind += math.Abs(blind.EPP(netlist.ID(id)).PSensitized - truth)
+			sites++
+		}
+	}
+	maeFull /= float64(sites)
+	maeBlind /= float64(sites)
+	t.Logf("polarity ablation over %d sites: MAE full=%.4f, no-polarity=%.4f", sites, maeFull, maeBlind)
+	if maeFull > maeBlind+1e-9 {
+		t.Errorf("polarity tracking made aggregate accuracy worse: %v vs %v", maeFull, maeBlind)
+	}
+}
+
+// TestNoPolarityStatesStillNormalized: the ablation still produces valid
+// distributions.
+func TestNoPolarityStatesStillNormalized(t *testing.T) {
+	c := gen.SmallRandomSequential(42)
+	sp := sigprob.Topological(c, sigprob.Config{})
+	a := MustNew(c, sp, Options{Rules: RulesNoPolarity})
+	for id := 0; id < c.N(); id++ {
+		for _, o := range a.EPP(netlist.ID(id)).Outputs {
+			if !o.State.Valid(1e-9) {
+				t.Fatalf("site %d: invalid state %v", id, o.State)
+			}
+			if o.State.PABar() != 0 {
+				t.Fatalf("site %d: ablation leaked a̅ mass: %v", id, o.State)
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sigprob"
+)
+
+// TestQuickPSensitizedBounds: for arbitrary generated circuits and sites,
+// P_sensitized is a probability and zero exactly when no output is
+// reachable.
+func TestQuickPSensitizedBounds(t *testing.T) {
+	f := func(rawSeed uint16, rawSite uint16) bool {
+		c := gen.SmallRandomSequential(uint64(rawSeed))
+		sp := sigprob.Topological(c, sigprob.Config{})
+		a := MustNew(c, sp, Options{})
+		site := netlist.ID(int(rawSite) % c.N())
+		res := a.EPP(site)
+		if res.PSensitized < 0 || res.PSensitized > 1+1e-12 {
+			return false
+		}
+		if len(res.Outputs) == 0 && res.PSensitized != 0 {
+			return false
+		}
+		if len(res.Outputs) > 0 {
+			// P_sensitized >= max per-output PErr (union bound lower edge).
+			maxOut := 0.0
+			for _, o := range res.Outputs {
+				if p := o.State.PErr(); p > maxOut {
+					maxOut = p
+				}
+			}
+			if res.PSensitized < maxOut-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickObservedSiteCertain: any observation point, used as its own error
+// site, is sensitized with probability exactly 1.
+func TestQuickObservedSiteCertain(t *testing.T) {
+	f := func(rawSeed uint16) bool {
+		c := gen.SmallRandomSequential(uint64(rawSeed) + 1000)
+		sp := sigprob.Topological(c, sigprob.Config{})
+		a := MustNew(c, sp, Options{})
+		for _, obs := range c.Observed() {
+			if a.EPP(obs).PSensitized != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSPMonotoneInErrorMass: scaling every off-path SP toward 0.5
+// keeps results valid distributions (numerical robustness under arbitrary
+// SP vectors).
+func TestQuickValidUnderArbitrarySP(t *testing.T) {
+	f := func(rawSeed uint16, rawBias uint8) bool {
+		c := gen.SmallRandom(uint64(rawSeed) + 2000)
+		bias := float64(rawBias) / 255 // arbitrary uniform source bias
+		prob := make([]float64, c.N())
+		for i := range prob {
+			prob[i] = bias
+		}
+		sp := sigprob.Topological(c, sigprob.Config{SourceProb: prob})
+		a := MustNew(c, sp, Options{})
+		for id := 0; id < c.N(); id += 3 {
+			res := a.EPP(netlist.ID(id))
+			if math.IsNaN(res.PSensitized) || res.PSensitized < -1e-12 || res.PSensitized > 1+1e-12 {
+				return false
+			}
+			for _, o := range res.Outputs {
+				if !o.State.Valid(1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBufferChainInvariance: inserting a buffer chain between the site
+// and the rest of the circuit never changes P_sensitized.
+func TestQuickBufferChainInvariance(t *testing.T) {
+	f := func(rawLen uint8) bool {
+		chainLen := int(rawLen%5) + 1
+		b := netlist.NewBuilder("chain")
+		a := b.Input("a")
+		x := b.Input("x")
+		cur := b.And("g", a, x)
+		for i := 0; i < chainLen; i++ {
+			cur = b.Buf("buf"+string(rune('0'+i)), cur)
+		}
+		b.MarkOutput(cur)
+		c, err := b.Build()
+		if err != nil {
+			return false
+		}
+		sp := sigprob.Topological(c, sigprob.Config{})
+		an := MustNew(c, sp, Options{})
+		// P_sensitized(a) = P(x=1) = 0.5 regardless of chain length.
+		return math.Abs(an.EPP(c.ByName("a")).PSensitized-0.5) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInversionParity: through a NOT chain of length k, the error
+// arrives with polarity a (k even) or a̅ (k odd) — quick-checked over chain
+// lengths.
+func TestQuickInversionParity(t *testing.T) {
+	f := func(rawLen uint8) bool {
+		k := int(rawLen%8) + 1
+		b := netlist.NewBuilder("inv")
+		cur := b.Input("a")
+		for i := 0; i < k; i++ {
+			cur = b.Not("n"+string(rune('0'+i)), cur)
+		}
+		b.MarkOutput(cur)
+		c, err := b.Build()
+		if err != nil {
+			return false
+		}
+		sp := sigprob.Topological(c, sigprob.Config{})
+		an := MustNew(c, sp, Options{})
+		an.EPP(c.ByName("a"))
+		st, on := an.StateOf(cur)
+		if !on {
+			return false
+		}
+		if k%2 == 0 {
+			return st[logic.SymA] == 1
+		}
+		return st[logic.SymABar] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

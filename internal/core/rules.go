@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// closedForm implements the paper's Table 1 EPP calculation rules for
+// elementary gates, generalized in the obvious dual way to NAND/NOR/BUF, and
+// falling back to the pairwise symbol fold for XOR/XNOR (which Table 1 does
+// not cover).
+//
+// AND:  P1(out) = ∏ P1(Xi)
+//
+//	Pa(out) = ∏ [P1(Xi)+Pa(Xi)] − P1(out)
+//	Pā(out) = ∏ [P1(Xi)+Pā(Xi)] − P1(out)
+//	P0(out) = 1 − (P1+Pa+Pā)(out)
+//
+// OR:   dual with the roles of 0 and 1 exchanged.
+// NOT:  P1↔P0, Pa↔Pā.
+func closedForm(k logic.Kind, ins []logic.Prob4) logic.Prob4 {
+	switch k {
+	case logic.Buf:
+		return ins[0]
+	case logic.Not:
+		return ins[0].Invert()
+	case logic.And:
+		return andRule(ins)
+	case logic.Nand:
+		return andRule(ins).Invert()
+	case logic.Or:
+		return orRule(ins)
+	case logic.Nor:
+		return orRule(ins).Invert()
+	case logic.Xor, logic.Xnor:
+		return logic.CombineN(k, ins)
+	case logic.Const0:
+		return logic.FromSP(0)
+	case logic.Const1:
+		return logic.FromSP(1)
+	}
+	panic(fmt.Sprintf("core: closedForm on kind %v", k))
+}
+
+// andRule is the AND row of Table 1. The subtractions can produce tiny
+// negative round-off; snap it to zero inline (a full Clamp costs ~20% of the
+// whole sweep on the hot path).
+func andRule(ins []logic.Prob4) logic.Prob4 {
+	p1, pa, pab := 1.0, 1.0, 1.0
+	for i := range ins {
+		p1 *= ins[i][logic.SymOne]
+		pa *= ins[i][logic.SymOne] + ins[i][logic.SymA]
+		pab *= ins[i][logic.SymOne] + ins[i][logic.SymABar]
+	}
+	pa -= p1
+	pab -= p1
+	if pa < 0 {
+		pa = 0
+	}
+	if pab < 0 {
+		pab = 0
+	}
+	p0 := 1 - (p1 + pa + pab)
+	if p0 < 0 {
+		p0 = 0
+	}
+	return logic.Prob4{logic.SymA: pa, logic.SymABar: pab, logic.SymZero: p0, logic.SymOne: p1}
+}
+
+// orRule is the OR row of Table 1 (the dual of andRule).
+func orRule(ins []logic.Prob4) logic.Prob4 {
+	p0, pa, pab := 1.0, 1.0, 1.0
+	for i := range ins {
+		p0 *= ins[i][logic.SymZero]
+		pa *= ins[i][logic.SymZero] + ins[i][logic.SymA]
+		pab *= ins[i][logic.SymZero] + ins[i][logic.SymABar]
+	}
+	pa -= p0
+	pab -= p0
+	if pa < 0 {
+		pa = 0
+	}
+	if pab < 0 {
+		pab = 0
+	}
+	p1 := 1 - (p0 + pa + pab)
+	if p1 < 0 {
+		p1 = 0
+	}
+	return logic.Prob4{logic.SymA: pa, logic.SymABar: pab, logic.SymZero: p0, logic.SymOne: p1}
+}

@@ -1,0 +1,160 @@
+// Package exact computes ground-truth propagation probabilities and signal
+// probabilities by exhaustive enumeration of all input assignments. It is
+// exponential in the number of sources and exists to validate both the
+// analytical EPP engine and the Monte Carlo baseline on small circuits
+// (property tests and the accuracy example).
+//
+// Enumeration is 64-way bit-parallel: the low six source indices are driven
+// with the canonical interleave masks and the remaining indices follow the
+// chunk number, so each simulator run covers 64 exhaustive patterns.
+package exact
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/simulate"
+)
+
+// MaxSupport is the largest number of sources Enumerate will accept
+// (2^24 × circuit-size evaluations is the practical laptop ceiling).
+const MaxSupport = 24
+
+// interleave[i] is the exhaustive word for source index i < 6: bit j of
+// interleave[i] equals bit i of pattern number j.
+var interleave = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// sourceWord returns the 64-pattern word of source index i for the chunk
+// whose first pattern number is base (a multiple of 64).
+func sourceWord(i int, base uint64) uint64 {
+	if i < 6 {
+		return interleave[i]
+	}
+	if base>>uint(i)&1 == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// enumerate drives all 2^k assignments of the circuit's sources through fn,
+// which receives the engine after a good-machine Run for each 64-pattern
+// chunk together with the chunk base pattern number and the number of valid
+// patterns in the chunk (always 64 except when k < 6).
+func enumerate(c *netlist.Circuit, eng *simulate.Engine, fn func(base uint64, valid int)) error {
+	sources := c.Sources()
+	k := len(sources)
+	if k > MaxSupport {
+		return fmt.Errorf("exact: circuit has %d sources, limit %d", k, MaxSupport)
+	}
+	total := uint64(1) << uint(k)
+	chunk := uint64(64)
+	if total < chunk {
+		chunk = total
+	}
+	for base := uint64(0); base < total; base += 64 {
+		for i, s := range sources {
+			eng.SetSource(s, sourceWord(i, base))
+		}
+		eng.Run()
+		fn(base, int(chunk))
+		if total <= 64 {
+			break
+		}
+	}
+	return nil
+}
+
+// PSensitized computes the exact probability, under independent uniform
+// (p=0.5) sources, that an SEU at site is visible at one or more observation
+// points. This is the quantity the EPP engine approximates.
+func PSensitized(c *netlist.Circuit, site netlist.ID) (float64, error) {
+	eng := simulate.NewEngine(c)
+	cone := graph.NewWalker(c).ForwardCone(site)
+	detected := uint64(0)
+	totalPatterns := uint64(0)
+	err := enumerate(c, eng, func(base uint64, valid int) {
+		d := eng.FaultySim(&cone)
+		if valid < 64 {
+			d &= (uint64(1) << uint(valid)) - 1
+		}
+		detected += uint64(bits.OnesCount64(d))
+		totalPatterns += uint64(valid)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return float64(detected) / float64(totalPatterns), nil
+}
+
+// PSensitizedWeighted is PSensitized with per-source bias: prob1[id] is the
+// probability of source id holding logic 1 (nil entries default to 0.5 via a
+// nil slice). Cost grows with the number of detecting patterns (k
+// multiplications each); intended for small validation circuits.
+func PSensitizedWeighted(c *netlist.Circuit, site netlist.ID, prob1 []float64) (float64, error) {
+	if prob1 == nil {
+		return PSensitized(c, site)
+	}
+	sources := c.Sources()
+	eng := simulate.NewEngine(c)
+	cone := graph.NewWalker(c).ForwardCone(site)
+	sum := 0.0
+	err := enumerate(c, eng, func(base uint64, valid int) {
+		d := eng.FaultySim(&cone)
+		if valid < 64 {
+			d &= (uint64(1) << uint(valid)) - 1
+		}
+		for d != 0 {
+			j := bits.TrailingZeros64(d)
+			d &= d - 1
+			pattern := base + uint64(j)
+			w := 1.0
+			for i, s := range sources {
+				if pattern>>uint(i)&1 == 1 {
+					w *= prob1[s]
+				} else {
+					w *= 1 - prob1[s]
+				}
+			}
+			sum += w
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sum, nil
+}
+
+// SignalProb computes the exact signal probability of every node under
+// independent uniform sources. The returned slice is indexed by node ID.
+func SignalProb(c *netlist.Circuit) ([]float64, error) {
+	eng := simulate.NewEngine(c)
+	ones := make([]uint64, c.N())
+	totalPatterns := uint64(0)
+	err := enumerate(c, eng, func(base uint64, valid int) {
+		mask := ^uint64(0)
+		if valid < 64 {
+			mask = (uint64(1) << uint(valid)) - 1
+		}
+		for id := 0; id < c.N(); id++ {
+			ones[id] += uint64(bits.OnesCount64(eng.Value(netlist.ID(id)) & mask))
+		}
+		totalPatterns += uint64(valid)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sp := make([]float64, c.N())
+	for id := range sp {
+		sp[id] = float64(ones[id]) / float64(totalPatterns)
+	}
+	return sp, nil
+}

@@ -1,0 +1,257 @@
+package exact
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+func mustParse(t *testing.T, src string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPSensitizedHandCases pins ground truth on circuits small enough to
+// reason about on paper.
+func TestPSensitizedHandCases(t *testing.T) {
+	// y = AND(a, b): flip at a observed iff b = 1 -> 1/2.
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	p, err := PSensitized(c, c.ByName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("AND side input: %v, want 0.5", p)
+	}
+	// The observed node itself: always 1.
+	p, _ = PSensitized(c, c.ByName("y"))
+	if p != 1 {
+		t.Errorf("output node: %v, want 1", p)
+	}
+
+	// 3-input AND: flip at a observed iff b=c=1 -> 1/4.
+	c = mustParse(t, "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n")
+	p, _ = PSensitized(c, c.ByName("a"))
+	if p != 0.25 {
+		t.Errorf("AND3: %v, want 0.25", p)
+	}
+
+	// XOR always propagates.
+	c = mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n")
+	p, _ = PSensitized(c, c.ByName("a"))
+	if p != 1 {
+		t.Errorf("XOR: %v, want 1", p)
+	}
+}
+
+// TestReconvergenceCancellation: y = XOR(a, a) via two branches is the
+// classic case where the error reconverges with equal polarity and cancels:
+// a flip at the stem never reaches the output.
+func TestReconvergenceCancellation(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+b1 = BUFF(a)
+b2 = BUFF(a)
+y = XOR(b1, b2)
+`)
+	p, err := PSensitized(c, c.ByName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("cancelling reconvergence: %v, want 0", p)
+	}
+}
+
+// TestOppositePolarityReconvergence: y = XOR(a, NOT(a)) is constant 1, and a
+// flip at the stem a flips both XOR inputs, so the output never changes:
+// the error is structurally masked. This is precisely the case the paper's
+// polarity tracking (a vs a̅ at the reconvergence gate) must get right.
+func TestOppositePolarityReconvergence(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+n = NOT(a)
+y = XOR(a, n)
+`)
+	p, err := PSensitized(c, c.ByName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("opposite-polarity reconvergence: %v, want 0 (masked)", p)
+	}
+}
+
+// TestPolarityDependentPropagation: y = XOR(a, AND(a, b)). A flip at a
+// reaches y through two paths whose interaction depends on b: detected iff
+// b = 0, so P = 1/2.
+func TestPolarityDependentPropagation(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g = AND(a, b)
+y = XOR(a, g)
+`)
+	p, err := PSensitized(c, c.ByName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("polarity-dependent propagation: %v, want 0.5", p)
+	}
+}
+
+// TestMultipleOutputs: with two independent observers the site is observed
+// if either propagates.
+func TestMultipleOutputs(t *testing.T) {
+	// y1 = AND(a, b), y2 = AND(a, c): observed iff b=1 or c=1 -> 3/4.
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y1)
+OUTPUT(y2)
+y1 = AND(a, b)
+y2 = AND(a, c)
+`)
+	p, err := PSensitized(c, c.ByName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.75 {
+		t.Errorf("two outputs: %v, want 0.75", p)
+	}
+}
+
+// TestWeightedMatchesUniform: weighting with p=0.5 must equal the uniform
+// path bit for bit.
+func TestWeightedMatchesUniform(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		c := gen.SmallRandom(seed + 40)
+		prob := make([]float64, c.N())
+		for i := range prob {
+			prob[i] = 0.5
+		}
+		for id := 0; id < c.N(); id += 3 {
+			u, err := PSensitized(c, netlist.ID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := PSensitizedWeighted(c, netlist.ID(id), prob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(u-w) > 1e-12 {
+				t.Fatalf("seed %d node %d: uniform %v, weighted(0.5) %v", seed, id, u, w)
+			}
+		}
+	}
+}
+
+// TestWeightedHandCase: y = AND(a, b) with P(b=1)=0.3: flip at a detected
+// with probability 0.3.
+func TestWeightedHandCase(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	prob := make([]float64, c.N())
+	prob[c.ByName("a")] = 0.5
+	prob[c.ByName("b")] = 0.3
+	p, err := PSensitizedWeighted(c, c.ByName("a"), prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.3) > 1e-12 {
+		t.Errorf("weighted AND: %v, want 0.3", p)
+	}
+}
+
+// TestSignalProbHandCase.
+func TestSignalProbHandCase(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")
+	sp, err := SignalProb(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[c.ByName("y")] != 0.75 {
+		t.Errorf("SP(NAND) = %v, want 0.75", sp[c.ByName("y")])
+	}
+	if sp[c.ByName("a")] != 0.5 {
+		t.Errorf("SP(input) = %v, want 0.5", sp[c.ByName("a")])
+	}
+}
+
+// TestSupportLimit: circuits over the enumeration limit report an error
+// instead of running forever.
+func TestSupportLimit(t *testing.T) {
+	b := netlist.NewBuilder("big")
+	var ins []netlist.ID
+	for i := 0; i < MaxSupport+1; i++ {
+		ins = append(ins, b.Input(nameN(i)))
+	}
+	y := b.And("y", ins...)
+	b.MarkOutput(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PSensitized(c, ins[0]); err == nil {
+		t.Error("over-limit circuit accepted")
+	}
+	if _, err := SignalProb(c); err == nil {
+		t.Error("over-limit circuit accepted by SignalProb")
+	}
+}
+
+func nameN(i int) string {
+	return string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+// TestFewSourceCircuit: fewer than 6 sources exercises the partial-chunk
+// masking path.
+func TestFewSourceCircuit(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	p, err := PSensitized(c, c.ByName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("inverter chain: %v, want 1", p)
+	}
+	sp, err := SignalProb(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[c.ByName("y")] != 0.5 {
+		t.Errorf("SP(y) = %v", sp[c.ByName("y")])
+	}
+}
+
+// TestSequentialBoundary: exact P_sensitized counts detection at FF D inputs
+// and does not cross the flip-flop.
+func TestSequentialBoundary(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+d = AND(a, b)
+q = DFF(d)
+z = BUFF(q)
+`)
+	// Flip at a: detected at d (FF D input) iff b=1 -> 0.5.
+	p, err := PSensitized(c, c.ByName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0.5 {
+		t.Errorf("sequential boundary: %v, want 0.5", p)
+	}
+}

@@ -1,0 +1,109 @@
+// Package faults models the raw single-event-upset rate R_SEU(n) of each
+// circuit node — the first factor of the paper's SER decomposition
+// SER(n) = R_SEU(n) × P_latched(n) × P_sensitized(n).
+//
+// The paper treats R_SEU as an input that "depends on the particle flux, the
+// energy of the particle, type and size of the gate, and the device
+// characteristics" and takes it from technology models (Shivakumar et al.,
+// DSN 2002). We do not have the authors' device data, so this package
+// implements a documented parameterized substitute: a neutron-flux ×
+// sensitive-cross-section model with per-gate-kind relative cross sections
+// scaled by drive strength (fanin count as proxy). Absolute rates are in
+// FIT (failures per 10^9 device-hours); the paper's use-case — relative node
+// ranking — is insensitive to the absolute calibration.
+package faults
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Model computes per-node SEU rates.
+type Model struct {
+	// FluxPerCm2Hour is the effective particle flux (neutrons/cm²/h at sea
+	// level ≈ 14; the default).
+	FluxPerCm2Hour float64
+	// BaseCrossSectionCm2 is the sensitive cross section of a reference
+	// minimum-size inverter in cm² (default 1e-14, a typical 130 nm-era
+	// figure).
+	BaseCrossSectionCm2 float64
+	// KindScale gives the relative sensitive area of each gate kind versus
+	// the reference inverter. Missing kinds default to 1.
+	KindScale map[logic.Kind]float64
+	// FaninScale adds this fraction of the base area per fanin beyond the
+	// first (larger gates expose more diffusion). Default 0.5.
+	FaninScale float64
+}
+
+// Default returns the documented default model (see package comment).
+func Default() Model {
+	return Model{
+		FluxPerCm2Hour:      14,
+		BaseCrossSectionCm2: 1e-14,
+		KindScale: map[logic.Kind]float64{
+			logic.Not:  1.0,
+			logic.Buf:  1.2,
+			logic.And:  1.6,
+			logic.Nand: 1.4,
+			logic.Or:   1.6,
+			logic.Nor:  1.4,
+			logic.Xor:  2.4,
+			logic.Xnor: 2.4,
+			logic.DFF:  3.0,
+		},
+		FaninScale: 0.5,
+	}
+}
+
+// Validate reports whether the model parameters are physically meaningful.
+func (m Model) Validate() error {
+	if m.FluxPerCm2Hour < 0 {
+		return fmt.Errorf("faults: negative flux %v", m.FluxPerCm2Hour)
+	}
+	if m.BaseCrossSectionCm2 < 0 {
+		return fmt.Errorf("faults: negative cross section %v", m.BaseCrossSectionCm2)
+	}
+	if m.FaninScale < 0 {
+		return fmt.Errorf("faults: negative fanin scale %v", m.FaninScale)
+	}
+	for k, s := range m.KindScale {
+		if s < 0 {
+			return fmt.Errorf("faults: negative scale for %v", k)
+		}
+	}
+	return nil
+}
+
+// RateFIT returns R_SEU for node id in FIT: upsets per 10^9 hours of
+// operation. Sources that are not physical gates (primary inputs, tie cells)
+// have rate 0 — an upset on a chip input pad is outside the model, exactly
+// as in the paper where error sites are gates.
+func (m Model) RateFIT(c *netlist.Circuit, id netlist.ID) float64 {
+	n := c.Node(id)
+	switch n.Kind {
+	case logic.Input, logic.Const0, logic.Const1:
+		return 0
+	}
+	scale := 1.0
+	if s, ok := m.KindScale[n.Kind]; ok {
+		scale = s
+	}
+	extraFanin := 0.0
+	if len(n.Fanin) > 1 {
+		extraFanin = float64(len(n.Fanin)-1) * m.FaninScale
+	}
+	area := m.BaseCrossSectionCm2 * (scale + extraFanin)
+	// upsets/hour = flux × area; FIT = upsets per 1e9 hours.
+	return m.FluxPerCm2Hour * area * 1e9
+}
+
+// RatesFIT returns the per-node rate vector, indexed by node ID.
+func (m Model) RatesFIT(c *netlist.Circuit) []float64 {
+	out := make([]float64, c.N())
+	for id := 0; id < c.N(); id++ {
+		out[id] = m.RateFIT(c, netlist.ID(id))
+	}
+	return out
+}

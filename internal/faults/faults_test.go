@@ -1,0 +1,110 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func sample(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(`
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+n = NOT(a)
+g = AND(a, b)
+w = AND(a, b, n)
+y = OR(g, w)
+q = DFF(y)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestInputsHaveZeroRate(t *testing.T) {
+	c := sample(t)
+	m := Default()
+	if r := m.RateFIT(c, c.ByName("a")); r != 0 {
+		t.Errorf("input rate = %v, want 0", r)
+	}
+}
+
+func TestGateRatesPositiveAndOrdered(t *testing.T) {
+	c := sample(t)
+	m := Default()
+	rNot := m.RateFIT(c, c.ByName("n"))
+	rAnd2 := m.RateFIT(c, c.ByName("g"))
+	rAnd3 := m.RateFIT(c, c.ByName("w"))
+	rFF := m.RateFIT(c, c.ByName("q"))
+	if rNot <= 0 || rAnd2 <= 0 || rAnd3 <= 0 || rFF <= 0 {
+		t.Fatalf("non-positive rates: %v %v %v %v", rNot, rAnd2, rAnd3, rFF)
+	}
+	// Fanin scaling: a 3-input AND exposes more area than a 2-input AND.
+	if rAnd3 <= rAnd2 {
+		t.Errorf("AND3 (%v) should exceed AND2 (%v)", rAnd3, rAnd2)
+	}
+	// The default FF cross-section dominates an inverter.
+	if rFF <= rNot {
+		t.Errorf("DFF (%v) should exceed NOT (%v)", rFF, rNot)
+	}
+}
+
+func TestRatesVectorMatchesPerNode(t *testing.T) {
+	c := sample(t)
+	m := Default()
+	v := m.RatesFIT(c)
+	for id := 0; id < c.N(); id++ {
+		if v[id] != m.RateFIT(c, netlist.ID(id)) {
+			t.Fatalf("vector/per-node mismatch at %d", id)
+		}
+	}
+}
+
+func TestRateScalesWithFlux(t *testing.T) {
+	c := sample(t)
+	m := Default()
+	base := m.RateFIT(c, c.ByName("g"))
+	m.FluxPerCm2Hour *= 3
+	got := m.RateFIT(c, c.ByName("g"))
+	if rel := (got - base*3) / (base * 3); rel > 1e-12 || rel < -1e-12 {
+		t.Errorf("rate not linear in flux: %v vs %v", got, base*3)
+	}
+}
+
+func TestUnknownKindDefaultsToUnitScale(t *testing.T) {
+	c := sample(t)
+	m := Default()
+	delete(m.KindScale, logic.And)
+	if r := m.RateFIT(c, c.ByName("g")); r <= 0 {
+		t.Errorf("missing kind scale should default to 1, got rate %v", r)
+	}
+}
+
+func TestValidateRejectsNegative(t *testing.T) {
+	m := Default()
+	m.FluxPerCm2Hour = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative flux accepted")
+	}
+	m = Default()
+	m.FaninScale = -0.5
+	if err := m.Validate(); err == nil {
+		t.Error("negative fanin scale accepted")
+	}
+	m = Default()
+	m.KindScale[logic.And] = -2
+	if err := m.Validate(); err == nil {
+		t.Error("negative kind scale accepted")
+	}
+}

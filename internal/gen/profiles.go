@@ -1,0 +1,93 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Profile records the published structural parameters of one ISCAS'89
+// benchmark circuit: the circuits evaluated in the paper's Table 2.
+type Profile struct {
+	Name  string
+	PIs   int
+	POs   int
+	FFs   int
+	Gates int
+	// Depth is the published combinational logic depth; the generator
+	// bounds the synthetic stand-in's level count by it so the topology
+	// (and hence reconvergence structure) is comparable.
+	Depth int
+}
+
+// ISCAS89 lists the eleven circuits of the paper's Table 2 with their
+// published interface/gate counts and logic depths (from the standard
+// benchmark documentation).
+var ISCAS89 = []Profile{
+	{Name: "s953", PIs: 16, POs: 23, FFs: 29, Gates: 395, Depth: 16},
+	{Name: "s1196", PIs: 14, POs: 14, FFs: 18, Gates: 529, Depth: 24},
+	{Name: "s1238", PIs: 14, POs: 14, FFs: 18, Gates: 508, Depth: 22},
+	{Name: "s1423", PIs: 17, POs: 5, FFs: 74, Gates: 657, Depth: 59},
+	{Name: "s1488", PIs: 8, POs: 19, FFs: 6, Gates: 653, Depth: 17},
+	{Name: "s1494", PIs: 8, POs: 19, FFs: 6, Gates: 647, Depth: 17},
+	{Name: "s9234", PIs: 36, POs: 39, FFs: 211, Gates: 5597, Depth: 38},
+	{Name: "s15850", PIs: 77, POs: 150, FFs: 534, Gates: 9772, Depth: 63},
+	{Name: "s35932", PIs: 35, POs: 320, FFs: 1728, Gates: 16065, Depth: 29},
+	{Name: "s38584", PIs: 38, POs: 304, FFs: 1426, Gates: 19253, Depth: 56},
+	{Name: "s38417", PIs: 28, POs: 106, FFs: 1636, Gates: 22179, Depth: 33},
+}
+
+// ProfileByName returns the ISCAS'89 profile with the given name.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range ISCAS89 {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// profileSeed fixes the generation seed per circuit so every run of the
+// harness analyzes bit-identical netlists.
+func profileSeed(name string) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// FromProfile generates the synthetic stand-in for an ISCAS'89 circuit.
+func FromProfile(p Profile) (*netlist.Circuit, error) {
+	return Random(Params{
+		Name:   p.Name,
+		Seed:   profileSeed(p.Name),
+		PIs:    p.PIs,
+		POs:    p.POs,
+		FFs:    p.FFs,
+		Gates:  p.Gates,
+		Levels: p.Depth,
+	})
+}
+
+// ByName generates the synthetic stand-in for the named ISCAS'89 circuit.
+func ByName(name string) (*netlist.Circuit, error) {
+	p, ok := ProfileByName(name)
+	if !ok {
+		return nil, fmt.Errorf("gen: unknown ISCAS'89 profile %q", name)
+	}
+	return FromProfile(p)
+}
+
+// SmallNames returns the profile names small enough for exhaustive or heavy
+// Monte Carlo treatment in tests (< 1000 gates).
+func SmallNames() []string {
+	var out []string
+	for _, p := range ISCAS89 {
+		if p.Gates < 1000 {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}

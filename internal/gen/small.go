@@ -1,0 +1,113 @@
+package gen
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// AllTreeKinds lists the multi-input gate kinds used by TreeRandom.
+func AllTreeKinds() []logic.Kind {
+	return []logic.Kind{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor}
+}
+
+// SmallRandom generates a small purely combinational circuit whose source
+// count stays within the exhaustive-enumeration limit, for property tests
+// that compare the analytical EPP engine and the Monte Carlo estimator
+// against exact ground truth. Deterministic in seed.
+func SmallRandom(seed uint64) *netlist.Circuit {
+	rng := rand.New(rand.NewPCG(seed, 0xda3e39cb94b95bdb))
+	p := Params{
+		Name:  "small",
+		Seed:  rng.Uint64(),
+		PIs:   2 + rng.IntN(8),  // 2..9 inputs: exhaustive is cheap
+		POs:   1 + rng.IntN(4),  // 1..4 outputs
+		Gates: 4 + rng.IntN(40), // 4..43 gates
+	}
+	return MustRandom(p)
+}
+
+// SmallRandomSequential is SmallRandom with a few flip-flops, for tests
+// that exercise time-frame boundaries. Sources (PIs + FFs) stay within the
+// exhaustive limit.
+func SmallRandomSequential(seed uint64) *netlist.Circuit {
+	rng := rand.New(rand.NewPCG(seed, 0xc2b2ae3d27d4eb4f))
+	p := Params{
+		Name:  "small-seq",
+		Seed:  rng.Uint64(),
+		PIs:   2 + rng.IntN(6),
+		POs:   1 + rng.IntN(3),
+		FFs:   1 + rng.IntN(4),
+		Gates: 6 + rng.IntN(40),
+	}
+	return MustRandom(p)
+}
+
+// TreeRandom generates a fanout-free (tree) circuit: every node drives at
+// most one gate, so the EPP independence assumption holds exactly and the
+// analytical result must match exhaustive enumeration to float precision.
+// The single output is the tree root. Deterministic in seed.
+func TreeRandom(seed uint64) *netlist.Circuit {
+	rng := rand.New(rand.NewPCG(seed, 0x94d049bb133111eb))
+	nLeaves := 3 + rng.IntN(8) // 3..10 primary inputs
+	b := netlist.NewBuilder("tree")
+
+	// frontier holds nodes that still have no consumer.
+	var frontier []netlist.ID
+	for i := 0; i < nLeaves; i++ {
+		frontier = append(frontier, b.Input(nameN("in", i)))
+	}
+	kinds := AllTreeKinds()
+	g := 0
+	for len(frontier) > 1 {
+		// Consume 2..min(3, len) frontier nodes into one gate.
+		take := 2
+		if len(frontier) > 2 && rng.IntN(2) == 0 {
+			take = 3
+		}
+		var ins []netlist.ID
+		for t := 0; t < take; t++ {
+			i := rng.IntN(len(frontier))
+			ins = append(ins, frontier[i])
+			frontier[i] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		}
+		kind := kinds[rng.IntN(len(kinds))]
+		id := b.Gate(kind, nameN("t", g), ins...)
+		g++
+		// Occasionally insert an inverter to exercise polarity tracking.
+		if rng.IntN(4) == 0 {
+			id = b.Not(nameN("n", g), id)
+			g++
+		}
+		frontier = append(frontier, id)
+	}
+	b.MarkOutput(frontier[0])
+	c, err := b.Build()
+	if err != nil {
+		panic("gen: TreeRandom: " + err.Error())
+	}
+	return c
+}
+
+func nameN(prefix string, i int) string {
+	// Small, allocation-light name builder.
+	buf := make([]byte, 0, len(prefix)+4)
+	buf = append(buf, prefix...)
+	if i == 0 {
+		return string(append(buf, '0'))
+	}
+	var digits [8]byte
+	d := 0
+	for i > 0 {
+		digits[d] = byte('0' + i%10)
+		i /= 10
+		d++
+	}
+	for d > 0 {
+		d--
+		buf = append(buf, digits[d])
+	}
+	return string(buf)
+}

@@ -1,0 +1,237 @@
+// Package graph implements the structural traversals the EPP method is built
+// on (paper §2, steps 1 and 2): forward cone extraction from an error site to
+// all reachable observation points via depth-first search, topological
+// ordering of the extracted cone, backward (fanin) cones, and reachability
+// utilities.
+//
+// All traversals treat D flip-flops as time-frame boundaries: propagation
+// stops at a flip-flop's D input (which is an observation point) and never
+// continues through the flip-flop's output.
+package graph
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Cone is the forward structural cone of an error site: exactly the on-path
+// signals of the paper. Every member other than the root is an on-path gate
+// (a gate with at least one on-path input).
+type Cone struct {
+	Root netlist.ID
+	// Members lists the cone's nodes in combinational topological order,
+	// starting with Root. Every analysis sweep iterates this slice.
+	Members []netlist.ID
+	// Outputs lists the observation points (POs and FF D inputs) inside the
+	// cone, i.e. the outputs reachable from Root, in topological order.
+	Outputs []netlist.ID
+	// inCone[id] reports cone membership; shared scratch, valid until the
+	// owning Walker is used for another root.
+	inCone []bool
+}
+
+// Contains reports whether node id is an on-path signal of the cone.
+func (c *Cone) Contains(id netlist.ID) bool { return c.inCone[id] }
+
+// Size returns the number of on-path signals.
+func (c *Cone) Size() int { return len(c.Members) }
+
+// Walker extracts forward cones from a fixed circuit. It keeps reusable
+// scratch so repeated extraction (the all-nodes SER loop) performs no
+// per-call allocation: the returned Cone's slices alias the Walker's scratch
+// and are invalidated by the next ForwardCone call. A Walker is not safe for
+// concurrent use; create one per goroutine.
+type Walker struct {
+	c       *netlist.Circuit
+	topoPos []int32 // topoPos[id] = position of id in c.Topo()
+	inCone  []bool
+	stack   []netlist.ID
+	touched []netlist.ID // nodes whose inCone bit is set, for O(|cone|) reset
+	counts  []int32      // per-level counting-sort scratch, reused
+	members []netlist.ID // sorted members scratch, reused
+	outputs []netlist.ID // observed members scratch, reused
+}
+
+// NewWalker returns a Walker over circuit c.
+func NewWalker(c *netlist.Circuit) *Walker {
+	topo := c.Topo()
+	pos := make([]int32, c.N())
+	for i, id := range topo {
+		pos[id] = int32(i)
+	}
+	return &Walker{
+		c:       c,
+		topoPos: pos,
+		inCone:  make([]bool, c.N()),
+	}
+}
+
+// ForwardCone extracts the on-path cone of root: all nodes reachable from
+// root through combinational gates (stopping at flip-flops), sorted in
+// topological order, together with the reachable observation points.
+// The returned Cone shares scratch with the Walker and is invalidated by the
+// next ForwardCone call.
+func (w *Walker) ForwardCone(root netlist.ID) Cone {
+	// Reset the bits touched by the previous query.
+	for _, id := range w.touched {
+		w.inCone[id] = false
+	}
+	w.touched = w.touched[:0]
+	w.stack = w.stack[:0]
+
+	c := w.c
+	w.stack = append(w.stack, root)
+	w.inCone[root] = true
+	w.touched = append(w.touched, root)
+	for len(w.stack) > 0 {
+		id := w.stack[len(w.stack)-1]
+		w.stack = w.stack[:len(w.stack)-1]
+		for _, out := range c.Node(id).Fanout {
+			if w.inCone[out] {
+				continue
+			}
+			if c.Node(out).Kind == logic.DFF {
+				continue // time-frame boundary: do not cross
+			}
+			w.inCone[out] = true
+			w.touched = append(w.touched, out)
+			w.stack = append(w.stack, out)
+		}
+	}
+
+	// Order members topologically with a counting sort on the precomputed
+	// combinational level: every gate's level strictly exceeds all of its
+	// fanins' levels, so level order is a valid topological order. This is
+	// O(|cone| + depth) and allocation-free after warm-up.
+	maxLv := 0
+	for _, id := range w.touched {
+		if lv := c.Level(id); lv > maxLv {
+			maxLv = lv
+		}
+	}
+	if cap(w.counts) < maxLv+2 {
+		w.counts = make([]int32, maxLv+2)
+	}
+	counts := w.counts[:maxLv+2]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, id := range w.touched {
+		counts[c.Level(id)+1]++
+	}
+	for lv := 1; lv < len(counts); lv++ {
+		counts[lv] += counts[lv-1]
+	}
+	if cap(w.members) < len(w.touched) {
+		w.members = make([]netlist.ID, len(w.touched))
+	}
+	w.members = w.members[:len(w.touched)]
+	for _, id := range w.touched {
+		lv := c.Level(id)
+		w.members[counts[lv]] = id
+		counts[lv]++
+	}
+	w.outputs = w.outputs[:0]
+	for _, id := range w.members {
+		if c.IsObserved(id) {
+			w.outputs = append(w.outputs, id)
+		}
+	}
+	return Cone{Root: root, Members: w.members, Outputs: w.outputs, inCone: w.inCone}
+}
+
+// TopoPos returns the position of id in the circuit's topological order.
+func (w *Walker) TopoPos(id netlist.ID) int32 { return w.topoPos[id] }
+
+// FaninCone returns the transitive fanin of node id (including id), stopping
+// at sources (PIs, FFs, tie cells), in no particular order.
+func FaninCone(c *netlist.Circuit, id netlist.ID) []netlist.ID {
+	seen := make(map[netlist.ID]bool)
+	var out []netlist.ID
+	var stack []netlist.ID
+	stack = append(stack, id)
+	seen[id] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, n)
+		if c.Node(n).IsSource() {
+			continue
+		}
+		for _, f := range c.Node(n).Fanin {
+			if !seen[f] {
+				seen[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+	return out
+}
+
+// SupportInputs returns the source nodes (PIs, FF outputs, ties) in the
+// transitive fanin of id, sorted ascending: the combinational support.
+func SupportInputs(c *netlist.Circuit, id netlist.ID) []netlist.ID {
+	var out []netlist.ID
+	for _, n := range FaninCone(c, id) {
+		if c.Node(n).IsSource() {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ReachableOutputs returns, for every node, the number of observation points
+// reachable from it. Computed with one reverse sweep per observation point's
+// cone would be quadratic; instead this runs one forward cone per node only
+// when asked — see CountReachable for the batched bitset version.
+func ReachableOutputs(c *netlist.Circuit, id netlist.ID) int {
+	w := NewWalker(c)
+	cone := w.ForwardCone(id)
+	return len(cone.Outputs)
+}
+
+// CountReachable computes, for all nodes at once, how many observation
+// points each node reaches, using a reverse topological sweep of 64-bit
+// block bitsets over the observation points. Cost O(N · |observed|/64).
+func CountReachable(c *netlist.Circuit) []int {
+	obs := c.Observed()
+	words := (len(obs) + 63) / 64
+	obsIndex := make(map[netlist.ID]int, len(obs))
+	for i, id := range obs {
+		obsIndex[id] = i
+	}
+	store := make([]uint64, c.N()*words)
+	row := func(id netlist.ID) []uint64 {
+		return store[int(id)*words : (int(id)+1)*words]
+	}
+	topo := c.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		r := row(id)
+		if k, ok := obsIndex[id]; ok {
+			r[k/64] |= 1 << (k % 64)
+		}
+		for _, out := range c.Node(id).Fanout {
+			if c.Node(out).Kind == logic.DFF {
+				continue
+			}
+			or := row(out)
+			for wd := range r {
+				r[wd] |= or[wd]
+			}
+		}
+	}
+	counts := make([]int, c.N())
+	for id := 0; id < c.N(); id++ {
+		n := 0
+		for _, wd := range row(netlist.ID(id)) {
+			n += bits.OnesCount64(wd)
+		}
+		counts[id] = n
+	}
+	return counts
+}

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// fig1 builds the circuit of the paper's Figure 1:
+//
+//	A (error site), B, C, F inputs
+//	E = NOT(A); G = AND(E, F); D = AND(A, B); H = OR(C, D, G); H is the PO.
+func fig1(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(`
+INPUT(A)
+INPUT(B)
+INPUT(C)
+INPUT(F)
+OUTPUT(H)
+E = NOT(A)
+G = AND(E, F)
+D = AND(A, B)
+H = OR(C, D, G)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestForwardConeFig1(t *testing.T) {
+	c := fig1(t)
+	w := NewWalker(c)
+	cone := w.ForwardCone(c.ByName("A"))
+
+	wantMembers := map[string]bool{"A": true, "E": true, "G": true, "D": true, "H": true}
+	if cone.Size() != len(wantMembers) {
+		t.Fatalf("cone size = %d, want %d", cone.Size(), len(wantMembers))
+	}
+	for _, id := range cone.Members {
+		if !wantMembers[c.NameOf(id)] {
+			t.Errorf("unexpected cone member %s", c.NameOf(id))
+		}
+	}
+	// Off-path inputs B, C, F are not members.
+	for _, off := range []string{"B", "C", "F"} {
+		if cone.Contains(c.ByName(off)) {
+			t.Errorf("off-path signal %s in cone", off)
+		}
+	}
+	if len(cone.Outputs) != 1 || c.NameOf(cone.Outputs[0]) != "H" {
+		t.Errorf("cone outputs = %v", cone.Outputs)
+	}
+	if cone.Members[0] != c.ByName("A") {
+		t.Errorf("cone must start at the root")
+	}
+}
+
+func TestConeTopologicalOrder(t *testing.T) {
+	c := gen.MustRandom(gen.Params{Name: "t", Seed: 42, PIs: 8, POs: 4, Gates: 120})
+	w := NewWalker(c)
+	pos := make([]int, c.N())
+	for id := 0; id < c.N(); id++ {
+		cone := w.ForwardCone(netlist.ID(id))
+		if cone.Members[0] != netlist.ID(id) {
+			t.Fatalf("cone of %d does not start at its root", id)
+		}
+		// Topological property: every on-path fanin of a member appears
+		// earlier in the member list.
+		for i, m := range cone.Members {
+			pos[m] = i
+		}
+		for i, m := range cone.Members[1:] {
+			for _, f := range c.Node(m).Fanin {
+				if cone.Contains(f) && pos[f] >= i+1 {
+					t.Fatalf("cone of %d: fanin %d of member %d appears later", id, f, m)
+				}
+			}
+		}
+		// Every non-root member must have at least one fanin inside the cone
+		// (the definition of an on-path gate).
+		for _, m := range cone.Members[1:] {
+			found := false
+			for _, f := range c.Node(m).Fanin {
+				if cone.Contains(f) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("cone member %d has no on-path fanin", m)
+			}
+		}
+	}
+}
+
+func TestConeStopsAtFlipFlops(t *testing.T) {
+	c, err := bench.ParseString(`
+INPUT(a)
+OUTPUT(z)
+d = NOT(a)
+q = DFF(d)
+z = NOT(q)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(c)
+	cone := w.ForwardCone(c.ByName("a"))
+	// Cone: a, d. Not q (FF) and not z (behind the FF).
+	if cone.Size() != 2 {
+		t.Fatalf("cone size = %d, want 2", cone.Size())
+	}
+	if cone.Contains(c.ByName("q")) || cone.Contains(c.ByName("z")) {
+		t.Error("cone crossed a flip-flop boundary")
+	}
+	// The observation point is d (the FF's D input).
+	if len(cone.Outputs) != 1 || c.NameOf(cone.Outputs[0]) != "d" {
+		t.Errorf("outputs = %v", cone.Outputs)
+	}
+}
+
+func TestWalkerReuse(t *testing.T) {
+	c := fig1(t)
+	w := NewWalker(c)
+	c1 := w.ForwardCone(c.ByName("A"))
+	size1 := c1.Size()
+	// Second query must fully reset scratch.
+	c2 := w.ForwardCone(c.ByName("C"))
+	if c2.Size() != 2 { // C and H
+		t.Fatalf("cone(C) size = %d, want 2", c2.Size())
+	}
+	c1b := w.ForwardCone(c.ByName("A"))
+	if c1b.Size() != size1 {
+		t.Fatalf("repeat cone(A) size = %d, want %d", c1b.Size(), size1)
+	}
+}
+
+func TestFaninConeAndSupport(t *testing.T) {
+	c := fig1(t)
+	sup := SupportInputs(c, c.ByName("H"))
+	if len(sup) != 4 {
+		t.Fatalf("support of H = %d inputs, want 4", len(sup))
+	}
+	supG := SupportInputs(c, c.ByName("G"))
+	names := map[string]bool{}
+	for _, id := range supG {
+		names[c.NameOf(id)] = true
+	}
+	if !names["A"] || !names["F"] || len(supG) != 2 {
+		t.Fatalf("support of G = %v", names)
+	}
+}
+
+func TestCountReachableMatchesPerNodeCones(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		c := gen.SmallRandomSequential(seed)
+		counts := CountReachable(c)
+		w := NewWalker(c)
+		for id := 0; id < c.N(); id++ {
+			cone := w.ForwardCone(netlist.ID(id))
+			if counts[id] != len(cone.Outputs) {
+				t.Fatalf("seed %d node %d: CountReachable=%d, cone outputs=%d",
+					seed, id, counts[id], len(cone.Outputs))
+			}
+		}
+	}
+}
+
+func TestReachableOutputsHelper(t *testing.T) {
+	c := fig1(t)
+	if got := ReachableOutputs(c, c.ByName("A")); got != 1 {
+		t.Errorf("ReachableOutputs(A) = %d", got)
+	}
+	if got := ReachableOutputs(c, c.ByName("H")); got != 1 {
+		t.Errorf("ReachableOutputs(H) = %d (H itself is observed)", got)
+	}
+}

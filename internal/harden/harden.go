@@ -1,0 +1,119 @@
+// Package harden applies structural soft-error hardening to a netlist: the
+// paper's concluding use-case ("identify the most vulnerable components to
+// be protected by soft error hardening techniques") made executable. The
+// transform implemented is local TMR: a selected gate is triplicated and its
+// fanout is rewired through a 2-of-3 majority voter, so a single-event upset
+// in any one replica is structurally masked.
+//
+// Hardening verification is itself a test of estimator fidelity: exhaustive
+// enumeration and fault simulation prove P_sensitized of a protected replica
+// drops to exactly 0, while the EPP approximation — which cannot see that
+// the replicas carry the same logical value — remains conservative
+// (overestimates). The test suite pins both behaviours.
+//
+// Textbook caveat, also pinned by the tests: the voter built here is itself
+// made of ordinary soft gates, and its output inherits the protected gate's
+// full observability, so counting voter gates as error sites local TMR can
+// *increase* raw circuit SER. Real designs use radiation-hardened voters;
+// evaluate that case by excluding the *_v* nodes from the SER sum.
+package harden
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TMR returns a copy of c with each selected gate triplicated and voted.
+// Selected IDs must be combinational gates (not sources, not observation
+// wiring). The voter is built from four NAND2/NAND3 gates —
+// maj(a,b,c) = NAND(NAND(a,b), NAND(b,c), NAND(a,c)) — so the transformed
+// netlist stays within ordinary gate kinds and the voter's own gates become
+// new (realistic) error sites. Node names gain _r1/_r2/_v suffixes.
+func TMR(c *netlist.Circuit, selected []netlist.ID) (*netlist.Circuit, error) {
+	sel := make(map[netlist.ID]bool, len(selected))
+	for _, id := range selected {
+		if id < 0 || int(id) >= c.N() {
+			return nil, fmt.Errorf("harden: invalid node %d", id)
+		}
+		n := c.Node(id)
+		if !n.Kind.IsGate() {
+			return nil, fmt.Errorf("harden: node %q (%v) is not a combinational gate", n.Name, n.Kind)
+		}
+		sel[id] = true
+	}
+
+	// Copy all original nodes first (IDs preserved), then append replicas
+	// and voters. Fanouts of a protected gate are rewired to its voter;
+	// the original keeps its own fanins.
+	nodes := make([]netlist.Node, c.N(), c.N()+6*len(sel))
+	for i := range nodes {
+		src := c.Node(netlist.ID(i))
+		nodes[i] = netlist.Node{
+			ID:    src.ID,
+			Name:  src.Name,
+			Kind:  src.Kind,
+			Fanin: append([]netlist.ID(nil), src.Fanin...),
+			IsPO:  src.IsPO,
+		}
+	}
+	voterOf := make(map[netlist.ID]netlist.ID, len(sel))
+	var replicas []netlist.ID
+	newNode := func(name string, kind logic.Kind, fanin ...netlist.ID) netlist.ID {
+		id := netlist.ID(len(nodes))
+		nodes = append(nodes, netlist.Node{ID: id, Name: name, Kind: kind, Fanin: fanin})
+		return id
+	}
+	for _, id := range selected {
+		if _, done := voterOf[id]; done {
+			continue
+		}
+		orig := c.Node(id)
+		r1 := newNode(orig.Name+"_r1", orig.Kind, orig.Fanin...)
+		r2 := newNode(orig.Name+"_r2", orig.Kind, orig.Fanin...)
+		replicas = append(replicas, r1, r2)
+		n1 := newNode(orig.Name+"_v1", logic.Nand, id, r1)
+		n2 := newNode(orig.Name+"_v2", logic.Nand, r1, r2)
+		n3 := newNode(orig.Name+"_v3", logic.Nand, id, r2)
+		v := newNode(orig.Name+"_v", logic.Nand, n1, n2, n3)
+		voterOf[id] = v
+	}
+
+	// Rewire: every consumer of a protected gate — original nodes AND the
+	// replicas of other protected gates (so cascaded protection still masks
+	// single faults) — reads the voter instead. Voter-internal gates keep
+	// their direct references to the three replicated copies; rewiring them
+	// would create cycles and defeat the vote.
+	rewire := func(n *netlist.Node) {
+		for j, f := range n.Fanin {
+			if v, ok := voterOf[f]; ok {
+				n.Fanin[j] = v
+			}
+		}
+	}
+	for i := 0; i < c.N(); i++ {
+		rewire(&nodes[i])
+	}
+	for _, r := range replicas {
+		rewire(&nodes[r])
+	}
+	// A protected primary output moves to the voter.
+	var pos []netlist.ID
+	for _, po := range c.POs {
+		if v, ok := voterOf[po]; ok {
+			nodes[po].IsPO = false
+			nodes[v].IsPO = true
+			pos = append(pos, v)
+		} else {
+			pos = append(pos, po)
+		}
+	}
+	pis := append([]netlist.ID(nil), c.PIs...)
+	ffs := append([]netlist.ID(nil), c.FFs...)
+	return netlist.New(c.Name+"_tmr", nodes, pis, pos, ffs)
+}
+
+// Overhead reports the gate-count cost of a TMR transform protecting k
+// gates: 2 replicas + 4 voter gates each.
+func Overhead(k int) int { return 6 * k }

@@ -1,0 +1,112 @@
+// Package latch models P_latched(n) — the probability that an erroneous
+// value present at node n is captured by a downstream flip-flop — the second
+// factor of the paper's SER decomposition.
+//
+// The model is the standard latching-window argument (Mohanram & Touba, ITC
+// 2003; Nguyen & Yagil, IRPS 2003): a transient of width W arriving at a
+// flip-flop with setup+hold window T_w is latched iff it overlaps the window,
+// which for a uniformly arriving pulse happens with probability
+// (W + T_w) / T_clk, clamped to [0, 1]. Electrical masking attenuates the
+// pulse as it propagates, modeled as a per-level retention factor applied
+// over the node's shortest structural distance to an observation point.
+package latch
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Model computes per-node latching probabilities.
+type Model struct {
+	// ClockPeriodPs is the clock period in picoseconds (default 1000 — a
+	// 1 GHz design).
+	ClockPeriodPs float64
+	// PulseWidthPs is the nominal SEU transient width at the strike site in
+	// picoseconds (default 150).
+	PulseWidthPs float64
+	// WindowPs is the flip-flop setup+hold (latching) window in picoseconds
+	// (default 30).
+	WindowPs float64
+	// AttenuationPerLevel multiplies the effective pulse width for every
+	// logic level between the node and its nearest observation point,
+	// modeling electrical masking (default 0.95; 1 disables attenuation).
+	AttenuationPerLevel float64
+}
+
+// Default returns the documented default model (see package comment).
+func Default() Model {
+	return Model{
+		ClockPeriodPs:       1000,
+		PulseWidthPs:        150,
+		WindowPs:            30,
+		AttenuationPerLevel: 0.95,
+	}
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (m Model) Validate() error {
+	if m.ClockPeriodPs <= 0 {
+		return fmt.Errorf("latch: clock period %v ps must be positive", m.ClockPeriodPs)
+	}
+	if m.PulseWidthPs < 0 || m.WindowPs < 0 {
+		return fmt.Errorf("latch: negative pulse width or window")
+	}
+	if m.AttenuationPerLevel <= 0 || m.AttenuationPerLevel > 1 {
+		return fmt.Errorf("latch: attenuation per level %v outside (0,1]", m.AttenuationPerLevel)
+	}
+	return nil
+}
+
+// Probabilities returns P_latched for every node, indexed by node ID.
+// Nodes that reach no observation point get probability 0.
+func (m Model) Probabilities(c *netlist.Circuit) []float64 {
+	dist := distanceToObserved(c)
+	out := make([]float64, c.N())
+	for id := 0; id < c.N(); id++ {
+		if dist[id] < 0 {
+			continue // unobservable
+		}
+		width := m.PulseWidthPs
+		for l := 0; l < dist[id]; l++ {
+			width *= m.AttenuationPerLevel
+		}
+		p := (width + m.WindowPs) / m.ClockPeriodPs
+		if p > 1 {
+			p = 1
+		}
+		out[id] = p
+	}
+	return out
+}
+
+// distanceToObserved returns, per node, the minimum number of gate levels
+// from the node to an observation point (0 if the node itself is observed),
+// or -1 if no observation point is reachable. Computed with one reverse
+// topological sweep; edges into flip-flops are not followed.
+func distanceToObserved(c *netlist.Circuit) []int {
+	dist := make([]int, c.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	topo := c.Topo()
+	for i := len(topo) - 1; i >= 0; i-- {
+		id := topo[i]
+		if c.IsObserved(id) {
+			dist[id] = 0
+			continue
+		}
+		best := -1
+		for _, out := range c.Node(id).Fanout {
+			if c.Node(out).Kind == logic.DFF {
+				continue
+			}
+			if d := dist[out]; d >= 0 && (best < 0 || d+1 < best) {
+				best = d + 1
+			}
+		}
+		dist[id] = best
+	}
+	return dist
+}

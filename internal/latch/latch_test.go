@@ -1,0 +1,120 @@
+package latch
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+)
+
+func chain(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	// g0 -> g1 -> g2 -> PO; dead has no path to any output.
+	c, err := bench.ParseString(`
+INPUT(a)
+OUTPUT(g2)
+g0 = NOT(a)
+g1 = NOT(g0)
+g2 = NOT(g1)
+dead = NOT(a)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+}
+
+func TestDistanceMonotoneAttenuation(t *testing.T) {
+	c := chain(t)
+	m := Default()
+	p := m.Probabilities(c)
+	g0 := p[c.ByName("g0")]
+	g1 := p[c.ByName("g1")]
+	g2 := p[c.ByName("g2")]
+	if !(g2 >= g1 && g1 >= g0) {
+		t.Errorf("attenuation not monotone along the chain: %v %v %v", g0, g1, g2)
+	}
+	if g2 != (m.PulseWidthPs+m.WindowPs)/m.ClockPeriodPs {
+		t.Errorf("observed node probability = %v", g2)
+	}
+	// Exactly one attenuation step between g1 and the PO.
+	want := (m.PulseWidthPs*m.AttenuationPerLevel + m.WindowPs) / m.ClockPeriodPs
+	if math.Abs(g1-want) > 1e-12 {
+		t.Errorf("g1 = %v, want %v", g1, want)
+	}
+}
+
+func TestUnobservableNodeZero(t *testing.T) {
+	c := chain(t)
+	p := Default().Probabilities(c)
+	if p[c.ByName("dead")] != 0 {
+		t.Errorf("unobservable node latching probability = %v", p[c.ByName("dead")])
+	}
+}
+
+func TestClampAtOne(t *testing.T) {
+	c := chain(t)
+	m := Default()
+	m.PulseWidthPs = 5000 // wider than the clock period
+	p := m.Probabilities(c)
+	if p[c.ByName("g2")] != 1 {
+		t.Errorf("probability not clamped: %v", p[c.ByName("g2")])
+	}
+}
+
+func TestNoAttenuationMode(t *testing.T) {
+	c := chain(t)
+	m := Default()
+	m.AttenuationPerLevel = 1
+	p := m.Probabilities(c)
+	if p[c.ByName("g0")] != p[c.ByName("g2")] {
+		t.Errorf("attenuation=1 should equalize: %v vs %v",
+			p[c.ByName("g0")], p[c.ByName("g2")])
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	m := Default()
+	m.ClockPeriodPs = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero clock period accepted")
+	}
+	m = Default()
+	m.AttenuationPerLevel = 1.5
+	if err := m.Validate(); err == nil {
+		t.Error("attenuation > 1 accepted")
+	}
+	m = Default()
+	m.PulseWidthPs = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative pulse width accepted")
+	}
+}
+
+func TestFFBoundaryDistance(t *testing.T) {
+	// d feeds a DFF: d is observed (distance 0); logic behind the FF does
+	// not shorten d's distance.
+	c, err := bench.ParseString(`
+INPUT(a)
+OUTPUT(z)
+d = NOT(a)
+q = DFF(d)
+z = NOT(q)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Default()
+	p := m.Probabilities(c)
+	want := (m.PulseWidthPs + m.WindowPs) / m.ClockPeriodPs
+	if p[c.ByName("d")] != want {
+		t.Errorf("FF D input probability = %v, want %v", p[c.ByName("d")], want)
+	}
+}

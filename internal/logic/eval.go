@@ -1,0 +1,152 @@
+package logic
+
+// This file provides n-ary Boolean evaluation of gate kinds over plain bools
+// and over 64-wide bit-parallel words (one simulation pattern per bit). The
+// word forms are the hot path of the Monte Carlo baseline simulator.
+
+// EvalBool evaluates gate kind k over the given fanin values. Source kinds
+// (Input, DFF) are not evaluable here; callers must supply their values
+// externally. Const0/Const1 ignore ins.
+func EvalBool(k Kind, ins []bool) bool {
+	switch k {
+	case Const0:
+		return false
+	case Const1:
+		return true
+	case Buf:
+		return ins[0]
+	case Not:
+		return !ins[0]
+	case And:
+		for _, v := range ins {
+			if !v {
+				return false
+			}
+		}
+		return true
+	case Nand:
+		for _, v := range ins {
+			if !v {
+				return true
+			}
+		}
+		return false
+	case Or:
+		for _, v := range ins {
+			if v {
+				return true
+			}
+		}
+		return false
+	case Nor:
+		for _, v := range ins {
+			if v {
+				return false
+			}
+		}
+		return true
+	case Xor:
+		p := false
+		for _, v := range ins {
+			p = p != v
+		}
+		return p
+	case Xnor:
+		p := true
+		for _, v := range ins {
+			p = p != v
+		}
+		return p
+	}
+	panic("logic: EvalBool on non-gate kind " + k.String())
+}
+
+// EvalWord evaluates gate kind k bitwise over 64 parallel patterns.
+func EvalWord(k Kind, ins []uint64) uint64 {
+	switch k {
+	case Const0:
+		return 0
+	case Const1:
+		return ^uint64(0)
+	case Buf:
+		return ins[0]
+	case Not:
+		return ^ins[0]
+	case And:
+		v := ^uint64(0)
+		for _, w := range ins {
+			v &= w
+		}
+		return v
+	case Nand:
+		v := ^uint64(0)
+		for _, w := range ins {
+			v &= w
+		}
+		return ^v
+	case Or:
+		v := uint64(0)
+		for _, w := range ins {
+			v |= w
+		}
+		return v
+	case Nor:
+		v := uint64(0)
+		for _, w := range ins {
+			v |= w
+		}
+		return ^v
+	case Xor:
+		v := uint64(0)
+		for _, w := range ins {
+			v ^= w
+		}
+		return v
+	case Xnor:
+		v := uint64(0)
+		for _, w := range ins {
+			v ^= w
+		}
+		return ^v
+	}
+	panic("logic: EvalWord on non-gate kind " + k.String())
+}
+
+// ControllingValue returns (value, ok): the input value that forces the gate
+// output regardless of other inputs, if the kind has one. AND/NAND are
+// controlled by 0, OR/NOR by 1; XOR/XNOR, Buf and Not have none.
+func ControllingValue(k Kind) (bool, bool) {
+	switch k {
+	case And, Nand:
+		return false, true
+	case Or, Nor:
+		return true, true
+	}
+	return false, false
+}
+
+// OutputInversion reports whether the kind complements its "core" function
+// (NAND vs AND, NOR vs OR, XNOR vs XOR, NOT vs BUF).
+func OutputInversion(k Kind) bool {
+	switch k {
+	case Nand, Nor, Xnor, Not:
+		return true
+	}
+	return false
+}
+
+// DeInvert maps an inverting kind to its non-inverting core (NAND→AND,
+// NOR→OR, XNOR→XOR, NOT→BUF); non-inverting kinds map to themselves.
+func DeInvert(k Kind) Kind {
+	switch k {
+	case Nand:
+		return And
+	case Nor:
+		return Or
+	case Xnor:
+		return Xor
+	case Not:
+		return Buf
+	}
+	return k
+}

@@ -1,0 +1,120 @@
+package logic
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalBoolTruthTables(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		ins  []bool
+		want bool
+	}{
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{And, []bool{true, true, true}, true},
+		{And, []bool{true, true, false}, false},
+		{Nand, []bool{true, true}, false},
+		{Nand, []bool{false, true}, true},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nor, []bool{false, false}, true},
+		{Nor, []bool{true, false}, false},
+		{Xor, []bool{true, false}, true},
+		{Xor, []bool{true, true}, false},
+		{Xor, []bool{true, true, true}, true},
+		{Xnor, []bool{true, true}, true},
+		{Xnor, []bool{true, false}, false},
+		{Not, []bool{true}, false},
+		{Not, []bool{false}, true},
+		{Buf, []bool{true}, true},
+		{And, []bool{true}, true},
+		{Or, []bool{false}, false},
+		{Const0, nil, false},
+		{Const1, nil, true},
+	}
+	for _, c := range cases {
+		if got := EvalBool(c.k, c.ins); got != c.want {
+			t.Errorf("EvalBool(%v, %v) = %v, want %v", c.k, c.ins, got, c.want)
+		}
+	}
+}
+
+// TestEvalWordMatchesBool checks the bit-parallel evaluator against the
+// scalar evaluator bit by bit for every kind and random words.
+func TestEvalWordMatchesBool(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	kinds := append(AllGateKinds(), Const0, Const1)
+	for _, k := range kinds {
+		nIn := k.MinFanin()
+		if k.MaxFanin() < 0 {
+			nIn = 1 + rng.IntN(5)
+		}
+		for trial := 0; trial < 50; trial++ {
+			words := make([]uint64, nIn)
+			for i := range words {
+				words[i] = rng.Uint64()
+			}
+			got := EvalWord(k, words)
+			for bit := 0; bit < 64; bit++ {
+				ins := make([]bool, nIn)
+				for i := range ins {
+					ins[i] = words[i]>>uint(bit)&1 == 1
+				}
+				want := EvalBool(k, ins)
+				if (got>>uint(bit)&1 == 1) != want {
+					t.Fatalf("kind %v: word eval bit %d = %v, scalar = %v (inputs %v)",
+						k, bit, !want, want, ins)
+				}
+			}
+		}
+	}
+}
+
+// TestDeMorganProperty checks NAND(xs) == NOT(AND(xs)) and the NOR dual over
+// random word inputs with testing/quick.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		ins := []uint64{a, b, c}
+		if EvalWord(Nand, ins) != ^EvalWord(And, ins) {
+			return false
+		}
+		if EvalWord(Nor, ins) != ^EvalWord(Or, ins) {
+			return false
+		}
+		if EvalWord(Xnor, ins) != ^EvalWord(Xor, ins) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestXorLinearity checks XOR's GF(2) linearity: xor(a,b,c) == xor(xor(a,b),c).
+func TestXorLinearity(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		lhs := EvalWord(Xor, []uint64{a, b, c})
+		rhs := EvalWord(Xor, []uint64{EvalWord(Xor, []uint64{a, b}), c})
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalPanicsOnSourceKinds(t *testing.T) {
+	for _, k := range []Kind{Input, DFF} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EvalBool(%v) did not panic", k)
+				}
+			}()
+			EvalBool(k, []bool{true})
+		}()
+	}
+}

@@ -1,0 +1,171 @@
+// Package logic defines the gate-level value and gate-kind algebra shared by
+// every other package in the repository: Boolean gate kinds with n-ary
+// evaluation over single bits and over 64-wide bit-parallel words, and the
+// four-valued error-propagation symbol algebra used by the EPP engine
+// (Asadi & Tahoori, DATE 2005).
+package logic
+
+import "fmt"
+
+// Kind identifies the function of a gate (or the role of a non-gate node such
+// as a primary input or a D flip-flop).
+type Kind uint8
+
+// Gate kinds. Input and DFF are "source" kinds for combinational analysis:
+// their value for the current clock cycle does not depend on any current-cycle
+// fanin. Const0/Const1 are tie cells.
+const (
+	Input  Kind = iota // primary input (no fanin)
+	DFF                // D flip-flop (one fanin: D), output is stored state
+	Buf                // buffer, one fanin
+	Not                // inverter, one fanin
+	And                // n-ary AND, n >= 1
+	Nand               // n-ary NAND, n >= 1
+	Or                 // n-ary OR, n >= 1
+	Nor                // n-ary NOR, n >= 1
+	Xor                // n-ary XOR (odd parity), n >= 1
+	Xnor               // n-ary XNOR (even parity), n >= 1
+	Const0             // constant logic 0, no fanin
+	Const1             // constant logic 1, no fanin
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	Input:  "INPUT",
+	DFF:    "DFF",
+	Buf:    "BUFF",
+	Not:    "NOT",
+	And:    "AND",
+	Nand:   "NAND",
+	Or:     "OR",
+	Nor:    "NOR",
+	Xor:    "XOR",
+	Xnor:   "XNOR",
+	Const0: "CONST0",
+	Const1: "CONST1",
+}
+
+// String returns the canonical upper-case name of the kind, matching the
+// ISCAS'89 .bench spelling where one exists (e.g. BUFF for a buffer).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Valid reports whether k is one of the defined kinds.
+func (k Kind) Valid() bool { return k < numKinds }
+
+// IsSource reports whether the node's current-cycle value is independent of
+// its current-cycle fanins (primary inputs, flip-flops, tie cells).
+func (k Kind) IsSource() bool {
+	return k == Input || k == DFF || k == Const0 || k == Const1
+}
+
+// IsGate reports whether k is a combinational gate (has fanins that determine
+// its output in the current cycle).
+func (k Kind) IsGate() bool {
+	switch k {
+	case Buf, Not, And, Nand, Or, Nor, Xor, Xnor:
+		return true
+	}
+	return false
+}
+
+// Inverting reports whether the gate kind inverts the "controlled" output
+// (NOT, NAND, NOR, XNOR). For XNOR this refers to the parity complement.
+func (k Kind) Inverting() bool {
+	return k == Not || k == Nand || k == Nor || k == Xnor
+}
+
+// MinFanin returns the minimum legal fanin count for the kind.
+func (k Kind) MinFanin() int {
+	switch k {
+	case Input, Const0, Const1:
+		return 0
+	case DFF, Buf, Not:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// MaxFanin returns the maximum legal fanin count for the kind, or -1 for
+// unbounded (n-ary gates).
+func (k Kind) MaxFanin() int {
+	switch k {
+	case Input, Const0, Const1:
+		return 0
+	case DFF, Buf, Not:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// FaninOK reports whether a fanin count n is legal for kind k.
+func (k Kind) FaninOK(n int) bool {
+	if n < k.MinFanin() {
+		return false
+	}
+	if max := k.MaxFanin(); max >= 0 && n > max {
+		return false
+	}
+	return true
+}
+
+// ParseKind maps a .bench-style gate name (case-insensitive) to a Kind.
+// Both "BUF" and "BUFF" are accepted for buffers.
+func ParseKind(s string) (Kind, bool) {
+	switch upper(s) {
+	case "INPUT":
+		return Input, true
+	case "DFF":
+		return DFF, true
+	case "BUF", "BUFF":
+		return Buf, true
+	case "NOT", "INV":
+		return Not, true
+	case "AND":
+		return And, true
+	case "NAND":
+		return Nand, true
+	case "OR":
+		return Or, true
+	case "NOR":
+		return Nor, true
+	case "XOR":
+		return Xor, true
+	case "XNOR":
+		return Xnor, true
+	case "CONST0", "GND", "TIE0":
+		return Const0, true
+	case "CONST1", "VDD", "TIE1":
+		return Const1, true
+	}
+	return 0, false
+}
+
+// upper upper-cases an ASCII string without importing strings (hot path in
+// the .bench lexer).
+func upper(s string) string {
+	b := []byte(s)
+	changed := false
+	for i := range b {
+		if b[i] >= 'a' && b[i] <= 'z' {
+			b[i] -= 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}
+
+// AllGateKinds lists the combinational gate kinds, useful for randomized
+// circuit generation and property tests.
+func AllGateKinds() []Kind {
+	return []Kind{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+}

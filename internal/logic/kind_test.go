@@ -1,0 +1,148 @@
+package logic
+
+import "testing"
+
+func TestParseKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+		ok   bool
+	}{
+		{"AND", And, true},
+		{"and", And, true},
+		{"And", And, true},
+		{"NAND", Nand, true},
+		{"OR", Or, true},
+		{"NOR", Nor, true},
+		{"NOT", Not, true},
+		{"INV", Not, true},
+		{"BUF", Buf, true},
+		{"BUFF", Buf, true},
+		{"XOR", Xor, true},
+		{"XNOR", Xnor, true},
+		{"DFF", DFF, true},
+		{"dff", DFF, true},
+		{"INPUT", Input, true},
+		{"GND", Const0, true},
+		{"VDD", Const1, true},
+		{"MUX", 0, false},
+		{"", 0, false},
+		{"ANDX", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := ParseKind(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k == Const0 || k == Const1 {
+			continue // multiple spellings; canonical name is CONSTx
+		}
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseKind(%v.String()) = %v, %v; want %v", k, got, ok, k)
+		}
+	}
+	if ParseKindMust("CONST0") != Const0 || ParseKindMust("CONST1") != Const1 {
+		t.Error("CONST0/CONST1 spellings did not round-trip")
+	}
+}
+
+// ParseKindMust is a test helper.
+func ParseKindMust(s string) Kind {
+	k, ok := ParseKind(s)
+	if !ok {
+		panic("bad kind " + s)
+	}
+	return k
+}
+
+func TestKindPredicates(t *testing.T) {
+	for _, k := range []Kind{Input, DFF, Const0, Const1} {
+		if !k.IsSource() {
+			t.Errorf("%v should be a source", k)
+		}
+		if k.IsGate() {
+			t.Errorf("%v should not be a gate", k)
+		}
+	}
+	for _, k := range AllGateKinds() {
+		if k.IsSource() {
+			t.Errorf("%v should not be a source", k)
+		}
+		if !k.IsGate() {
+			t.Errorf("%v should be a gate", k)
+		}
+	}
+}
+
+func TestFaninOK(t *testing.T) {
+	cases := []struct {
+		k  Kind
+		n  int
+		ok bool
+	}{
+		{Input, 0, true},
+		{Input, 1, false},
+		{DFF, 1, true},
+		{DFF, 0, false},
+		{DFF, 2, false},
+		{Not, 1, true},
+		{Not, 2, false},
+		{Buf, 1, true},
+		{And, 1, true},
+		{And, 2, true},
+		{And, 9, true},
+		{And, 0, false},
+		{Xor, 2, true},
+		{Const0, 0, true},
+		{Const1, 1, false},
+	}
+	for _, c := range cases {
+		if got := c.k.FaninOK(c.n); got != c.ok {
+			t.Errorf("%v.FaninOK(%d) = %v, want %v", c.k, c.n, got, c.ok)
+		}
+	}
+}
+
+func TestInvertingAndDeInvert(t *testing.T) {
+	pairs := map[Kind]Kind{
+		Nand: And,
+		Nor:  Or,
+		Xnor: Xor,
+		Not:  Buf,
+	}
+	for inv, core := range pairs {
+		if !OutputInversion(inv) {
+			t.Errorf("OutputInversion(%v) = false", inv)
+		}
+		if OutputInversion(core) {
+			t.Errorf("OutputInversion(%v) = true", core)
+		}
+		if DeInvert(inv) != core {
+			t.Errorf("DeInvert(%v) = %v, want %v", inv, DeInvert(inv), core)
+		}
+		if DeInvert(core) != core {
+			t.Errorf("DeInvert(%v) changed a non-inverting kind", core)
+		}
+	}
+}
+
+func TestControllingValue(t *testing.T) {
+	if v, ok := ControllingValue(And); !ok || v != false {
+		t.Error("AND must be controlled by 0")
+	}
+	if v, ok := ControllingValue(Nor); !ok || v != true {
+		t.Error("NOR must be controlled by 1")
+	}
+	if _, ok := ControllingValue(Xor); ok {
+		t.Error("XOR has no controlling value")
+	}
+	if _, ok := ControllingValue(Not); ok {
+		t.Error("NOT has no controlling value")
+	}
+}

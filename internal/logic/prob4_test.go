@@ -1,0 +1,239 @@
+package logic
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// randProb4 draws a random normalized four-valued state.
+func randProb4(rng *rand.Rand) Prob4 {
+	var p Prob4
+	sum := 0.0
+	for i := range p {
+		p[i] = rng.Float64()
+		sum += p[i]
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+func prob4Close(a, b Prob4, eps float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFromSP(t *testing.T) {
+	p := FromSP(0.3)
+	if p.P1() != 0.3 || p.P0() != 0.7 || p.PA() != 0 || p.PABar() != 0 {
+		t.Errorf("FromSP(0.3) = %v", p)
+	}
+	if !p.Valid(1e-12) {
+		t.Errorf("FromSP(0.3) invalid: %v", p)
+	}
+}
+
+func TestErrorSite(t *testing.T) {
+	p := ErrorSite()
+	if p.PA() != 1 || p.Sum() != 1 {
+		t.Errorf("ErrorSite() = %v", p)
+	}
+	if p.PErr() != 1 {
+		t.Errorf("ErrorSite().PErr() = %v", p.PErr())
+	}
+}
+
+func TestInvertInvolution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 100; i++ {
+		p := randProb4(rng)
+		if got := p.Invert().Invert(); !prob4Close(got, p, 0) {
+			t.Fatalf("double inversion changed state: %v -> %v", p, got)
+		}
+		inv := p.Invert()
+		if inv.PA() != p.PABar() || inv.P0() != p.P1() {
+			t.Fatalf("inversion did not swap fields: %v -> %v", p, inv)
+		}
+		if inv.PErr() != p.PErr() {
+			t.Fatalf("inversion changed PErr")
+		}
+	}
+}
+
+// TestSymbolicAlgebra pins the correlated-error algebra that makes polarity
+// tracking work at reconvergence gates.
+func TestSymbolicAlgebra(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		x, y Sym
+		want Sym
+	}{
+		// AND: a · a̅ = 0 because the two carry complementary values.
+		{And, SymA, SymABar, SymZero},
+		{And, SymA, SymA, SymA},
+		{And, SymABar, SymABar, SymABar},
+		{And, SymA, SymOne, SymA},
+		{And, SymA, SymZero, SymZero},
+		// OR: a + a̅ = 1.
+		{Or, SymA, SymABar, SymOne},
+		{Or, SymA, SymA, SymA},
+		{Or, SymA, SymZero, SymA},
+		{Or, SymABar, SymOne, SymOne},
+		// XOR: a ⊕ a = 0, a ⊕ a̅ = 1, a ⊕ 1 = a̅.
+		{Xor, SymA, SymA, SymZero},
+		{Xor, SymA, SymABar, SymOne},
+		{Xor, SymA, SymZero, SymA},
+		{Xor, SymA, SymOne, SymABar},
+		{Xor, SymABar, SymABar, SymZero},
+		{Xor, SymZero, SymOne, SymOne},
+	}
+	for _, c := range cases {
+		if got := symEval(c.k, c.x, c.y); got != c.want {
+			t.Errorf("symEval(%v, %v, %v) = %v, want %v", c.k, c.x, c.y, got, c.want)
+		}
+		// All three cores are commutative.
+		if got := symEval(c.k, c.y, c.x); got != c.want {
+			t.Errorf("symEval(%v, %v, %v) = %v, want %v (commuted)", c.k, c.y, c.x, got, c.want)
+		}
+	}
+}
+
+// TestCombine2Normalized: combining normalized states yields a normalized
+// state for every core kind.
+func TestCombine2Normalized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for _, k := range []Kind{And, Or, Xor} {
+		for i := 0; i < 200; i++ {
+			x, y := randProb4(rng), randProb4(rng)
+			out := Combine2(k, x, y)
+			if !out.Valid(1e-9) {
+				t.Fatalf("Combine2(%v, %v, %v) = %v not normalized (sum %v)",
+					k, x, y, out, out.Sum())
+			}
+		}
+	}
+}
+
+// TestCombine2MatchesPaperANDRule: the generic 4×4 enumeration must coincide
+// with the closed-form product rules of the paper's Table 1 for AND and OR.
+func TestCombine2MatchesPaperANDRule(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 500; i++ {
+		x, y := randProb4(rng), randProb4(rng)
+
+		and := Combine2(And, x, y)
+		p1 := x.P1() * y.P1()
+		pa := (x.P1()+x.PA())*(y.P1()+y.PA()) - p1
+		pab := (x.P1()+x.PABar())*(y.P1()+y.PABar()) - p1
+		want := Prob4{SymA: pa, SymABar: pab, SymZero: 1 - p1 - pa - pab, SymOne: p1}
+		if !prob4Close(and, want, 1e-12) {
+			t.Fatalf("AND mismatch: enum %v, closed form %v", and, want)
+		}
+
+		or := Combine2(Or, x, y)
+		p0 := x.P0() * y.P0()
+		pa = (x.P0()+x.PA())*(y.P0()+y.PA()) - p0
+		pab = (x.P0()+x.PABar())*(y.P0()+y.PABar()) - p0
+		wantOr := Prob4{SymA: pa, SymABar: pab, SymZero: p0, SymOne: 1 - p0 - pa - pab}
+		if !prob4Close(or, wantOr, 1e-12) {
+			t.Fatalf("OR mismatch: enum %v, closed form %v", or, wantOr)
+		}
+	}
+}
+
+// TestCombineNDuality: NAND == Invert(AND) etc. at the distribution level.
+func TestCombineNDuality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	duals := map[Kind]Kind{Nand: And, Nor: Or, Xnor: Xor}
+	for inv, core := range duals {
+		for i := 0; i < 100; i++ {
+			ins := []Prob4{randProb4(rng), randProb4(rng), randProb4(rng)}
+			a := CombineN(inv, ins)
+			b := CombineN(core, ins).Invert()
+			if !prob4Close(a, b, 1e-12) {
+				t.Fatalf("%v != Invert(%v): %v vs %v", inv, core, a, b)
+			}
+		}
+	}
+}
+
+// TestCombineNOffPathReducesToSP: with purely off-path inputs (no error
+// mass), the EPP combination must reduce to ordinary signal probability
+// propagation.
+func TestCombineNOffPathReducesToSP(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for i := 0; i < 200; i++ {
+		p, q, r := rng.Float64(), rng.Float64(), rng.Float64()
+		ins := []Prob4{FromSP(p), FromSP(q), FromSP(r)}
+
+		and := CombineN(And, ins)
+		if math.Abs(and.P1()-p*q*r) > 1e-12 || and.PErr() != 0 {
+			t.Fatalf("AND of off-path states: %v, want P1=%v", and, p*q*r)
+		}
+		or := CombineN(Or, ins)
+		want := 1 - (1-p)*(1-q)*(1-r)
+		if math.Abs(or.P1()-want) > 1e-12 || or.PErr() != 0 {
+			t.Fatalf("OR of off-path states: %v, want P1=%v", or, want)
+		}
+		xor := CombineN(Xor, ins[:2])
+		wantX := p*(1-q) + q*(1-p)
+		if math.Abs(xor.P1()-wantX) > 1e-12 {
+			t.Fatalf("XOR of off-path states: %v, want P1=%v", xor, wantX)
+		}
+	}
+}
+
+// TestErrMassConservationBuffer: a buffer/inverter chain preserves total
+// error mass.
+func TestErrMassConservationBuffer(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 100; i++ {
+		p := randProb4(rng)
+		buf := CombineN(Buf, []Prob4{p})
+		not := CombineN(Not, []Prob4{p})
+		if !prob4Close(buf, p, 0) {
+			t.Fatalf("buffer changed state")
+		}
+		if math.Abs(not.PErr()-p.PErr()) > 1e-15 {
+			t.Fatalf("inverter changed error mass")
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	p := Prob4{-1e-13, 0.5, 0.25, 0.25 + 1e-13}
+	c := p.Clamp()
+	if c[0] != 0 {
+		t.Errorf("Clamp kept tiny negative: %v", c)
+	}
+	if !c.Valid(1e-9) {
+		t.Errorf("Clamp produced invalid state: %v", c)
+	}
+}
+
+func TestProb4String(t *testing.T) {
+	p := Prob4{SymA: 0.042, SymABar: 0.392, SymZero: 0.168, SymOne: 0.398}
+	want := "0.042(a) + 0.392(a̅) + 0.168(0) + 0.398(1)"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestSymGF2RoundTrip checks the GF(2) encoding of symbols.
+func TestSymGF2RoundTrip(t *testing.T) {
+	f := func(raw uint8) bool {
+		s := Sym(raw % uint8(NumSyms))
+		e, c := symGF2(s)
+		return gf2Sym(e, c) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,261 @@
+package netlist
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Builder incrementally assembles a Circuit. Methods record errors instead of
+// failing fast; Build reports the first error encountered. A zero Builder is
+// not usable; call NewBuilder.
+type Builder struct {
+	name   string
+	nodes  []Node
+	byName map[string]ID
+	pis    []ID
+	pos    []ID
+	ffs    []ID
+	errs   []error
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]ID)}
+}
+
+// Errf records a construction error.
+func (b *Builder) Errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+func (b *Builder) add(name string, kind logic.Kind, fanin []ID) ID {
+	if name == "" {
+		b.Errf("netlist: empty node name")
+		name = fmt.Sprintf("__anon%d", len(b.nodes))
+	}
+	if _, dup := b.byName[name]; dup {
+		b.Errf("netlist: duplicate node name %q", name)
+		return b.byName[name]
+	}
+	id := ID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{ID: id, Name: name, Kind: kind, Fanin: fanin})
+	b.byName[name] = id
+	return id
+}
+
+// Input declares a primary input and returns its ID.
+func (b *Builder) Input(name string) ID {
+	id := b.add(name, logic.Input, nil)
+	b.pis = append(b.pis, id)
+	return id
+}
+
+// Const adds a tie cell driving constant v.
+func (b *Builder) Const(name string, v bool) ID {
+	k := logic.Const0
+	if v {
+		k = logic.Const1
+	}
+	return b.add(name, k, nil)
+}
+
+// Gate adds a combinational gate of the given kind driving net name.
+func (b *Builder) Gate(kind logic.Kind, name string, fanin ...ID) ID {
+	if !kind.IsGate() {
+		b.Errf("netlist: %q: kind %v is not a combinational gate", name, kind)
+	}
+	if !kind.FaninOK(len(fanin)) {
+		b.Errf("netlist: %q: %v gate with %d fanins", name, kind, len(fanin))
+	}
+	return b.add(name, kind, append([]ID(nil), fanin...))
+}
+
+// Not adds an inverter.
+func (b *Builder) Not(name string, in ID) ID { return b.Gate(logic.Not, name, in) }
+
+// Buf adds a buffer.
+func (b *Builder) Buf(name string, in ID) ID { return b.Gate(logic.Buf, name, in) }
+
+// And adds an n-ary AND gate.
+func (b *Builder) And(name string, in ...ID) ID { return b.Gate(logic.And, name, in...) }
+
+// Nand adds an n-ary NAND gate.
+func (b *Builder) Nand(name string, in ...ID) ID { return b.Gate(logic.Nand, name, in...) }
+
+// Or adds an n-ary OR gate.
+func (b *Builder) Or(name string, in ...ID) ID { return b.Gate(logic.Or, name, in...) }
+
+// Nor adds an n-ary NOR gate.
+func (b *Builder) Nor(name string, in ...ID) ID { return b.Gate(logic.Nor, name, in...) }
+
+// Xor adds an n-ary XOR gate.
+func (b *Builder) Xor(name string, in ...ID) ID { return b.Gate(logic.Xor, name, in...) }
+
+// Xnor adds an n-ary XNOR gate.
+func (b *Builder) Xnor(name string, in ...ID) ID { return b.Gate(logic.Xnor, name, in...) }
+
+// DFF adds a D flip-flop whose D input is the node d.
+func (b *Builder) DFF(name string, d ID) ID {
+	id := b.add(name, logic.DFF, []ID{d})
+	b.ffs = append(b.ffs, id)
+	return id
+}
+
+// MarkOutput declares an existing node a primary output.
+func (b *Builder) MarkOutput(id ID) {
+	if int(id) < 0 || int(id) >= len(b.nodes) {
+		b.Errf("netlist: MarkOutput: invalid id %d", id)
+		return
+	}
+	if b.nodes[id].IsPO {
+		return
+	}
+	b.nodes[id].IsPO = true
+	b.pos = append(b.pos, id)
+}
+
+// Build validates the netlist, computes fanout lists, observation points,
+// the combinational topological order and levels, and returns the immutable
+// Circuit. The Builder must not be reused after Build.
+func (b *Builder) Build() (*Circuit, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	c := &Circuit{
+		Name:   b.name,
+		Nodes:  b.nodes,
+		PIs:    b.pis,
+		POs:    b.pos,
+		FFs:    b.ffs,
+		byName: b.byName,
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	c.computeFanout()
+	c.computeObserved()
+	if err := c.computeTopo(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Circuit) validate() error {
+	if len(c.Nodes) == 0 {
+		return errors.New("netlist: empty circuit")
+	}
+	n := ID(len(c.Nodes))
+	for i := range c.Nodes {
+		node := &c.Nodes[i]
+		if !node.Kind.Valid() {
+			return fmt.Errorf("netlist: node %q: invalid kind", node.Name)
+		}
+		if !node.Kind.FaninOK(len(node.Fanin)) {
+			return fmt.Errorf("netlist: node %q: %v with %d fanins", node.Name, node.Kind, len(node.Fanin))
+		}
+		for _, f := range node.Fanin {
+			if f < 0 || f >= n {
+				return fmt.Errorf("netlist: node %q: fanin id %d out of range", node.Name, f)
+			}
+			if f == node.ID && node.Kind != logic.DFF {
+				return fmt.Errorf("netlist: node %q: combinational self-loop", node.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) computeFanout() {
+	counts := make([]int, len(c.Nodes))
+	for i := range c.Nodes {
+		for _, f := range c.Nodes[i].Fanin {
+			counts[f]++
+		}
+	}
+	for i := range c.Nodes {
+		if counts[i] > 0 {
+			c.Nodes[i].Fanout = make([]ID, 0, counts[i])
+		}
+	}
+	for i := range c.Nodes {
+		for _, f := range c.Nodes[i].Fanin {
+			c.Nodes[f].Fanout = append(c.Nodes[f].Fanout, ID(i))
+		}
+	}
+}
+
+func (c *Circuit) computeObserved() {
+	c.obsMask = make([]bool, len(c.Nodes))
+	for i := range c.Nodes {
+		if c.Nodes[i].IsPO {
+			c.obsMask[i] = true
+		}
+		if c.Nodes[i].Kind == logic.DFF {
+			// The D fanin is observable at this FF.
+			c.obsMask[c.Nodes[i].Fanin[0]] = true
+		}
+	}
+	for i := range c.Nodes {
+		if c.obsMask[i] {
+			c.observed = append(c.observed, ID(i))
+		}
+	}
+}
+
+// computeTopo builds the combinational topological order with Kahn's
+// algorithm; edges into flip-flops are not ordering constraints. A remaining
+// node indicates a combinational cycle, which is an error.
+func (c *Circuit) computeTopo() error {
+	n := len(c.Nodes)
+	indeg := make([]int32, n)
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind.IsSource() {
+			continue // sources have no current-cycle dependence
+		}
+		indeg[i] = int32(len(c.Nodes[i].Fanin))
+	}
+	order := make([]ID, 0, n)
+	queue := make([]ID, 0, n)
+	for i := range c.Nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, ID(i))
+		}
+	}
+	level := make([]int, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		node := &c.Nodes[id]
+		if node.Kind.IsGate() {
+			lv := 0
+			for _, f := range node.Fanin {
+				if level[f] >= lv {
+					lv = level[f] + 1
+				}
+			}
+			level[id] = lv
+		}
+		for _, out := range node.Fanout {
+			if c.Nodes[out].Kind.IsSource() {
+				continue
+			}
+			indeg[out]--
+			if indeg[out] == 0 {
+				queue = append(queue, out)
+			}
+		}
+	}
+	if len(order) != n {
+		for i := range c.Nodes {
+			if indeg[i] > 0 {
+				return fmt.Errorf("netlist: combinational cycle through node %q", c.Nodes[i].Name)
+			}
+		}
+	}
+	c.topo = order
+	c.level = level
+	return nil
+}

@@ -1,0 +1,96 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// ExtractCone builds a standalone circuit containing exactly the transitive
+// fanin cones of the given root nodes, stopping at sources. The roots become
+// the primary outputs of the extracted circuit; primary inputs and flip-flop
+// outputs on the cut become primary inputs (flip-flops are converted to
+// inputs because their driving logic is outside the extracted cone). Node
+// names are preserved.
+//
+// This is the standard "cone extraction" utility for debugging a single
+// output's logic or handing a slice of a large design to an exhaustive
+// analysis (package exact).
+func ExtractCone(c *Circuit, roots []ID) (*Circuit, error) {
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("netlist: ExtractCone with no roots")
+	}
+	keep := make(map[ID]bool)
+	var stack []ID
+	for _, r := range roots {
+		if r < 0 || int(r) >= c.N() {
+			return nil, fmt.Errorf("netlist: ExtractCone: invalid root %d", r)
+		}
+		if !keep[r] {
+			keep[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := c.Node(id)
+		if n.IsSource() {
+			continue // cut here; becomes an input of the extraction
+		}
+		for _, f := range n.Fanin {
+			if !keep[f] {
+				keep[f] = true
+				stack = append(stack, f)
+			}
+		}
+	}
+
+	// Deterministic node order: original ID order.
+	ids := make([]ID, 0, len(keep))
+	for id := range keep {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	remap := make(map[ID]ID, len(ids))
+	nodes := make([]Node, 0, len(ids))
+	var pis []ID
+	for _, old := range ids {
+		n := c.Node(old)
+		id := ID(len(nodes))
+		remap[old] = id
+		kind := n.Kind
+		if kind == logic.DFF || kind == logic.Input {
+			kind = logic.Input
+		}
+		nodes = append(nodes, Node{ID: id, Name: n.Name, Kind: kind})
+		if kind == logic.Input {
+			pis = append(pis, id)
+		}
+	}
+	for _, old := range ids {
+		n := c.Node(old)
+		id := remap[old]
+		if nodes[id].Kind == logic.Input {
+			continue
+		}
+		fanin := make([]ID, len(n.Fanin))
+		for i, f := range n.Fanin {
+			fanin[i] = remap[f]
+		}
+		nodes[id].Fanin = fanin
+	}
+	var pos []ID
+	seen := make(map[ID]bool)
+	for _, r := range roots {
+		id := remap[r]
+		if !seen[id] {
+			seen[id] = true
+			nodes[id].IsPO = true
+			pos = append(pos, id)
+		}
+	}
+	return New(c.Name+"_cone", nodes, pis, pos, nil)
+}

@@ -1,0 +1,135 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// extractSample: two outputs sharing logic, one FF in the fanin.
+func extractSample(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("ex")
+	a := b.Input("a")
+	x := b.Input("x")
+	ff := b.DFF("ff", a) // driven by a; inside fanin of g2
+	g1 := b.And("g1", a, x)
+	g2 := b.Or("g2", g1, ff)
+	g3 := b.Not("g3", g1)
+	b.MarkOutput(g2)
+	b.MarkOutput(g3)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExtractSingleRoot(t *testing.T) {
+	c := extractSample(t)
+	sub, err := ExtractCone(c, []ID{c.ByName("g3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g3's cone: g3, g1, a, x — no FF, no g2.
+	if sub.N() != 4 {
+		t.Fatalf("extracted %d nodes, want 4", sub.N())
+	}
+	if sub.ByName("g2") != InvalidID || sub.ByName("ff") != InvalidID {
+		t.Error("extraction leaked nodes outside the cone")
+	}
+	if len(sub.PIs) != 2 || len(sub.POs) != 1 {
+		t.Fatalf("interface: %d PIs %d POs", len(sub.PIs), len(sub.POs))
+	}
+	if !sub.Node(sub.ByName("g3")).IsPO {
+		t.Error("root not marked PO")
+	}
+	// Gate structure preserved.
+	g1 := sub.Node(sub.ByName("g1"))
+	if g1.Kind != logic.And || len(g1.Fanin) != 2 {
+		t.Errorf("g1 = %+v", g1)
+	}
+}
+
+func TestExtractConvertsFFToInput(t *testing.T) {
+	c := extractSample(t)
+	sub, err := ExtractCone(c, []ID{c.ByName("g2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := sub.ByName("ff")
+	if ff == InvalidID {
+		t.Fatal("ff missing from cone")
+	}
+	if sub.Node(ff).Kind != logic.Input {
+		t.Errorf("ff kind = %v, want Input", sub.Node(ff).Kind)
+	}
+	if len(sub.FFs) != 0 {
+		t.Errorf("extracted circuit has %d FFs", len(sub.FFs))
+	}
+	// The FF's driving logic (node a as D) must not drag in extra logic...
+	// a is already in the cone as a PI; the D edge is cut.
+	if got := len(sub.Node(ff).Fanin); got != 0 {
+		t.Errorf("converted FF kept %d fanins", got)
+	}
+}
+
+func TestExtractMultipleRoots(t *testing.T) {
+	c := extractSample(t)
+	sub, err := ExtractCone(c, []ID{c.ByName("g2"), c.ByName("g3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.POs) != 2 {
+		t.Fatalf("POs = %d", len(sub.POs))
+	}
+	// Shared node g1 appears once.
+	count := 0
+	for i := range sub.Nodes {
+		if sub.Nodes[i].Name == "g1" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("g1 duplicated %d times", count)
+	}
+}
+
+func TestExtractDuplicateRootsDeduped(t *testing.T) {
+	c := extractSample(t)
+	g2 := c.ByName("g2")
+	sub, err := ExtractCone(c, []ID{g2, g2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.POs) != 1 {
+		t.Errorf("duplicate roots produced %d POs", len(sub.POs))
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	c := extractSample(t)
+	if _, err := ExtractCone(c, nil); err == nil {
+		t.Error("no roots accepted")
+	}
+	if _, err := ExtractCone(c, []ID{999}); err == nil {
+		t.Error("invalid root accepted")
+	}
+}
+
+func TestExtractPreservesNamesAndTopo(t *testing.T) {
+	c := extractSample(t)
+	sub, err := ExtractCone(c, []ID{c.ByName("g2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The extraction is a valid circuit: topological order covers all nodes.
+	if len(sub.Topo()) != sub.N() {
+		t.Error("extraction broke topological order")
+	}
+	for i := range sub.Nodes {
+		if c.ByName(sub.Nodes[i].Name) == InvalidID {
+			t.Errorf("invented node %q", sub.Nodes[i].Name)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package netlist provides the gate-level circuit data model used throughout
+// the repository: a named, immutable directed graph of gates, primary
+// inputs, primary outputs and D flip-flops, with dense integer node IDs so
+// analyses can use slice-indexed per-node state on their hot paths.
+//
+// Circuits are constructed either programmatically through Builder or from an
+// ISCAS'89 .bench file via the bench package. After Build succeeds the
+// Circuit is immutable and safe for concurrent use by any number of analyses.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// ID is a dense node identifier: the index of the node in Circuit.Nodes.
+type ID int32
+
+// InvalidID is returned by lookups that fail.
+const InvalidID ID = -1
+
+// Node is one net of the circuit together with the gate that drives it.
+// Gate-level netlists have a 1:1 correspondence between a gate and the net it
+// drives, so a single Node models both.
+type Node struct {
+	ID     ID
+	Name   string
+	Kind   logic.Kind
+	Fanin  []ID // driver nodes of this gate's inputs, in declaration order
+	Fanout []ID // nodes that use this node as an input, sorted ascending
+	IsPO   bool // true if the net is declared a primary output
+}
+
+// IsSource reports whether the node's value in the current clock cycle is
+// independent of current-cycle fanins (primary input, flip-flop, tie cell).
+func (n *Node) IsSource() bool { return n.Kind.IsSource() }
+
+// Circuit is an immutable gate-level netlist.
+type Circuit struct {
+	Name  string
+	Nodes []Node // index == ID
+
+	PIs []ID // primary inputs, in declaration order
+	POs []ID // primary outputs, in declaration order
+	FFs []ID // D flip-flops, in declaration order
+
+	byName map[string]ID
+
+	// Derived, computed once at Build time.
+	observed []ID   // nodes observable at a latching point (PO or FF D input)
+	obsMask  []bool // obsMask[id] == node id is an observation point
+	topo     []ID   // combinational topological order (sources first)
+	level    []int  // combinational level per node (sources at 0)
+}
+
+// N returns the number of nodes.
+func (c *Circuit) N() int { return len(c.Nodes) }
+
+// Node returns the node with the given ID. The ID must be valid.
+func (c *Circuit) Node(id ID) *Node { return &c.Nodes[id] }
+
+// ByName returns the ID of the node with the given name, or InvalidID.
+func (c *Circuit) ByName(name string) ID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	return InvalidID
+}
+
+// NameOf returns the name of node id (convenience for reports).
+func (c *Circuit) NameOf(id ID) string { return c.Nodes[id].Name }
+
+// NumGates returns the number of combinational gate nodes (everything except
+// primary inputs, flip-flops and tie cells).
+func (c *Circuit) NumGates() int {
+	n := 0
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind.IsGate() {
+			n++
+		}
+	}
+	return n
+}
+
+// Sources returns the IDs of all combinational sources: primary inputs,
+// flip-flop outputs, and tie cells, in ID order.
+func (c *Circuit) Sources() []ID {
+	var out []ID
+	for i := range c.Nodes {
+		if c.Nodes[i].IsSource() {
+			out = append(out, ID(i))
+		}
+	}
+	return out
+}
+
+// Observed returns the IDs of all observation points: primary outputs plus
+// every node that feeds the D input of a flip-flop. An SEU whose effect
+// reaches an observation point with an erroneous value is considered
+// latched-visible (it will be captured subject to the latching-window model).
+// The returned slice is shared; callers must not modify it.
+func (c *Circuit) Observed() []ID { return c.observed }
+
+// IsObserved reports whether node id is an observation point.
+func (c *Circuit) IsObserved(id ID) bool { return c.obsMask[id] }
+
+// Topo returns a combinational topological order of all nodes: every source
+// (PI, FF, tie) precedes any gate, and every gate appears after all of its
+// fanins. Edges into flip-flops are not ordering constraints (the FF output
+// is prior-cycle state). The returned slice is shared; do not modify.
+func (c *Circuit) Topo() []ID { return c.topo }
+
+// Level returns the combinational level of node id: 0 for sources, and
+// 1 + max(level of fanins) for gates.
+func (c *Circuit) Level(id ID) int { return c.level[id] }
+
+// MaxLevel returns the largest combinational level in the circuit (the
+// logical depth).
+func (c *Circuit) MaxLevel() int {
+	m := 0
+	for _, l := range c.level {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// Stats summarizes the structural properties of a circuit.
+type Stats struct {
+	Name      string
+	Nodes     int
+	PIs       int
+	POs       int
+	FFs       int
+	Gates     int
+	PerKind   map[logic.Kind]int
+	MaxLevel  int
+	MaxFanin  int
+	MaxFanout int
+	Edges     int
+}
+
+// Stats computes structural statistics for the circuit.
+func (c *Circuit) Stats() Stats {
+	s := Stats{
+		Name:     c.Name,
+		Nodes:    c.N(),
+		PIs:      len(c.PIs),
+		POs:      len(c.POs),
+		FFs:      len(c.FFs),
+		PerKind:  make(map[logic.Kind]int),
+		MaxLevel: c.MaxLevel(),
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		s.PerKind[n.Kind]++
+		if n.Kind.IsGate() {
+			s.Gates++
+		}
+		if len(n.Fanin) > s.MaxFanin {
+			s.MaxFanin = len(n.Fanin)
+		}
+		if len(n.Fanout) > s.MaxFanout {
+			s.MaxFanout = len(n.Fanout)
+		}
+		s.Edges += len(n.Fanin)
+	}
+	return s
+}
+
+// String renders a one-line summary of the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d nodes (%d PI, %d PO, %d FF, %d gates), depth %d, %d edges",
+		s.Name, s.Nodes, s.PIs, s.POs, s.FFs, s.Gates, s.MaxLevel, s.Edges)
+}
+
+// Clone returns a deep copy of the circuit with independent slices. The copy
+// is immediately usable; derived structures are shared-by-value copies.
+func (c *Circuit) Clone() *Circuit {
+	cp := &Circuit{
+		Name:     c.Name,
+		Nodes:    make([]Node, len(c.Nodes)),
+		PIs:      append([]ID(nil), c.PIs...),
+		POs:      append([]ID(nil), c.POs...),
+		FFs:      append([]ID(nil), c.FFs...),
+		byName:   make(map[string]ID, len(c.byName)),
+		observed: append([]ID(nil), c.observed...),
+		obsMask:  append([]bool(nil), c.obsMask...),
+		topo:     append([]ID(nil), c.topo...),
+		level:    append([]int(nil), c.level...),
+	}
+	for i := range c.Nodes {
+		n := c.Nodes[i]
+		n.Fanin = append([]ID(nil), n.Fanin...)
+		n.Fanout = append([]ID(nil), n.Fanout...)
+		cp.Nodes[i] = n
+	}
+	for k, v := range c.byName {
+		cp.byName[k] = v
+	}
+	return cp
+}
+
+// NodesOfKind returns the IDs of all nodes with the given kind, ascending.
+func (c *Circuit) NodesOfKind(k logic.Kind) []ID {
+	var out []ID
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind == k {
+			out = append(out, ID(i))
+		}
+	}
+	return out
+}
+
+// SortedNames returns all node names sorted, mostly useful in tests.
+func (c *Circuit) SortedNames() []string {
+	names := make([]string, 0, len(c.Nodes))
+	for i := range c.Nodes {
+		names = append(names, c.Nodes[i].Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,272 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// buildSample constructs a small sequential circuit used across tests:
+//
+//	in0, in1 : inputs
+//	ff0      : DFF whose D is n_or
+//	n_and  = AND(in0, in1)
+//	n_not  = NOT(n_and)
+//	n_or   = OR(n_not, ff0)
+//	out: n_or is a primary output
+func buildSample(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("sample")
+	in0 := b.Input("in0")
+	in1 := b.Input("in1")
+	and := b.And("n_and", in0, in1)
+	not := b.Not("n_not", and)
+	// DFF forward reference: create the OR after the FF using a two-step
+	// trick — build OR first, then FF, as Builder needs existing IDs.
+	ff := b.DFF("ff0", and) // placeholder D; reassigned below via fresh build
+	or := b.Or("n_or", not, ff)
+	b.MarkOutput(or)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestBuilderBasic(t *testing.T) {
+	c := buildSample(t)
+	if c.N() != 6 {
+		t.Fatalf("N() = %d, want 6", c.N())
+	}
+	if len(c.PIs) != 2 || len(c.POs) != 1 || len(c.FFs) != 1 {
+		t.Fatalf("interface counts: %d PI %d PO %d FF", len(c.PIs), len(c.POs), len(c.FFs))
+	}
+	and := c.ByName("n_and")
+	if and == InvalidID {
+		t.Fatal("n_and not found")
+	}
+	if got := c.Node(and).Kind; got != logic.And {
+		t.Fatalf("n_and kind = %v", got)
+	}
+	if c.ByName("nope") != InvalidID {
+		t.Fatal("lookup of missing name should return InvalidID")
+	}
+}
+
+func TestFanoutComputation(t *testing.T) {
+	c := buildSample(t)
+	and := c.ByName("n_and")
+	// n_and feeds n_not and ff0.
+	fo := c.Node(and).Fanout
+	if len(fo) != 2 {
+		t.Fatalf("n_and fanout = %v, want 2 entries", fo)
+	}
+	names := map[string]bool{}
+	for _, id := range fo {
+		names[c.NameOf(id)] = true
+	}
+	if !names["n_not"] || !names["ff0"] {
+		t.Fatalf("n_and fanout names = %v", names)
+	}
+}
+
+func TestObservedPoints(t *testing.T) {
+	c := buildSample(t)
+	// Observed: n_or (PO) and n_and (feeds ff0's D).
+	obs := c.Observed()
+	if len(obs) != 2 {
+		t.Fatalf("observed = %v, want 2 entries", obs)
+	}
+	if !c.IsObserved(c.ByName("n_or")) {
+		t.Error("n_or should be observed (PO)")
+	}
+	if !c.IsObserved(c.ByName("n_and")) {
+		t.Error("n_and should be observed (feeds DFF)")
+	}
+	if c.IsObserved(c.ByName("n_not")) {
+		t.Error("n_not should not be observed")
+	}
+}
+
+func TestTopoOrderProperty(t *testing.T) {
+	c := buildSample(t)
+	pos := make(map[ID]int)
+	for i, id := range c.Topo() {
+		pos[id] = i
+	}
+	if len(pos) != c.N() {
+		t.Fatalf("topo order covers %d of %d nodes", len(pos), c.N())
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if !n.Kind.IsGate() {
+			continue
+		}
+		for _, f := range n.Fanin {
+			if pos[f] >= pos[n.ID] {
+				t.Errorf("fanin %s not before gate %s in topo order", c.NameOf(f), n.Name)
+			}
+		}
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := buildSample(t)
+	if l := c.Level(c.ByName("in0")); l != 0 {
+		t.Errorf("level(in0) = %d", l)
+	}
+	if l := c.Level(c.ByName("ff0")); l != 0 {
+		t.Errorf("level(ff0) = %d, FFs are level 0 sources", l)
+	}
+	if l := c.Level(c.ByName("n_and")); l != 1 {
+		t.Errorf("level(n_and) = %d", l)
+	}
+	if l := c.Level(c.ByName("n_not")); l != 2 {
+		t.Errorf("level(n_not) = %d", l)
+	}
+	if l := c.Level(c.ByName("n_or")); l != 3 {
+		t.Errorf("level(n_or) = %d", l)
+	}
+	if c.MaxLevel() != 3 {
+		t.Errorf("MaxLevel = %d", c.MaxLevel())
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := buildSample(t)
+	s := c.Stats()
+	if s.Gates != 3 || s.PIs != 2 || s.FFs != 1 || s.POs != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.PerKind[logic.And] != 1 || s.PerKind[logic.Or] != 1 || s.PerKind[logic.Not] != 1 {
+		t.Errorf("per-kind = %v", s.PerKind)
+	}
+	if s.MaxFanin != 2 {
+		t.Errorf("MaxFanin = %d", s.MaxFanin)
+	}
+	// Edges counts all fanin references including the DFF's D:
+	// and:2 + not:1 + ff:1 + or:2 = 6.
+	if s.Edges != 6 {
+		t.Errorf("Edges = %d, want 6", s.Edges)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	b := NewBuilder("dup")
+	in := b.Input("x")
+	b.Not("x", in) // duplicate
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestBadFaninCountRejected(t *testing.T) {
+	b := NewBuilder("bad")
+	in := b.Input("x")
+	b.Gate(logic.Not, "n", in, in) // NOT with two inputs
+	if _, err := b.Build(); err == nil {
+		t.Fatal("NOT with 2 fanins accepted")
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	// Construct a cycle through the raw constructor: a = AND(b, x), b = AND(a, x).
+	nodes := []Node{
+		{ID: 0, Name: "x", Kind: logic.Input},
+		{ID: 1, Name: "a", Kind: logic.And, Fanin: []ID{2, 0}},
+		{ID: 2, Name: "b", Kind: logic.And, Fanin: []ID{1, 0}, IsPO: true},
+	}
+	if _, err := New("cyc", nodes, []ID{0}, []ID{2}, nil); err == nil {
+		t.Fatal("combinational cycle accepted")
+	}
+}
+
+func TestSequentialLoopAllowed(t *testing.T) {
+	// A loop broken by a DFF is legal: ff = DFF(n), n = NOT(ff).
+	nodes := []Node{
+		{ID: 0, Name: "ff", Kind: logic.DFF, Fanin: []ID{1}},
+		{ID: 1, Name: "n", Kind: logic.Not, Fanin: []ID{0}, IsPO: true},
+	}
+	c, err := New("seqloop", nodes, nil, []ID{1}, []ID{0})
+	if err != nil {
+		t.Fatalf("sequential loop rejected: %v", err)
+	}
+	if c.Level(1) != 1 {
+		t.Errorf("level(n) = %d", c.Level(1))
+	}
+}
+
+func TestEmptyCircuitRejected(t *testing.T) {
+	b := NewBuilder("empty")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("empty circuit accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := buildSample(t)
+	cp := c.Clone()
+	if cp.N() != c.N() || cp.Name != c.Name {
+		t.Fatal("clone differs")
+	}
+	// Mutating the clone must not affect the original.
+	cp.Nodes[0].Name = "mutated"
+	cp.Nodes[2].Fanin[0] = 99
+	if c.Nodes[0].Name == "mutated" {
+		t.Error("clone shares node slice")
+	}
+	if c.Nodes[2].Fanin[0] == 99 {
+		t.Error("clone shares fanin slice")
+	}
+	if cp.ByName("in0") != c.ByName("in0") {
+		t.Error("clone lost name index")
+	}
+}
+
+func TestNodesOfKind(t *testing.T) {
+	c := buildSample(t)
+	ffs := c.NodesOfKind(logic.DFF)
+	if len(ffs) != 1 || c.NameOf(ffs[0]) != "ff0" {
+		t.Errorf("NodesOfKind(DFF) = %v", ffs)
+	}
+}
+
+func TestMarkOutputIdempotent(t *testing.T) {
+	b := NewBuilder("po")
+	in := b.Input("x")
+	n := b.Not("n", in)
+	b.MarkOutput(n)
+	b.MarkOutput(n)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.POs) != 1 {
+		t.Fatalf("duplicate MarkOutput produced %d POs", len(c.POs))
+	}
+}
+
+func TestMarkOutputInvalidID(t *testing.T) {
+	b := NewBuilder("po")
+	b.Input("x")
+	b.MarkOutput(42)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("invalid MarkOutput accepted")
+	}
+}
+
+func TestRawConstructorValidation(t *testing.T) {
+	// Mismatched ID.
+	nodes := []Node{{ID: 5, Name: "x", Kind: logic.Input}}
+	if _, err := New("bad", nodes, []ID{0}, nil, nil); err == nil {
+		t.Error("mismatched ID accepted")
+	}
+	// Out-of-range fanin.
+	nodes = []Node{
+		{ID: 0, Name: "x", Kind: logic.Input},
+		{ID: 1, Name: "g", Kind: logic.Not, Fanin: []ID{7}, IsPO: true},
+	}
+	if _, err := New("bad", nodes, []ID{0}, []ID{1}, nil); err == nil {
+		t.Error("out-of-range fanin accepted")
+	}
+}

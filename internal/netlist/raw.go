@@ -1,0 +1,46 @@
+package netlist
+
+import "fmt"
+
+// New constructs a Circuit from a fully prepared node list. It is the
+// low-level entry point used by netlist parsers, which need to resolve
+// forward references before any node ordering exists; most code should use
+// Builder instead.
+//
+// Requirements: nodes[i].ID == i, names are unique and non-empty, fanin IDs
+// are in range, pos lists the IDs whose IsPO flag is set, and pis/ffs list
+// the Input/DFF nodes in the desired declaration order. New validates the
+// structure, computes fanout lists, observation points, the combinational
+// topological order and levels.
+func New(name string, nodes []Node, pis, pos, ffs []ID) (*Circuit, error) {
+	byName := make(map[string]ID, len(nodes))
+	for i := range nodes {
+		if nodes[i].ID != ID(i) {
+			return nil, fmt.Errorf("netlist: node %d has ID %d", i, nodes[i].ID)
+		}
+		if nodes[i].Name == "" {
+			return nil, fmt.Errorf("netlist: node %d has empty name", i)
+		}
+		if _, dup := byName[nodes[i].Name]; dup {
+			return nil, fmt.Errorf("netlist: duplicate node name %q", nodes[i].Name)
+		}
+		byName[nodes[i].Name] = ID(i)
+	}
+	c := &Circuit{
+		Name:   name,
+		Nodes:  nodes,
+		PIs:    pis,
+		POs:    pos,
+		FFs:    ffs,
+		byName: byName,
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	c.computeFanout()
+	c.computeObserved()
+	if err := c.computeTopo(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

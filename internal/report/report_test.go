@@ -1,0 +1,103 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := NewTable("Demo", "Circuit", "Value")
+	tb.AddRow("s953", "0.354")
+	tb.AddRow("s38417", "14.180")
+	tb.AddNote("runtimes in ms")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + rule + 2 rows + note.
+	if len(lines) != 6 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Circuit") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	// Columns align: "Value" column starts at the same offset in all rows.
+	col := strings.Index(lines[1], "Value")
+	if got := strings.Index(lines[4], "14.180"); got != col {
+		t.Errorf("column misaligned: header at %d, row at %d\n%s", col, got, out)
+	}
+	if !strings.Contains(lines[5], "note: runtimes in ms") {
+		t.Errorf("note missing: %q", lines[5])
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "name", "f", "i")
+	tb.AddRowf("x", 3.14159, 42)
+	if tb.Rows[0][0] != "x" || tb.Rows[0][2] != "42" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+	if !strings.HasPrefix(tb.Rows[0][1], "3.14") {
+		t.Fatalf("float cell = %q", tb.Rows[0][1])
+	}
+}
+
+func TestCellFloatFormats(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1234567, "1.23e+06"},
+		{0.0000123, "1.23e-05"},
+		{123.456, "123.5"},
+		{0.434, "0.434"},
+	}
+	for _, c := range cases {
+		if got := Cell(c.in); got != c.want {
+			t.Errorf("Cell(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "x,y") // comma must be quoted
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := NewTable("", "h")
+	tb.AddRow("v")
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Error("empty title produced a blank line")
+	}
+}

@@ -1,0 +1,40 @@
+package seq_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/seq"
+	"repro/internal/sigprob"
+)
+
+// ExampleAnalyzer_PDetectCurve: a 2-stage pipeline delivers an error to the
+// primary output exactly two clock edges after the strike, producing a step
+// detection-latency curve.
+func ExampleAnalyzer_PDetectCurve() {
+	c, err := bench.ParseString(`
+INPUT(a)
+OUTPUT(z)
+d0 = BUFF(a)
+q0 = DFF(d0)
+q1 = DFF(q0)
+z  = BUFF(q1)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := seq.New(c, sigprob.Topological(c, sigprob.Config{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	curve := an.PDetectCurve(c.ByName("d0"), 4)
+	for k, p := range curve {
+		fmt.Printf("within %d cycle(s): %.0f\n", k+1, p)
+	}
+	// Output:
+	// within 1 cycle(s): 0
+	// within 2 cycle(s): 0
+	// within 3 cycle(s): 1
+	// within 4 cycle(s): 1
+}

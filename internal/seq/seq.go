@@ -1,0 +1,185 @@
+// Package seq extends the paper's single-cycle EPP analysis to multi-cycle
+// (sequential) error propagation: an erroneous value that is captured by
+// flip-flops at the strike cycle keeps propagating through the combinational
+// logic in subsequent cycles until it either reaches a primary output or is
+// logically masked everywhere.
+//
+// The DATE 2005 paper stops at the flip-flop boundary (P_sensitized counts
+// FF D inputs as detecting outputs); multi-cycle propagation is the
+// extension the authors pursued in their follow-up work. The model here is
+// the standard frame-unrolled approximation:
+//
+//   - One EPP sweep per error source (the original site, plus each flip-flop
+//     output) yields, per source s: pPO(s), the probability the error
+//     reaches a primary output in that frame, and cap(s → f), the
+//     probability it reaches flip-flop f's D input with either polarity.
+//
+//   - R(f, k) — the probability an error held in flip-flop f is observed at
+//     a primary output within k frames — satisfies
+//
+//     R(f, 1) = pPO(f)
+//     R(f, k) = 1 − (1 − pPO(f)) · ∏_g (1 − cap(f→g)·R(g, k−1))
+//
+//   - PDetect(site, K) composes the strike-frame sweep with R over the
+//     captured flip-flops.
+//
+// Flip-flop captures within one frame are treated as independent (the same
+// assumption the single-cycle method makes across reconvergent outputs), and
+// a captured error is assumed to be latched with certainty (combine with the
+// latch package for timing derating). Validation against the sequential
+// fault-injection simulator (simulate.Sequential) is in the test suite.
+package seq
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Analyzer computes multi-cycle detection probabilities over a fixed circuit
+// and signal probability assignment. Not safe for concurrent use.
+type Analyzer struct {
+	c    *netlist.Circuit
+	epp  *core.Analyzer
+	nFFs int
+	// ffIndex maps a DFF node ID to its dense index in sweep vectors.
+	ffIndex map[netlist.ID]int
+	ffIDs   []netlist.ID
+	// memoized per-FF single-frame sweeps.
+	ffSweep []*frameSweep
+	// rCache memoizes the converged R(·, lookahead) vectors, which are
+	// site-independent, so an all-nodes multi-cycle analysis pays the R
+	// iteration once per frame budget instead of once per site.
+	rCache map[int][]float64
+}
+
+// frameSweep is the one-frame propagation profile of an error source.
+type frameSweep struct {
+	pPO float64   // probability of reaching a primary output this frame
+	cap []float64 // per-FF-index probability of reaching that FF's D input
+}
+
+// New returns a multi-cycle analyzer using the given off-path signal
+// probabilities (as in core.New).
+func New(c *netlist.Circuit, sp []float64) (*Analyzer, error) {
+	epp, err := core.New(c, sp, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		c:       c,
+		epp:     epp,
+		nFFs:    len(c.FFs),
+		ffIndex: make(map[netlist.ID]int, len(c.FFs)),
+	}
+	a.ffIDs = append(a.ffIDs, c.FFs...)
+	for i, ff := range c.FFs {
+		a.ffIndex[ff] = i
+	}
+	a.ffSweep = make([]*frameSweep, a.nFFs)
+	a.rCache = make(map[int][]float64)
+	return a, nil
+}
+
+// rVector returns the memoized R(·, lookahead) vector: per flip-flop, the
+// probability an error held in it is observed at a primary output within
+// lookahead frames. lookahead >= 1.
+func (a *Analyzer) rVector(lookahead int) []float64 {
+	if r, ok := a.rCache[lookahead]; ok {
+		return r
+	}
+	r := make([]float64, a.nFFs)
+	if lookahead == 1 {
+		for i := 0; i < a.nFFs; i++ {
+			r[i] = a.ffProfile(i).pPO
+		}
+	} else {
+		prev := a.rVector(lookahead - 1)
+		for i := 0; i < a.nFFs; i++ {
+			fs := a.ffProfile(i)
+			miss := 1 - fs.pPO
+			for j, c := range fs.cap {
+				if c > 0 {
+					miss *= 1 - c*prev[j]
+				}
+			}
+			r[i] = 1 - miss
+		}
+	}
+	a.rCache[lookahead] = r
+	return r
+}
+
+// sweepFrom runs one single-frame EPP sweep from source and splits the
+// outcome into the PO-detection probability and per-FF capture
+// probabilities.
+func (a *Analyzer) sweepFrom(source netlist.ID) *frameSweep {
+	res := a.epp.EPP(source)
+	fs := &frameSweep{cap: make([]float64, a.nFFs)}
+	missPO := 1.0
+	for _, o := range res.Outputs {
+		perr := o.State.PErr()
+		node := a.c.Node(o.Output)
+		if node.IsPO {
+			missPO *= 1 - perr
+		}
+		// The same net may also feed one or more flip-flops.
+		for _, fo := range node.Fanout {
+			if a.c.Node(fo).Kind == logic.DFF && a.c.Node(fo).Fanin[0] == o.Output {
+				fs.cap[a.ffIndex[fo]] = perr
+			}
+		}
+	}
+	fs.pPO = 1 - missPO
+	return fs
+}
+
+// ffProfile memoizes the single-frame sweep from flip-flop index i.
+func (a *Analyzer) ffProfile(i int) *frameSweep {
+	if a.ffSweep[i] == nil {
+		a.ffSweep[i] = a.sweepFrom(a.ffIDs[i])
+	}
+	return a.ffSweep[i]
+}
+
+// PDetect returns the probability that an SEU at site is observed at a
+// primary output within frames clock cycles; frames = 1 is the strike cycle
+// only. frames must be >= 1.
+func (a *Analyzer) PDetect(site netlist.ID, frames int) float64 {
+	if frames < 1 {
+		panic(fmt.Sprintf("seq: PDetect with frames = %d", frames))
+	}
+	strike := a.sweepFrom(site)
+	if frames == 1 {
+		return strike.pPO
+	}
+	return a.compose(strike, a.rVector(frames-1))
+}
+
+// compose combines a strike-frame profile with the per-FF lookahead vector.
+func (a *Analyzer) compose(strike *frameSweep, r []float64) float64 {
+	miss := 1 - strike.pPO
+	for j, c := range strike.cap {
+		if c > 0 {
+			miss *= 1 - c*r[j]
+		}
+	}
+	return 1 - miss
+}
+
+// PDetectCurve returns PDetect(site, k) for k = 1..frames in one pass, useful
+// for plotting detection-latency curves.
+func (a *Analyzer) PDetectCurve(site netlist.ID, frames int) []float64 {
+	if frames < 1 {
+		panic(fmt.Sprintf("seq: PDetectCurve with frames = %d", frames))
+	}
+	out := make([]float64, frames)
+	strike := a.sweepFrom(site)
+	out[0] = strike.pPO
+	for k := 2; k <= frames; k++ {
+		out[k-1] = a.compose(strike, a.rVector(k-1))
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+// Package ser assembles the full soft-error-rate estimate of the paper:
+// SER(n) = R_SEU(n) × P_latched(n) × P_sensitized(n) for every circuit node,
+// with P_sensitized computed either analytically (the paper's EPP method,
+// package core) or by random simulation (the baseline, package simulate).
+// It also implements the paper's stated use-case: identifying the most
+// vulnerable components and evaluating selective hardening.
+package ser
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/latch"
+	"repro/internal/netlist"
+	"repro/internal/seq"
+	"repro/internal/sigprob"
+	"repro/internal/simulate"
+)
+
+// Method selects the P_sensitized estimator.
+type Method int
+
+const (
+	// MethodEPP is the paper's propagation-probability analysis.
+	MethodEPP Method = iota
+	// MethodMonteCarlo is the random-simulation baseline.
+	MethodMonteCarlo
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodEPP:
+		return "epp"
+	case MethodMonteCarlo:
+		return "monte-carlo"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// SPMethod selects the signal probability source feeding the EPP engine.
+type SPMethod int
+
+const (
+	// SPTopological is the fast Parker–McCluskey sweep.
+	SPTopological SPMethod = iota
+	// SPMonteCarlo is simulation-based signal probability, the accurate
+	// design-flow by-product the paper leverages (its cost is "SPT").
+	SPMonteCarlo
+)
+
+// String names the signal probability method.
+func (m SPMethod) String() string {
+	switch m {
+	case SPTopological:
+		return "topological"
+	case SPMonteCarlo:
+		return "monte-carlo"
+	}
+	return fmt.Sprintf("SPMethod(%d)", int(m))
+}
+
+// Config configures an SER estimation run.
+type Config struct {
+	Method   Method
+	SPMethod SPMethod
+	// SP configures signal probability computation (bias, vectors, seed).
+	SP sigprob.Config
+	// MC configures the Monte Carlo P_sensitized baseline (MethodMonteCarlo).
+	MC simulate.MCOptions
+	// Faults is the R_SEU model; zero value is replaced by faults.Default().
+	Faults *faults.Model
+	// Latch is the P_latched model; nil is replaced by latch.Default().
+	Latch *latch.Model
+	// Workers bounds parallelism for the EPP all-nodes sweep (0 = all cores).
+	Workers int
+	// Frames, when > 1, replaces the single-cycle P_sensitized with the
+	// multi-cycle detection probability within Frames clock cycles
+	// (primary-output observation only; errors are followed through
+	// flip-flops — the sequential extension, MethodEPP only).
+	Frames int
+}
+
+// NodeSER is the per-node soft error rate decomposition.
+type NodeSER struct {
+	ID          netlist.ID
+	Name        string
+	RateFIT     float64 // R_SEU(n), FIT
+	PLatched    float64 // P_latched(n)
+	PSensitized float64 // P_sensitized(n)
+	SERFIT      float64 // product, FIT
+}
+
+// Report is the result of a full-circuit SER estimation.
+type Report struct {
+	Circuit  string
+	Method   Method
+	Nodes    []NodeSER // indexed by node ID
+	TotalFIT float64   // sum over nodes
+}
+
+// Estimate runs the full analysis on circuit c.
+func Estimate(c *netlist.Circuit, cfg Config) (*Report, error) {
+	fm := faults.Default()
+	if cfg.Faults != nil {
+		fm = *cfg.Faults
+	}
+	lm := latch.Default()
+	if cfg.Latch != nil {
+		lm = *cfg.Latch
+	}
+	if err := fm.Validate(); err != nil {
+		return nil, err
+	}
+	if err := lm.Validate(); err != nil {
+		return nil, err
+	}
+
+	psens, err := PSensitized(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rates := fm.RatesFIT(c)
+	platch := lm.Probabilities(c)
+
+	rep := &Report{Circuit: c.Name, Method: cfg.Method, Nodes: make([]NodeSER, c.N())}
+	for id := 0; id < c.N(); id++ {
+		n := NodeSER{
+			ID:          netlist.ID(id),
+			Name:        c.NameOf(netlist.ID(id)),
+			RateFIT:     rates[id],
+			PLatched:    platch[id],
+			PSensitized: psens[id],
+		}
+		n.SERFIT = n.RateFIT * n.PLatched * n.PSensitized
+		rep.Nodes[id] = n
+		rep.TotalFIT += n.SERFIT
+	}
+	return rep, nil
+}
+
+// PSensitized computes the per-node sensitization probability vector with
+// the configured method (the expensive term; exposed separately for the
+// benchmark harness).
+func PSensitized(c *netlist.Circuit, cfg Config) ([]float64, error) {
+	switch cfg.Method {
+	case MethodEPP:
+		sp := SignalProbabilities(c, cfg)
+		if cfg.Frames > 1 {
+			sa, err := seq.New(c, sp)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, c.N())
+			for id := 0; id < c.N(); id++ {
+				out[id] = sa.PDetect(netlist.ID(id), cfg.Frames)
+			}
+			return out, nil
+		}
+		an, err := core.New(c, sp, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Workers == 1 {
+			return an.PSensitizedAll(), nil
+		}
+		results := an.AllSitesParallel(cfg.Workers)
+		out := make([]float64, c.N())
+		for id, r := range results {
+			out[id] = r.PSensitized
+		}
+		return out, nil
+	case MethodMonteCarlo:
+		mc := simulate.NewMonteCarlo(c, cfg.MC)
+		out := make([]float64, c.N())
+		for id := 0; id < c.N(); id++ {
+			out[id] = mc.EPP(netlist.ID(id)).PSensitized
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("ser: unknown method %v", cfg.Method)
+}
+
+// SignalProbabilities computes the configured signal probability vector.
+func SignalProbabilities(c *netlist.Circuit, cfg Config) []float64 {
+	if cfg.SPMethod == SPMonteCarlo {
+		return sigprob.MonteCarlo(c, cfg.SP)
+	}
+	return sigprob.Topological(c, cfg.SP)
+}
+
+// Ranked returns the nodes sorted by SER, most vulnerable first; ties break
+// by ID for determinism.
+func (r *Report) Ranked() []NodeSER {
+	out := append([]NodeSER(nil), r.Nodes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SERFIT != out[j].SERFIT {
+			return out[i].SERFIT > out[j].SERFIT
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// TopK returns the k most vulnerable nodes (fewer if the circuit is smaller).
+func (r *Report) TopK(k int) []NodeSER {
+	ranked := r.Ranked()
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	return ranked[:k]
+}
+
+// HardeningResult quantifies the effect of protecting a set of nodes.
+type HardeningResult struct {
+	Protected    []netlist.ID
+	BeforeFIT    float64
+	AfterFIT     float64
+	ReductionPct float64
+}
+
+// Harden evaluates the paper's selective-hardening use-case: protect the k
+// most vulnerable nodes (e.g. by gate upsizing or local triplication),
+// modeled as reducing their R_SEU by the given factor in [0,1] (0 = perfect
+// protection), and report the circuit-level SER reduction.
+func (r *Report) Harden(k int, residual float64) HardeningResult {
+	if residual < 0 {
+		residual = 0
+	}
+	if residual > 1 {
+		residual = 1
+	}
+	top := r.TopK(k)
+	res := HardeningResult{BeforeFIT: r.TotalFIT, AfterFIT: r.TotalFIT}
+	for _, n := range top {
+		res.Protected = append(res.Protected, n.ID)
+		res.AfterFIT -= n.SERFIT * (1 - residual)
+	}
+	if res.BeforeFIT > 0 {
+		res.ReductionPct = 100 * (res.BeforeFIT - res.AfterFIT) / res.BeforeFIT
+	}
+	return res
+}

@@ -1,0 +1,145 @@
+package sigprob
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+func mustParse(t *testing.T, src string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestTopologicalHandCases pins the Parker–McCluskey arithmetic on known
+// formulas.
+func TestTopologicalHandCases(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+INPUT(x)
+OUTPUT(y1)
+OUTPUT(y2)
+OUTPUT(y3)
+OUTPUT(y4)
+y1 = AND(a, b)
+y2 = OR(a, b)
+y3 = XOR(a, b)
+y4 = NOT(x)
+`)
+	prob := make([]float64, c.N())
+	prob[c.ByName("a")] = 0.3
+	prob[c.ByName("b")] = 0.6
+	prob[c.ByName("x")] = 0.25
+	sp := Topological(c, Config{SourceProb: prob})
+
+	check := func(name string, want float64) {
+		t.Helper()
+		if got := sp[c.ByName(name)]; math.Abs(got-want) > 1e-12 {
+			t.Errorf("SP(%s) = %v, want %v", name, got, want)
+		}
+	}
+	check("y1", 0.3*0.6)
+	check("y2", 1-0.7*0.4)
+	check("y3", 0.3*0.4+0.6*0.7)
+	check("y4", 0.75)
+}
+
+// TestTopologicalExactOnTrees: on fanout-free circuits the independence
+// assumption holds, so the sweep must equal exhaustive enumeration.
+func TestTopologicalExactOnTrees(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		c := gen.TreeRandom(seed)
+		sp := Topological(c, Config{})
+		truth, err := exact.SignalProb(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < c.N(); id++ {
+			if math.Abs(sp[id]-truth[id]) > 1e-9 {
+				t.Fatalf("seed %d node %s: topo %v, exact %v",
+					seed, c.NameOf(netlist.ID(id)), sp[id], truth[id])
+			}
+		}
+	}
+}
+
+// TestMonteCarloConvergesToExact on small general circuits (reconvergence
+// included).
+func TestMonteCarloConvergesToExact(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		c := gen.SmallRandom(seed + 20)
+		truth, err := exact.SignalProb(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc := MonteCarlo(c, Config{Vectors: 1 << 16, Seed: seed})
+		for id := 0; id < c.N(); id++ {
+			// 64k vectors: binomial sigma <= 0.002; allow 5 sigma.
+			if math.Abs(mc[id]-truth[id]) > 0.012 {
+				t.Fatalf("seed %d node %s: MC %v, exact %v",
+					seed, c.NameOf(netlist.ID(id)), mc[id], truth[id])
+			}
+		}
+	}
+}
+
+// TestMonteCarloRespectsBias.
+func TestMonteCarloRespectsBias(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	prob := make([]float64, c.N())
+	prob[c.ByName("a")] = 0.75
+	prob[c.ByName("b")] = 0.25
+	mc := MonteCarlo(c, Config{SourceProb: prob, Vectors: 1 << 16, Seed: 9})
+	if got, want := mc[c.ByName("y")], 0.75*0.25; math.Abs(got-want) > 0.01 {
+		t.Errorf("biased MC SP(y) = %v, want %v", got, want)
+	}
+}
+
+// TestConstantNodes: tie cells get probability exactly 0 / 1 in both methods.
+func TestConstantNodes(t *testing.T) {
+	b := netlist.NewBuilder("ties")
+	in := b.Input("a")
+	one := b.Const("one", true)
+	y := b.And("y", in, one)
+	b.MarkOutput(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := Topological(c, Config{})
+	if sp[one] != 1 {
+		t.Errorf("SP(const1) = %v", sp[one])
+	}
+	if sp[y] != 0.5 {
+		t.Errorf("SP(y) = %v, want 0.5", sp[y])
+	}
+}
+
+// TestDefaultSourceProbIsHalf.
+func TestDefaultSourceProbIsHalf(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nOUTPUT(y)\ny = BUFF(a)\nq = DFF(y)\n")
+	sp := Topological(c, Config{})
+	if sp[c.ByName("a")] != 0.5 || sp[c.ByName("q")] != 0.5 {
+		t.Errorf("defaults: a=%v q=%v", sp[c.ByName("a")], sp[c.ByName("q")])
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := []float64{0.1, 0.5, 0.9}
+	b := []float64{0.1, 0.4, 0.95}
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.1) > 1e-15 {
+		t.Errorf("MaxAbsDiff = %v", d)
+	}
+	if d := MaxAbsDiff(a, a); d != 0 {
+		t.Errorf("self diff = %v", d)
+	}
+}

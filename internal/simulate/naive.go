@@ -1,0 +1,107 @@
+package simulate
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Naive is the conventional random-vector fault-injection estimator of the
+// paper's era (its references [2,3,4,6]): scalar (one pattern at a time)
+// evaluation and full-circuit faulty re-simulation per vector, with no
+// bit-parallelism and no cone restriction. This is the comparator the
+// paper's Table 2 "SimT" column measures; the bit-parallel MonteCarlo type
+// in this package is our own strengthened baseline, reported separately as
+// an ablation.
+type Naive struct {
+	c      *netlist.Circuit
+	opt    MCOptions
+	good   []bool
+	faulty []bool
+	ins    []bool
+}
+
+// NewNaive returns a naive estimator for circuit c.
+func NewNaive(c *netlist.Circuit, opt MCOptions) *Naive {
+	opt.setDefaults()
+	return &Naive{
+		c:      c,
+		opt:    opt,
+		good:   make([]bool, c.N()),
+		faulty: make([]bool, c.N()),
+		ins:    make([]bool, 0, 8),
+	}
+}
+
+// EPP estimates P_sensitized for one error site with scalar random
+// simulation.
+func (n *Naive) EPP(site netlist.ID) MCResult {
+	c := n.c
+	rng := rand.New(rand.NewPCG(n.opt.Seed^(uint64(site)*0x9e3779b97f4a7c15+7), 0xd1342543de82ef95))
+	detected := 0
+	for v := 0; v < n.opt.Vectors; v++ {
+		// Draw one random assignment for every source.
+		for i := range c.Nodes {
+			if c.Nodes[i].IsSource() {
+				p := 0.5
+				if n.opt.SourceProb != nil {
+					p = n.opt.SourceProb[i]
+				}
+				n.good[i] = rng.Float64() < p
+			}
+		}
+		n.evalAll(n.good, netlist.InvalidID)
+		copySourceValues(c, n.faulty, n.good)
+		n.evalAll(n.faulty, site)
+		for _, obs := range c.Observed() {
+			if n.good[obs] != n.faulty[obs] {
+				detected++
+				break
+			}
+		}
+	}
+	p := float64(detected) / float64(n.opt.Vectors)
+	return MCResult{
+		Site:        site,
+		PSensitized: p,
+		StdErr:      math.Sqrt(p * (1 - p) / float64(n.opt.Vectors)),
+		Vectors:     n.opt.Vectors,
+		Detected:    detected,
+	}
+}
+
+// evalAll evaluates the whole circuit in topological order into vals,
+// complementing the value of flip (if valid) after computing it.
+func (n *Naive) evalAll(vals []bool, flip netlist.ID) {
+	c := n.c
+	for _, id := range c.Topo() {
+		node := c.Node(id)
+		switch node.Kind {
+		case logic.Input, logic.DFF:
+			// source value already present
+		case logic.Const0:
+			vals[id] = false
+		case logic.Const1:
+			vals[id] = true
+		default:
+			n.ins = n.ins[:0]
+			for _, f := range node.Fanin {
+				n.ins = append(n.ins, vals[f])
+			}
+			vals[id] = logic.EvalBool(node.Kind, n.ins)
+		}
+		if id == flip {
+			vals[id] = !vals[id]
+		}
+	}
+}
+
+func copySourceValues(c *netlist.Circuit, dst, src []bool) {
+	for i := range c.Nodes {
+		if c.Nodes[i].IsSource() {
+			dst[i] = src[i]
+		}
+	}
+}

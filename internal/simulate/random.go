@@ -1,0 +1,81 @@
+package simulate
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/netlist"
+)
+
+// VectorSource produces random 64-pattern source words, optionally biased so
+// that each source holds logic 1 with a configured probability. Bias is
+// realized with 16-bit dyadic precision using bit-sliced comparison, which
+// keeps generation O(16) words per source instead of 64 float draws.
+type VectorSource struct {
+	rng   *rand.Rand
+	prob1 []float64 // per node; only source entries are consulted
+}
+
+// NewVectorSource returns a generator seeded deterministically. prob1 may be
+// nil, meaning every source is unbiased (probability 0.5 of logic 1).
+func NewVectorSource(seed uint64, prob1 []float64) *VectorSource {
+	return &VectorSource{
+		rng:   rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15)),
+		prob1: prob1,
+	}
+}
+
+// Word returns a fresh 64-pattern word for source node id.
+func (v *VectorSource) Word(id netlist.ID) uint64 {
+	p := 0.5
+	if v.prob1 != nil {
+		p = v.prob1[id]
+	}
+	if p == 0.5 {
+		return v.rng.Uint64()
+	}
+	return biasedWord(v.rng, p)
+}
+
+// Fill assigns fresh random words to every source of the engine's circuit.
+func (v *VectorSource) Fill(e *Engine) {
+	c := e.Circuit()
+	for i := range c.Nodes {
+		if c.Nodes[i].IsSource() {
+			e.SetSource(netlist.ID(i), v.Word(netlist.ID(i)))
+		}
+	}
+}
+
+// biasedWord generates a word whose bits are 1 independently with probability
+// p, quantized to 16 binary digits. Construction: write p in binary as
+// 0.b1 b2 … b16; a bit is 1 iff the first random "digit word" position where
+// the random digit differs from b chooses below p. Implemented with the
+// classic bit-slice scan.
+func biasedWord(rng *rand.Rand, p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	// undecided: bits whose comparison to p is still tied.
+	undecided := ^uint64(0)
+	var result uint64
+	for i := 0; i < 16; i++ {
+		p *= 2
+		var digit uint64 // b_i replicated implicitly: 1 if p >= 1
+		if p >= 1 {
+			digit = ^uint64(0)
+			p -= 1
+		}
+		r := rng.Uint64()
+		// Random digit 0 while threshold digit 1 -> bit is 1 (below p).
+		result |= undecided & ^r & digit
+		// Still tied where random digit == threshold digit.
+		undecided &= ^(r ^ digit)
+		if undecided == 0 {
+			break
+		}
+	}
+	return result
+}

@@ -1,0 +1,233 @@
+package simulate
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+func mustParse(t *testing.T, src string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestEngineMatchesScalarEval simulates random circuits with the word engine
+// and re-evaluates every pattern bit with the scalar evaluator.
+func TestEngineMatchesScalarEval(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for seed := uint64(0); seed < 5; seed++ {
+		c := gen.SmallRandomSequential(seed)
+		eng := NewEngine(c)
+		words := make(map[netlist.ID]uint64)
+		for _, s := range c.Sources() {
+			w := rng.Uint64()
+			words[s] = w
+			eng.SetSource(s, w)
+		}
+		eng.Run()
+		for bit := uint(0); bit < 64; bit += 17 {
+			vals := make([]bool, c.N())
+			for _, id := range c.Topo() {
+				n := c.Node(id)
+				switch {
+				case n.IsSource():
+					vals[id] = words[id]>>bit&1 == 1
+				default:
+					ins := make([]bool, len(n.Fanin))
+					for i, f := range n.Fanin {
+						ins[i] = vals[f]
+					}
+					vals[id] = logic.EvalBool(n.Kind, ins)
+				}
+				if got := eng.ValueBit(id, bit); got != vals[id] {
+					t.Fatalf("seed %d node %s bit %d: engine %v, scalar %v",
+						seed, c.NameOf(id), bit, got, vals[id])
+				}
+			}
+		}
+	}
+}
+
+// TestFaultySimMatchesFullResim checks cone-limited faulty re-simulation
+// against a brute-force full re-simulation on an independent engine with the
+// fault modeled as an injected inverter.
+func TestFaultySimMatchesFullResim(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for seed := uint64(0); seed < 5; seed++ {
+		c := gen.SmallRandomSequential(seed + 10)
+		eng := NewEngine(c)
+		w := graph.NewWalker(c)
+		for trial := 0; trial < 10; trial++ {
+			words := make(map[netlist.ID]uint64)
+			for _, s := range c.Sources() {
+				wd := rng.Uint64()
+				words[s] = wd
+				eng.SetSource(s, wd)
+			}
+			eng.Run()
+			site := netlist.ID(rng.IntN(c.N()))
+			cone := w.ForwardCone(site)
+			got := eng.FaultySim(&cone)
+
+			// Brute force: full faulty evaluation of every node.
+			faulty := make([]uint64, c.N())
+			for _, id := range c.Topo() {
+				n := c.Node(id)
+				if n.IsSource() {
+					faulty[id] = words[id]
+				} else {
+					ins := make([]uint64, len(n.Fanin))
+					for i, f := range n.Fanin {
+						ins[i] = faulty[f]
+					}
+					faulty[id] = logic.EvalWord(n.Kind, ins)
+				}
+				if id == site {
+					faulty[id] = ^faulty[id]
+				}
+			}
+			var want uint64
+			for _, obs := range c.Observed() {
+				want |= faulty[obs] ^ eng.Value(obs)
+			}
+			if got != want {
+				t.Fatalf("seed %d trial %d site %d: FaultySim=%x, brute force=%x",
+					seed, trial, site, got, want)
+			}
+		}
+	}
+}
+
+// TestMonteCarloDeterminism: same seed, same estimate; different seed,
+// (almost surely) different estimate stream but close value.
+func TestMonteCarloDeterminism(t *testing.T) {
+	c := gen.SmallRandom(3)
+	site := netlist.ID(c.N() - 1)
+	a := NewMonteCarlo(c, MCOptions{Vectors: 2048, Seed: 99}).EPP(site)
+	b := NewMonteCarlo(c, MCOptions{Vectors: 2048, Seed: 99}).EPP(site)
+	if a.PSensitized != b.PSensitized || a.Detected != b.Detected {
+		t.Fatalf("same seed, different results: %v vs %v", a, b)
+	}
+}
+
+// TestMonteCarloKnownCircuit: on y = AND(site, b) with b uniform, an SEU at
+// site propagates iff b=1, so P = 0.5. Standard error bounds the check.
+func TestMonteCarloKnownCircuit(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+`)
+	mc := NewMonteCarlo(c, MCOptions{Vectors: 1 << 16, Seed: 7})
+	r := mc.EPP(c.ByName("a"))
+	if math.Abs(r.PSensitized-0.5) > 5*r.StdErr+1e-9 {
+		t.Errorf("P(a propagates) = %v ± %v, want 0.5", r.PSensitized, r.StdErr)
+	}
+	// The output node itself always propagates (it is observed).
+	r = mc.EPP(c.ByName("y"))
+	if r.PSensitized != 1 {
+		t.Errorf("P(y) = %v, want 1", r.PSensitized)
+	}
+}
+
+// TestMonteCarloUnobservableNode: a node with no path to any observation
+// point has P_sensitized exactly 0.
+func TestMonteCarloUnobservableNode(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(y)
+y = BUFF(a)
+dead = NOT(a)
+dead2 = NOT(dead)
+`)
+	mc := NewMonteCarlo(c, MCOptions{Vectors: 512, Seed: 1})
+	if r := mc.EPP(c.ByName("dead")); r.PSensitized != 0 {
+		t.Errorf("dead node P = %v", r.PSensitized)
+	}
+}
+
+// TestMonteCarloXorAlwaysPropagates: y = XOR(a, b): a flip at a always
+// flips y regardless of b.
+func TestMonteCarloXorAlwaysPropagates(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+`)
+	mc := NewMonteCarlo(c, MCOptions{Vectors: 4096, Seed: 5})
+	if r := mc.EPP(c.ByName("a")); r.PSensitized != 1 {
+		t.Errorf("XOR propagation = %v, want exactly 1", r.PSensitized)
+	}
+}
+
+// TestBiasedWordStatistics: the dyadic bias generator produces the requested
+// ones-density within Monte Carlo tolerance.
+func TestBiasedWordStatistics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	for _, p := range []float64{0, 0.125, 0.3, 0.5, 0.8125, 1} {
+		ones, total := 0, 0
+		for i := 0; i < 4096; i++ {
+			w := biasedWord(rng, p)
+			for ; w != 0; w &= w - 1 {
+				ones++
+			}
+			total += 64
+		}
+		got := float64(ones) / float64(total)
+		tol := 4 * math.Sqrt(p*(1-p)/float64(total)) // ~4 sigma
+		if math.Abs(got-p) > tol+1.0/65536 {         // + dyadic quantization
+			t.Errorf("biasedWord(%v): density %v", p, got)
+		}
+	}
+}
+
+// TestVectorSourceBias: VectorSource honours per-source probabilities.
+func TestVectorSourceBias(t *testing.T) {
+	c := mustParse(t, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+	prob := make([]float64, c.N())
+	prob[c.ByName("a")] = 1.0
+	prob[c.ByName("b")] = 0.0
+	src := NewVectorSource(1, prob)
+	eng := NewEngine(c)
+	src.Fill(eng)
+	if eng.Value(c.ByName("a")) != ^uint64(0) {
+		t.Error("p=1 source not all ones")
+	}
+	if eng.Value(c.ByName("b")) != 0 {
+		t.Error("p=0 source not all zeros")
+	}
+}
+
+// TestEngineConstants: tie cells evaluate to their constants.
+func TestEngineConstants(t *testing.T) {
+	b := netlist.NewBuilder("ties")
+	one := b.Const("one", true)
+	zero := b.Const("zero", false)
+	in := b.Input("a")
+	y := b.And("y", in, one)
+	z := b.Or("z", in, zero)
+	b.MarkOutput(y)
+	b.MarkOutput(z)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(c)
+	eng.SetSource(in, 0xF0F0)
+	eng.Run()
+	if eng.Value(y) != 0xF0F0 || eng.Value(z) != 0xF0F0 {
+		t.Errorf("constants mis-evaluated: y=%x z=%x", eng.Value(y), eng.Value(z))
+	}
+}

@@ -1,0 +1,136 @@
+package table2
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestRunSmallProfile(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Run(c, Config{MCVectors: 512, SampleNodes: 40, SPVectors: 4096, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Circuit != "s953" || row.Nodes != c.N() || row.Sampled != 40 {
+		t.Fatalf("row meta: %+v", row)
+	}
+	if row.SysTms <= 0 || row.SimTs <= 0 || row.SPTs <= 0 {
+		t.Fatalf("non-positive timings: %+v", row)
+	}
+	if row.ESP <= 0 || row.ISP <= 0 {
+		t.Fatalf("non-positive speedups: %+v", row)
+	}
+	// ESP always >= ISP (excluding a cost can only increase the speedup).
+	if row.ESP < row.ISP {
+		t.Fatalf("ESP %v < ISP %v", row.ESP, row.ISP)
+	}
+	// The reproduction target: the analytical method beats per-node random
+	// simulation by orders of magnitude; even with tiny vector counts the
+	// speedup excluding SP must be large.
+	if row.ESP < 10 {
+		t.Errorf("ESP = %v: EPP not significantly faster than random simulation", row.ESP)
+	}
+	// Accuracy within the paper's regime (Table 2 reports 3.4%-12.6%).
+	if row.DifPct > 30 {
+		t.Errorf("%%Dif = %v: accuracy far outside the paper's regime", row.DifPct)
+	}
+	t.Logf("s953: SysT=%.3fms SimT=%.3fs %%Dif=%.1f SPT=%.3fs ISP=%.0f ESP=%.0f",
+		row.SysTms, row.SimTs, row.DifPct, row.SPTs, row.ISP, row.ESP)
+}
+
+func TestSampleSites(t *testing.T) {
+	all := sampleSites(10, 0)
+	if len(all) != 10 {
+		t.Fatalf("k=0 should return all sites, got %d", len(all))
+	}
+	some := sampleSites(1000, 10)
+	if len(some) != 10 {
+		t.Fatalf("len = %d", len(some))
+	}
+	for i := 1; i < len(some); i++ {
+		if some[i] <= some[i-1] {
+			t.Fatal("sample not strictly increasing")
+		}
+	}
+	if some[len(some)-1] >= 1000 {
+		t.Fatal("sample out of range")
+	}
+	over := sampleSites(5, 10)
+	if len(over) != 5 {
+		t.Fatalf("oversample: %d", len(over))
+	}
+}
+
+func TestRenderLayout(t *testing.T) {
+	rows := []Row{
+		{Circuit: "s953", Nodes: 440, Sampled: 40, SysTms: 0.5, SimTs: 30, DifPct: 4.3, SPTs: 1.5, ISP: 15, ESP: 60000},
+		{Circuit: "s1196", Nodes: 561, Sampled: 40, SysTms: 0.8, SimTs: 55, DifPct: 3.6, SPTs: 2.1, ISP: 19, ESP: 68000},
+	}
+	var buf bytes.Buffer
+	if err := Render(rows).Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Circuit", "SysT(ms)", "SimT(s)", "%Dif", "SPT(s)", "ISP", "ESP", "s953", "average"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Average row: (4.3+3.6)/2 = 3.95.
+	if !strings.Contains(out, "3.95") {
+		t.Errorf("average %%Dif missing:\n%s", out)
+	}
+}
+
+func TestRunProfilesUnknownName(t *testing.T) {
+	if _, err := RunProfiles([]string{"sXXX"}, Config{}, nil); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+// TestRunProfilesStreamsProgress: the progress callback fires once per
+// circuit, in order, and the bit-parallel baseline path works end to end.
+func TestRunProfilesStreamsProgress(t *testing.T) {
+	var seen []string
+	rows, err := RunProfiles([]string{"s953"}, Config{
+		MCVectors: 256, SampleNodes: 10, SPVectors: 2048, Seed: 2,
+		Baseline: BaselineBitParallel, Workers: 2,
+	}, func(r Row) { seen = append(seen, r.Circuit) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(seen) != 1 || seen[0] != "s953" {
+		t.Fatalf("rows=%d seen=%v", len(rows), seen)
+	}
+	if rows[0].SimTs <= 0 {
+		t.Fatal("bit-parallel baseline produced no timing")
+	}
+}
+
+func TestBaselineString(t *testing.T) {
+	if BaselineNaive.String() != "naive" || BaselineBitParallel.String() != "bit-parallel" {
+		t.Error("Baseline names changed")
+	}
+	if Baseline(7).String() == "" {
+		t.Error("unknown Baseline must render")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.setDefaults()
+	if cfg.MCVectors != 10000 || cfg.SampleNodes != 200 || cfg.SPVectors != 100000 || cfg.Workers != 1 {
+		t.Errorf("defaults: %+v", cfg)
+	}
+	neg := Config{SampleNodes: -5}
+	neg.setDefaults()
+	if neg.SampleNodes != 200 {
+		t.Errorf("negative sample not defaulted: %d", neg.SampleNodes)
+	}
+}

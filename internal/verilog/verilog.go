@@ -1,0 +1,442 @@
+// Package verilog reads and writes the structural-Verilog netlist subset
+// that gate-level EDA flows exchange: one module per file, scalar wire/input/
+// output declarations, and primitive gate instantiations
+// (and/nand/or/nor/xor/xnor/not/buf) plus a DFF cell instance. It provides a
+// second interchange format alongside the .bench reader so netlists from
+// synthesis tools can be analyzed directly.
+//
+// Accepted grammar (a strict subset of Verilog-2001 structural netlists):
+//
+//	module name (port, port, ...);
+//	  input a, b;
+//	  output y;
+//	  wire w1, w2;
+//	  and g1 (y, a, b);        // output first, then inputs
+//	  not g2 (w1, a);
+//	  dff  r1 (q, d);          // behavioral cell: Q first, D second
+//	endmodule
+//
+// Comments (// and /* */) are stripped. The parser is hand written and
+// reports errors with line numbers.
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// ParseError describes a syntax or semantic error in Verilog source.
+type ParseError struct {
+	File string
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// gateNames maps Verilog primitive names to gate kinds.
+var gateNames = map[string]logic.Kind{
+	"and":  logic.And,
+	"nand": logic.Nand,
+	"or":   logic.Or,
+	"nor":  logic.Nor,
+	"xor":  logic.Xor,
+	"xnor": logic.Xnor,
+	"not":  logic.Not,
+	"buf":  logic.Buf,
+	"dff":  logic.DFF,
+}
+
+type token struct {
+	text string
+	line int
+}
+
+// Parse reads one structural module from r.
+func Parse(r io.Reader) (*netlist.Circuit, error) {
+	return parse(r, "<input>")
+}
+
+// ParseString parses Verilog source held in a string.
+func ParseString(src string) (*netlist.Circuit, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// ParseFile parses the Verilog file at path.
+func ParseFile(path string) (*netlist.Circuit, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f, path)
+}
+
+func parse(r io.Reader, file string) (*netlist.Circuit, error) {
+	toks, err := tokenize(r, file)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	return p.module()
+}
+
+// tokenize splits the source into identifier/punctuation tokens, stripping
+// comments.
+func tokenize(r io.Reader, file string) ([]token, error) {
+	var toks []token
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	inBlock := false
+	for sc.Scan() {
+		line++
+		s := sc.Text()
+		for len(s) > 0 {
+			if inBlock {
+				end := strings.Index(s, "*/")
+				if end < 0 {
+					s = ""
+					continue
+				}
+				s = s[end+2:]
+				inBlock = false
+				continue
+			}
+			if i := strings.Index(s, "/*"); i >= 0 {
+				head := s[:i]
+				emitTokens(head, line, &toks)
+				s = s[i+2:]
+				inBlock = true
+				continue
+			}
+			if i := strings.Index(s, "//"); i >= 0 {
+				s = s[:i]
+			}
+			emitTokens(s, line, &toks)
+			s = ""
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if inBlock {
+		return nil, &ParseError{File: file, Line: line, Msg: "unterminated block comment"}
+	}
+	return toks, nil
+}
+
+func emitTokens(s string, line int, toks *[]token) {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == ';':
+			*toks = append(*toks, token{string(c), line})
+			i++
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune(" \t\r(),;", rune(s[j])) {
+				j++
+			}
+			*toks = append(*toks, token{s[i:j], line})
+			i = j
+		}
+	}
+}
+
+type parser struct {
+	file string
+	toks []token
+	pos  int
+}
+
+func (p *parser) errf(line int, format string, args ...any) error {
+	return &ParseError{File: p.file, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, error) {
+	t, ok := p.peek()
+	if !ok {
+		last := 0
+		if len(p.toks) > 0 {
+			last = p.toks[len(p.toks)-1].line
+		}
+		return token{}, p.errf(last, "unexpected end of input")
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expect(text string) (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return t, err
+	}
+	if t.text != text {
+		return t, p.errf(t.line, "expected %q, got %q", text, t.text)
+	}
+	return t, nil
+}
+
+// identList parses "a, b, c ;" (returns names, consumes the terminator).
+func (p *parser) identList() ([]token, error) {
+	var out []token
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if !identOK(t.text) {
+			return nil, p.errf(t.line, "invalid identifier %q", t.text)
+		}
+		out = append(out, t)
+		sep, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch sep.text {
+		case ",":
+			continue
+		case ";":
+			return out, nil
+		default:
+			return nil, p.errf(sep.line, "expected ',' or ';', got %q", sep.text)
+		}
+	}
+}
+
+func identOK(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '$' || c == '[' || c == ']' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	// Keywords are not identifiers.
+	switch s {
+	case "module", "endmodule", "input", "output", "wire":
+		return false
+	}
+	return true
+}
+
+type instance struct {
+	kind logic.Kind
+	name string
+	args []token // output first
+	line int
+}
+
+// module parses the single module and builds the circuit.
+func (p *parser) module() (*netlist.Circuit, error) {
+	if _, err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	if !identOK(nameTok.text) {
+		return nil, p.errf(nameTok.line, "invalid module name %q", nameTok.text)
+	}
+	// Port list: parenthesized names (ignored beyond syntax; direction comes
+	// from the input/output declarations).
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == ")" {
+			break
+		}
+		if t.text == "," {
+			continue
+		}
+		if !identOK(t.text) {
+			return nil, p.errf(t.line, "invalid port %q", t.text)
+		}
+	}
+	if _, err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	var inputs, outputs []token
+	var insts []instance
+	declared := map[string]int{} // name -> declaration line (wires + ports)
+
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.text {
+		case "endmodule":
+			return p.build(nameTok.text, inputs, outputs, insts, declared)
+		case "input":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, names...)
+			for _, n := range names {
+				declared[n.text] = n.line
+			}
+		case "output":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			outputs = append(outputs, names...)
+			for _, n := range names {
+				declared[n.text] = n.line
+			}
+		case "wire":
+			names, err := p.identList()
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range names {
+				declared[n.text] = n.line
+			}
+		default:
+			kind, ok := gateNames[t.text]
+			if !ok {
+				return nil, p.errf(t.line, "unknown statement or cell %q", t.text)
+			}
+			inst, err := p.instance(kind, t.line)
+			if err != nil {
+				return nil, err
+			}
+			insts = append(insts, inst)
+		}
+	}
+}
+
+// instance parses "name (out, in, ...);" after the cell keyword.
+func (p *parser) instance(kind logic.Kind, line int) (instance, error) {
+	nameTok, err := p.next()
+	if err != nil {
+		return instance{}, err
+	}
+	if !identOK(nameTok.text) {
+		return instance{}, p.errf(nameTok.line, "invalid instance name %q", nameTok.text)
+	}
+	if _, err := p.expect("("); err != nil {
+		return instance{}, err
+	}
+	var args []token
+	for {
+		t, err := p.next()
+		if err != nil {
+			return instance{}, err
+		}
+		if t.text == ")" {
+			break
+		}
+		if t.text == "," {
+			continue
+		}
+		if !identOK(t.text) {
+			return instance{}, p.errf(t.line, "invalid net %q", t.text)
+		}
+		args = append(args, t)
+	}
+	if _, err := p.expect(";"); err != nil {
+		return instance{}, err
+	}
+	if len(args) < 2 {
+		return instance{}, p.errf(line, "cell %q needs an output and at least one input", nameTok.text)
+	}
+	if !kind.FaninOK(len(args) - 1) {
+		return instance{}, p.errf(line, "%v cell %q with %d inputs", kind, nameTok.text, len(args)-1)
+	}
+	return instance{kind: kind, name: nameTok.text, args: args, line: line}, nil
+}
+
+// build resolves nets and constructs the circuit.
+func (p *parser) build(name string, inputs, outputs []token, insts []instance, declared map[string]int) (*netlist.Circuit, error) {
+	ids := make(map[string]netlist.ID)
+	var nodes []netlist.Node
+	var pis, pos, ffs []netlist.ID
+
+	for _, in := range inputs {
+		if _, dup := ids[in.text]; dup {
+			return nil, p.errf(in.line, "input %q declared twice", in.text)
+		}
+		id := netlist.ID(len(nodes))
+		nodes = append(nodes, netlist.Node{ID: id, Name: in.text, Kind: logic.Input})
+		ids[in.text] = id
+		pis = append(pis, id)
+	}
+	// Driven nets: one node per instance output.
+	for _, inst := range insts {
+		out := inst.args[0]
+		if _, dup := ids[out.text]; dup {
+			return nil, p.errf(out.line, "net %q has multiple drivers", out.text)
+		}
+		if _, ok := declared[out.text]; !ok {
+			return nil, p.errf(out.line, "net %q not declared", out.text)
+		}
+		id := netlist.ID(len(nodes))
+		nodes = append(nodes, netlist.Node{ID: id, Name: out.text, Kind: inst.kind})
+		ids[out.text] = id
+		if inst.kind == logic.DFF {
+			ffs = append(ffs, id)
+		}
+	}
+	// Resolve fanins.
+	for _, inst := range insts {
+		id := ids[inst.args[0].text]
+		fanin := make([]netlist.ID, 0, len(inst.args)-1)
+		for _, a := range inst.args[1:] {
+			f, ok := ids[a.text]
+			if !ok {
+				if _, wasDeclared := declared[a.text]; wasDeclared {
+					return nil, p.errf(a.line, "net %q is never driven", a.text)
+				}
+				return nil, p.errf(a.line, "net %q not declared", a.text)
+			}
+			fanin = append(fanin, f)
+		}
+		nodes[id].Fanin = fanin
+	}
+	// Primary outputs.
+	for _, out := range outputs {
+		id, ok := ids[out.text]
+		if !ok {
+			return nil, p.errf(out.line, "output %q is never driven", out.text)
+		}
+		if !nodes[id].IsPO {
+			nodes[id].IsPO = true
+			pos = append(pos, id)
+		}
+	}
+	return netlist.New(name, nodes, pis, pos, ffs)
+}

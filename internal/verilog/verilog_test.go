@@ -1,0 +1,184 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+)
+
+const sampleSrc = `
+// 2-bit comparator with registered output
+module cmp (a0, b0, a1, b1, eq);
+  input a0, b0;
+  input a1, b1;
+  output eq;
+  wire x0, x1, d;
+  xnor g0 (x0, a0, b0);
+  xnor g1 (x1, a1, b1);
+  and  g2 (eq, x0, x1);
+  /* registered copy
+     of the result */
+  wire q;
+  buf  g3 (d, eq);
+  dff  r0 (q, d);
+endmodule
+`
+
+func TestParseSample(t *testing.T) {
+	c, err := ParseString(sampleSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Name != "cmp" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if len(c.PIs) != 4 || len(c.POs) != 1 || len(c.FFs) != 1 {
+		t.Fatalf("interface: %d/%d/%d", len(c.PIs), len(c.POs), len(c.FFs))
+	}
+	eq := c.ByName("eq")
+	if c.Node(eq).Kind != logic.And || !c.Node(eq).IsPO {
+		t.Errorf("eq = %+v", c.Node(eq))
+	}
+	q := c.ByName("q")
+	if c.Node(q).Kind != logic.DFF || c.NameOf(c.Node(q).Fanin[0]) != "d" {
+		t.Errorf("q = %+v", c.Node(q))
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	src := "module m (a, y); // ports\n input a; /* inline */ output y;\n not g (y, a);\nendmodule\n"
+	c, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Node(c.ByName("y")).Kind != logic.Not {
+		t.Error("inverter lost")
+	}
+}
+
+func TestMultiLineBlockComment(t *testing.T) {
+	src := "module m (a, y);\n input a;\n output y;\n/* line1\nline2\nline3 */ buf g (y, a);\nendmodule\n"
+	if _, err := ParseString(src); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := gen.MustRandom(gen.Params{Name: "rt", Seed: 4, PIs: 6, POs: 3, FFs: 3, Gates: 60})
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	c2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if c2.N() != c.N() {
+		t.Fatalf("round trip changed node count: %d -> %d", c.N(), c2.N())
+	}
+	for i := range c.Nodes {
+		a, b := &c.Nodes[i], c2.Nodes[c2.ByName(c.Nodes[i].Name)]
+		if a.Kind != b.Kind || len(a.Fanin) != len(b.Fanin) || a.IsPO != b.IsPO {
+			t.Fatalf("node %s differs: %+v vs %+v", a.Name, a, b)
+		}
+		for j := range a.Fanin {
+			if c.NameOf(a.Fanin[j]) != c2.NameOf(b.Fanin[j]) {
+				t.Fatalf("node %s fanin %d differs", a.Name, j)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		frag string
+	}{
+		{"no-module", "input a;\n", `expected "module"`},
+		{"bad-cell", "module m (a, y);\ninput a;\noutput y;\nfrob g (y, a);\nendmodule\n", "unknown statement or cell"},
+		{"undeclared-out", "module m (a, y);\ninput a;\noutput y;\nnot g (w, a);\nendmodule\n", "not declared"},
+		{"undriven-in", "module m (a, y);\ninput a;\noutput y;\nwire w;\nand g (y, a, w);\nendmodule\n", "never driven"},
+		{"multi-driver", "module m (a, y);\ninput a;\noutput y;\nnot g1 (y, a);\nbuf g2 (y, a);\nendmodule\n", "multiple drivers"},
+		{"undriven-output", "module m (a, y);\ninput a;\noutput y;\nwire w;\nnot g (w, a);\nendmodule\n", "never driven"},
+		{"not-arity", "module m (a, b, y);\ninput a, b;\noutput y;\nnot g (y, a, b);\nendmodule\n", "NOT cell"},
+		{"no-args", "module m (a, y);\ninput a;\noutput y;\nnot g ();\nendmodule\n", "needs an output"},
+		{"eof", "module m (a, y);\ninput a;\n", "unexpected end of input"},
+		{"unterminated-comment", "module m (a, y); /* oops\n", "unterminated block comment"},
+		{"dup-input", "module m (a, y);\ninput a;\ninput a;\noutput y;\nbuf g (y, a);\nendmodule\n", "declared twice"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil {
+				t.Fatalf("no error for:\n%s", c.src)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %q does not contain %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	_, err := ParseString("module m (a, y);\ninput a;\noutput y;\nfrob g (y, a);\nendmodule\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("line = %d, want 4", pe.Line)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	c, err := ParseString(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/cmp.v"
+	if err := WriteFile(path, c); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	c2, err := ParseFile(path)
+	if err != nil {
+		t.Fatalf("ParseFile: %v", err)
+	}
+	if c2.N() != c.N() {
+		t.Fatalf("file round trip changed node count: %d -> %d", c.N(), c2.N())
+	}
+	if _, err := ParseFile(t.TempDir() + "/missing.v"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"s953":   "s953",
+		"9abc":   "m9abc",
+		"a-b c":  "a_b_c",
+		"":       "top",
+		"good_1": "good_1",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWriterRejectsUnsupportedKinds(t *testing.T) {
+	// Tie cells are outside the emitted subset.
+	srcOK := "module m (a, y);\ninput a;\noutput y;\nbuf g (y, a);\nendmodule\n"
+	c, err := ParseString(srcOK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("plain circuit must serialize: %v", err)
+	}
+}

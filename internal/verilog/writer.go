@@ -1,0 +1,111 @@
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// kindCell maps gate kinds to the Verilog cell names this package emits.
+var kindCell = map[logic.Kind]string{
+	logic.And:  "and",
+	logic.Nand: "nand",
+	logic.Or:   "or",
+	logic.Nor:  "nor",
+	logic.Xor:  "xor",
+	logic.Xnor: "xnor",
+	logic.Not:  "not",
+	logic.Buf:  "buf",
+	logic.DFF:  "dff",
+}
+
+// Write emits the circuit as a structural Verilog module in the subset this
+// package parses; the output round-trips through Parse to an isomorphic
+// circuit.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "// %s\n", c.Stats())
+	fmt.Fprintf(bw, "module %s (", sanitize(c.Name))
+	first := true
+	port := func(id netlist.ID) {
+		if !first {
+			bw.WriteString(", ")
+		}
+		first = false
+		bw.WriteString(c.NameOf(id))
+	}
+	for _, id := range c.PIs {
+		port(id)
+	}
+	for _, id := range c.POs {
+		port(id)
+	}
+	bw.WriteString(");\n")
+
+	for _, id := range c.PIs {
+		fmt.Fprintf(bw, "  input %s;\n", c.NameOf(id))
+	}
+	for _, id := range c.POs {
+		fmt.Fprintf(bw, "  output %s;\n", c.NameOf(id))
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if n.Kind == logic.Input || n.IsPO {
+			continue
+		}
+		fmt.Fprintf(bw, "  wire %s;\n", n.Name)
+	}
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		cell, ok := kindCell[n.Kind]
+		if !ok {
+			if n.Kind == logic.Input {
+				continue
+			}
+			return fmt.Errorf("verilog: cannot serialize node %q of kind %v", n.Name, n.Kind)
+		}
+		fmt.Fprintf(bw, "  %s u%d (%s", cell, i, n.Name)
+		for _, f := range n.Fanin {
+			fmt.Fprintf(bw, ", %s", c.NameOf(f))
+		}
+		bw.WriteString(");\n")
+	}
+	bw.WriteString("endmodule\n")
+	return bw.Flush()
+}
+
+// WriteFile writes the circuit to path as structural Verilog.
+func WriteFile(path string, c *netlist.Circuit) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sanitize makes a circuit name a legal Verilog identifier.
+func sanitize(s string) string {
+	if s == "" {
+		return "top"
+	}
+	b := []byte(s)
+	for i, c := range b {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9')
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	if b[0] >= '0' && b[0] <= '9' {
+		return "m" + string(b)
+	}
+	return string(b)
+}

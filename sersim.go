@@ -1,0 +1,189 @@
+// Package sersim is the public API of the soft-error-rate estimation
+// library, a from-scratch reproduction of Asadi & Tahoori, "An Accurate SER
+// Estimation Method Based on Propagation Probability" (DATE 2005).
+//
+// The library decomposes the soft error rate of every circuit node n as
+//
+//	SER(n) = R_SEU(n) × P_latched(n) × P_sensitized(n)
+//
+// and computes the expensive P_sensitized term analytically with the paper's
+// error propagation probability (EPP) method: a single topological sweep per
+// error site over four-valued probability states (Pa, Pā, P0, P1) that track
+// the propagated error's polarity, which keeps the estimate accurate at
+// reconvergent fanout.
+//
+// Typical use:
+//
+//	c, err := sersim.ParseBenchFile("s1196.bench")
+//	sp := sersim.SignalProbabilities(c, sersim.SPConfig{})
+//	an, err := sersim.NewAnalyzer(c, sp, sersim.AnalyzerOptions{})
+//	res := an.EPP(c.ByName("G42"))        // one error site
+//	rep, err := sersim.Estimate(c, sersim.EstimateConfig{}) // whole circuit
+//
+// The implementation lives in the internal packages (netlist, bench, graph,
+// sigprob, core, simulate, exact, faults, latch, ser, gen); this package
+// re-exports the stable surface as type aliases so downstream code needs a
+// single import.
+package sersim
+
+import (
+	"io"
+
+	"repro/internal/bddsp"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/harden"
+	"repro/internal/netlist"
+	"repro/internal/seq"
+	"repro/internal/ser"
+	"repro/internal/sigprob"
+	"repro/internal/simulate"
+)
+
+// Circuit is an immutable gate-level netlist. See Builder and the parsing
+// helpers for construction.
+type Circuit = netlist.Circuit
+
+// ID is a dense node identifier within a Circuit.
+type ID = netlist.ID
+
+// Builder assembles a Circuit programmatically.
+type Builder = netlist.Builder
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder { return netlist.NewBuilder(name) }
+
+// ParseBench parses an ISCAS'89 .bench netlist from r.
+func ParseBench(r io.Reader) (*Circuit, error) { return bench.Parse(r) }
+
+// ParseBenchFile parses the .bench file at path.
+func ParseBenchFile(path string) (*Circuit, error) { return bench.ParseFile(path) }
+
+// ParseBenchString parses .bench source held in a string.
+func ParseBenchString(src string) (*Circuit, error) { return bench.ParseString(src) }
+
+// WriteBench serializes the circuit in .bench format.
+func WriteBench(w io.Writer, c *Circuit) error { return bench.Write(w, c) }
+
+// GenerateProfile generates the deterministic synthetic stand-in for a named
+// ISCAS'89 circuit (s953 … s38417); see DESIGN.md for the substitution
+// rationale.
+func GenerateProfile(name string) (*Circuit, error) { return gen.ByName(name) }
+
+// SPConfig configures signal probability computation.
+type SPConfig = sigprob.Config
+
+// SignalProbabilities computes per-node signal probabilities with one
+// Parker–McCluskey topological sweep (fast, independence-assuming).
+func SignalProbabilities(c *Circuit, cfg SPConfig) []float64 {
+	return sigprob.Topological(c, cfg)
+}
+
+// SignalProbabilitiesMC estimates per-node signal probabilities by
+// bit-parallel random simulation (slow, asymptotically exact).
+func SignalProbabilitiesMC(c *Circuit, cfg SPConfig) []float64 {
+	return sigprob.MonteCarlo(c, cfg)
+}
+
+// Analyzer computes error propagation probabilities (the paper's core
+// algorithm).
+type Analyzer = core.Analyzer
+
+// AnalyzerOptions configure an Analyzer.
+type AnalyzerOptions = core.Options
+
+// EPPResult is the per-site analysis result.
+type EPPResult = core.Result
+
+// NewAnalyzer returns an EPP analyzer over circuit c using the given
+// per-node signal probabilities for off-path inputs.
+func NewAnalyzer(c *Circuit, sp []float64, opt AnalyzerOptions) (*Analyzer, error) {
+	return core.New(c, sp, opt)
+}
+
+// MonteCarlo is the random-vector fault-injection baseline estimator.
+type MonteCarlo = simulate.MonteCarlo
+
+// MCOptions configure the Monte Carlo estimators.
+type MCOptions = simulate.MCOptions
+
+// NewMonteCarlo returns the bit-parallel Monte Carlo baseline for c.
+func NewMonteCarlo(c *Circuit, opt MCOptions) *MonteCarlo {
+	return simulate.NewMonteCarlo(c, opt)
+}
+
+// EstimateConfig configures a full-circuit SER estimation.
+type EstimateConfig = ser.Config
+
+// Report is a full-circuit SER estimation result with ranking and hardening
+// evaluation helpers.
+type Report = ser.Report
+
+// NodeSER is one node's SER decomposition within a Report.
+type NodeSER = ser.NodeSER
+
+// Estimate runs the full SER analysis SER(n) = R_SEU × P_latched ×
+// P_sensitized over every node of c.
+func Estimate(c *Circuit, cfg EstimateConfig) (*Report, error) {
+	return ser.Estimate(c, cfg)
+}
+
+// Method selects the P_sensitized estimator in EstimateConfig.
+const (
+	MethodEPP        = ser.MethodEPP
+	MethodMonteCarlo = ser.MethodMonteCarlo
+)
+
+// ExactSignalProbabilities computes symbolically exact (BDD-based,
+// Parker–McCluskey) signal probabilities, with per-source bias prob1 (nil =
+// uniform) and a BDD node budget (0 = default). Exact but exponential in the
+// worst case; the budget turns blow-ups into errors.
+func ExactSignalProbabilities(c *Circuit, prob1 []float64, maxNodes int) ([]float64, error) {
+	return bddsp.SignalProb(c, prob1, maxNodes)
+}
+
+// ExactPSensitized computes the symbolically exact propagation probability
+// of an SEU at site via a BDD miter — the ground truth the EPP method
+// approximates. For circuits with at most 24 sources the enumeration engine
+// (EnumeratePSensitized) is usually faster.
+func ExactPSensitized(c *Circuit, site ID, prob1 []float64, maxNodes int) (float64, error) {
+	return bddsp.PSensitized(c, site, prob1, maxNodes)
+}
+
+// EnumeratePSensitized computes the exact propagation probability by
+// exhaustive input enumeration (uniform sources, at most 24 of them).
+func EnumeratePSensitized(c *Circuit, site ID) (float64, error) {
+	return exact.PSensitized(c, site)
+}
+
+// TMR returns a copy of c with the selected gates triplicated behind 2-of-3
+// majority voters (local triple modular redundancy), the hardening transform
+// the paper's vulnerability ranking is meant to drive. See internal/harden
+// for the soft-voter caveat.
+func TMR(c *Circuit, selected []ID) (*Circuit, error) {
+	return harden.TMR(c, selected)
+}
+
+// MultiCycleAnalyzer extends the single-cycle analysis across clock cycles:
+// errors captured by flip-flops keep propagating in subsequent frames (the
+// sequential extension; see internal/seq).
+type MultiCycleAnalyzer = seq.Analyzer
+
+// NewMultiCycleAnalyzer returns a multi-cycle analyzer for c.
+func NewMultiCycleAnalyzer(c *Circuit, sp []float64) (*MultiCycleAnalyzer, error) {
+	return seq.New(c, sp)
+}
+
+// SequentialMC is the two-machine multi-cycle fault-injection simulator used
+// to validate the multi-cycle analysis.
+type SequentialMC = simulate.Sequential
+
+// SeqOptions configure SequentialMC.
+type SeqOptions = simulate.SeqOptions
+
+// NewSequentialMC returns a multi-cycle fault-injection simulator for c.
+func NewSequentialMC(c *Circuit, opt SeqOptions) *SequentialMC {
+	return simulate.NewSequential(c, opt)
+}

@@ -1,0 +1,83 @@
+package sersim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/netlist"
+	"repro/internal/sigprob"
+	"repro/internal/verilog"
+)
+
+// TestMajorityVoterBothFormats parses the same majority voter from .bench
+// and .v files and checks that both yield identical, analytically known
+// propagation probabilities.
+func TestMajorityVoterBothFormats(t *testing.T) {
+	cb, err := bench.ParseFile("testdata/majority.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := verilog.ParseFile("testdata/majority.v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []*netlist.Circuit{cb, cv} {
+		if len(c.PIs) != 3 || len(c.POs) != 1 || len(c.FFs) != 1 {
+			t.Fatalf("%s interface: %d/%d/%d", c.Name, len(c.PIs), len(c.POs), len(c.FFs))
+		}
+		// Majority of three uniform inputs: SP = 1/2 by symmetry.
+		spTruth, err := exact.SignalProb(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		maj := c.ByName("maj")
+		if spTruth[maj] != 0.5 {
+			t.Errorf("%s: exact SP(maj) = %v, want 0.5", c.Name, spTruth[maj])
+		}
+
+		// A flip at input a changes the majority iff b != c: probability 1/2.
+		truth, err := exact.PSensitized(c, c.ByName("a"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if truth != 0.5 {
+			t.Errorf("%s: exact P_sens(a) = %v, want 0.5", c.Name, truth)
+		}
+
+		// EPP with exact signal probabilities: the a->ab and a->ac branches
+		// reconverge at the OR with equal polarity, a case the polarity
+		// algebra handles; the residual error is the independence
+		// assumption between ab and ac (both contain b resp. c).
+		an := core.MustNew(c, spTruth, core.Options{})
+		got := an.EPP(c.ByName("a")).PSensitized
+		if math.Abs(got-truth) > 0.2 {
+			t.Errorf("%s: EPP P_sens(a) = %v, exact %v", c.Name, got, truth)
+		}
+
+		// The voter output itself is fully observed.
+		if p := an.EPP(maj).PSensitized; p != 1 {
+			t.Errorf("%s: P_sens(maj) = %v", c.Name, p)
+		}
+	}
+
+	// Cross-format agreement node by node.
+	spb := sigprob.Topological(cb, sigprob.Config{})
+	spv := sigprob.Topological(cv, sigprob.Config{})
+	anb := core.MustNew(cb, spb, core.Options{})
+	anv := core.MustNew(cv, spv, core.Options{})
+	for i := range cb.Nodes {
+		name := cb.Nodes[i].Name
+		idv := cv.ByName(name)
+		if idv == netlist.InvalidID {
+			t.Fatalf("node %q missing from the Verilog version", name)
+		}
+		a := anb.EPP(cb.Nodes[i].ID).PSensitized
+		b := anv.EPP(idv).PSensitized
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("node %q: bench %v, verilog %v", name, a, b)
+		}
+	}
+}
