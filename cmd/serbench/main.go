@@ -21,14 +21,22 @@
 //	-mode table2           the full Table 2 reproduction (default)
 //	-mode sp-ablation      EPP accuracy with topological vs Monte Carlo SP
 //	-mode exact-accuracy   EPP vs BDD-exact P_sensitized (small profiles)
+//	-mode bench            per-circuit EPP kernel timing (ns/op, allocs/op)
+//
+// In bench mode, -json FILE additionally writes the measurements as a JSON
+// array ({circuit, nodes, gates, ns_per_op, allocs_per_op, bytes_per_op})
+// so successive runs can be tracked as a BENCH_*.json trajectory. Passing
+// -json with the default mode implies -mode bench.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"strings"
+	"testing"
 
 	"repro/internal/bddsp"
 	"repro/internal/core"
@@ -50,10 +58,26 @@ func main() {
 		baseline  = flag.String("baseline", "naive", "baseline engine: naive | bit-parallel")
 		workers   = flag.Int("workers", 1, "EPP sweep parallelism")
 		csvPath   = flag.String("csv", "", "also write the table as CSV to this file")
+		jsonPath  = flag.String("json", "", "write bench-mode measurements as JSON to this file")
 		quick     = flag.Bool("quick", false, "small vector counts for a fast smoke run")
-		mode      = flag.String("mode", "table2", "table2 | sp-ablation | exact-accuracy")
+		mode      = flag.String("mode", "table2", "table2 | sp-ablation | exact-accuracy | bench")
 	)
 	flag.Parse()
+	modeSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "mode" {
+			modeSet = true
+		}
+	})
+	if *jsonPath != "" && *mode != "bench" {
+		if modeSet {
+			// An explicitly requested non-bench mode must not be silently
+			// replaced by the kernel benchmark.
+			fmt.Fprintf(os.Stderr, "serbench: -json is only supported with -mode bench\n")
+			os.Exit(2)
+		}
+		*mode = "bench"
+	}
 
 	cfg := table2.Config{
 		MCVectors:   *vectors,
@@ -89,9 +113,82 @@ func main() {
 		runSPAblation(names, cfg)
 	case "exact-accuracy":
 		runExactAccuracy(names, cfg)
+	case "bench":
+		runBench(names, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "serbench: unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+}
+
+// benchRow is one circuit's kernel measurement, serialized by -json.
+type benchRow struct {
+	Circuit     string  `json:"circuit"`
+	Nodes       int     `json:"nodes"`
+	Gates       int     `json:"gates"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// runBench times the all-sites EPP kernel (the batched P_sensitized sweep,
+// the "SysT" quantity) per circuit under the Go benchmark methodology and
+// optionally writes the rows as JSON, so future changes can be compared as
+// a time series of BENCH_*.json files.
+func runBench(names []string, jsonPath string) {
+	if names == nil {
+		names = gen.Names()
+	}
+	t := report.NewTable(
+		"EPP all-sites kernel (batched engine)",
+		"Circuit", "Nodes", "ns/op", "allocs/op", "B/op",
+	)
+	rows := make([]benchRow, 0, len(names))
+	for _, name := range names {
+		c, err := gen.ByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+			os.Exit(1)
+		}
+		sp := sigprob.Topological(c, sigprob.Config{})
+		an := core.MustNew(c, sp, core.Options{})
+		an.PSensitizedAll() // warm the engine's scratch outside the timing loop
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				an.PSensitizedAll()
+			}
+		})
+		row := benchRow{
+			Circuit:     name,
+			Nodes:       c.N(),
+			Gates:       c.Stats().Gates,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		rows = append(rows, row)
+		t.AddRowf(row.Circuit, row.Nodes, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
+		fmt.Fprintf(os.Stderr, "done %-8s %.3fms/op %d allocs/op\n",
+			name, row.NsPerOp/1e6, row.AllocsPerOp)
+	}
+	t.AddNote("one op = P_sensitized for every node (batch width %d)", core.DefaultBatchWidth)
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+		os.Exit(1)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
 	}
 }
 

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sigprob"
+)
+
+// batchWidths are the lane counts the batched engine is cross-checked at:
+// the degenerate scalar-equivalent width, small widths that force many
+// partial batches, and the full mask width.
+var batchWidths = []int{1, 4, 8, 64}
+
+// TestBatchMatchesScalar is the batched engine's conformance suite: on
+// random generated circuits, for every rule set and every batch width, the
+// batched P_sensitized of every site must match the scalar Analyzer (the
+// executable specification) to ≤ 1e-12, and the per-output states must
+// match to the same tolerance. The only legitimate divergence between the
+// two engines is floating-point product order when folding per-output miss
+// probabilities, which is far below this bound.
+func TestBatchMatchesScalar(t *testing.T) {
+	rules := []RuleSet{RulesClosedForm, RulesPairwise, RulesNoPolarity}
+	for seed := uint64(0); seed < 6; seed++ {
+		c := gen.SmallRandomSequential(seed + 40)
+		sp := sigprob.Topological(c, sigprob.Config{})
+		for _, rs := range rules {
+			scalar := MustNew(c, sp, Options{Rules: rs})
+			want := make([]Result, c.N())
+			for id := 0; id < c.N(); id++ {
+				want[id] = scalar.EPP(netlist.ID(id))
+			}
+			for _, width := range batchWidths {
+				eng := NewBatch(MustNew(c, sp, Options{Rules: rs}), width)
+				got := make([]Result, c.N())
+				sites := make([]netlist.ID, 0, width)
+				for lo := 0; lo < c.N(); lo += width {
+					hi := lo + width
+					if hi > c.N() {
+						hi = c.N()
+					}
+					sites = sites[:0]
+					for id := lo; id < hi; id++ {
+						sites = append(sites, netlist.ID(id))
+					}
+					eng.EPPBatch(sites, got[lo:hi])
+				}
+				for id := 0; id < c.N(); id++ {
+					g, w := got[id], want[id]
+					if d := math.Abs(g.PSensitized - w.PSensitized); d > 1e-12 {
+						t.Fatalf("seed %d rules %v width %d site %d: batched %v, scalar %v (|d| = %g)",
+							seed, rs, width, id, g.PSensitized, w.PSensitized, d)
+					}
+					if g.ConeSize != w.ConeSize {
+						t.Fatalf("seed %d rules %v width %d site %d: cone size %d, scalar %d",
+							seed, rs, width, id, g.ConeSize, w.ConeSize)
+					}
+					if len(g.Outputs) != len(w.Outputs) {
+						t.Fatalf("seed %d rules %v width %d site %d: %d outputs, scalar %d",
+							seed, rs, width, id, len(g.Outputs), len(w.Outputs))
+					}
+					// Both engines emit outputs in a valid topological
+					// order, but within-level tie-breaking differs (single-
+					// root vs multi-root DFS discovery), so match by node.
+					wantState := make(map[netlist.ID]logic.Prob4, len(w.Outputs))
+					for _, o := range w.Outputs {
+						wantState[o.Output] = o.State
+					}
+					for i, o := range g.Outputs {
+						ws, ok := wantState[o.Output]
+						if !ok {
+							t.Fatalf("seed %d rules %v width %d site %d output %d: node %d not in scalar outputs",
+								seed, rs, width, id, i, o.Output)
+						}
+						for s := range o.State {
+							if d := o.State[s] - ws[s]; math.Abs(d) > 1e-12 {
+								t.Fatalf("seed %d rules %v width %d site %d output node %d: state %v, scalar %v",
+									seed, rs, width, id, o.Output, o.State, ws)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPSensitizedMatchesEPPBatch: the allocation-free P_sensitized
+// entry point and the full-result entry point must agree exactly.
+func TestBatchPSensitizedMatchesEPPBatch(t *testing.T) {
+	c := gen.SmallRandomSequential(99)
+	sp := sigprob.Topological(c, sigprob.Config{})
+	a := MustNew(c, sp, Options{})
+	all := a.PSensitizedAll()
+	res := a.AllSites()
+	for id := 0; id < c.N(); id++ {
+		if all[id] != res[id].PSensitized {
+			t.Fatalf("site %d: PSensitizedAll %v, AllSites %v", id, all[id], res[id].PSensitized)
+		}
+	}
+}
+
+// TestBatchPartialAndRepeatedBatches: a batch narrower than the width, and
+// re-use of one engine across many batches, must not leak state between
+// passes (epoch/stamp discipline).
+func TestBatchPartialAndRepeatedBatches(t *testing.T) {
+	c := gen.SmallRandomSequential(7)
+	sp := sigprob.Topological(c, sigprob.Config{})
+	a := MustNew(c, sp, Options{})
+	eng := NewBatch(a, 8)
+	want := make([]float64, c.N())
+	for id := 0; id < c.N(); id++ {
+		want[id] = a.EPP(netlist.ID(id)).PSensitized
+	}
+	// Singleton batches through a width-8 engine, twice over (stale seeds
+	// and masks from previous passes must be invisible).
+	for pass := 0; pass < 2; pass++ {
+		var out [1]float64
+		for id := 0; id < c.N(); id++ {
+			eng.PSensitizedBatch([]netlist.ID{netlist.ID(id)}, out[:])
+			if d := math.Abs(out[0] - want[id]); d > 1e-12 {
+				t.Fatalf("pass %d site %d: batched %v, scalar %v", pass, id, out[0], want[id])
+			}
+		}
+	}
+}
+
+// TestBatchWidthClamp: constructor clamps out-of-range widths.
+func TestBatchWidthClamp(t *testing.T) {
+	c := gen.SmallRandomSequential(1)
+	sp := sigprob.Topological(c, sigprob.Config{})
+	a := MustNew(c, sp, Options{})
+	if w := NewBatch(a, 0).Width(); w != 1 {
+		t.Errorf("width 0 clamped to %d, want 1", w)
+	}
+	if w := NewBatch(a, 1000).Width(); w != MaxBatchWidth {
+		t.Errorf("width 1000 clamped to %d, want %d", w, MaxBatchWidth)
+	}
+}

@@ -157,8 +157,11 @@ func TestAgainstMonteCarloLargeVectors(t *testing.T) {
 	}
 }
 
-// TestPSensitizedAllMatchesEPP: the allocation-light batch kernel must agree
-// with the per-site API.
+// TestPSensitizedAllMatchesEPP: the batched all-sites kernel must agree
+// with the scalar per-site API. Tolerance is 1e-12, not exact: the batched
+// engine folds per-output misses in union-cone order, which can reorder the
+// floating-point product within a level relative to the scalar sweep (see
+// TestBatchMatchesScalar for the exhaustive cross-check).
 func TestPSensitizedAllMatchesEPP(t *testing.T) {
 	c := gen.SmallRandomSequential(77)
 	sp := sigprob.Topological(c, sigprob.Config{})
@@ -166,7 +169,7 @@ func TestPSensitizedAllMatchesEPP(t *testing.T) {
 	batch := a.PSensitizedAll()
 	for id := 0; id < c.N(); id++ {
 		want := a.EPP(netlist.ID(id)).PSensitized
-		if math.Abs(batch[id]-want) > 1e-15 {
+		if math.Abs(batch[id]-want) > 1e-12 {
 			t.Fatalf("site %d: batch %v, EPP %v", id, batch[id], want)
 		}
 	}

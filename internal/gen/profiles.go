@@ -80,6 +80,15 @@ func ByName(name string) (*netlist.Circuit, error) {
 	return FromProfile(p)
 }
 
+// Names returns every ISCAS'89 profile name, in the paper's table order.
+func Names() []string {
+	out := make([]string, len(ISCAS89))
+	for i, p := range ISCAS89 {
+		out[i] = p.Name
+	}
+	return out
+}
+
 // SmallNames returns the profile names small enough for exhaustive or heavy
 // Monte Carlo treatment in tests (< 1000 gates).
 func SmallNames() []string {

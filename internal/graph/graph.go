@@ -53,6 +53,13 @@ type Walker struct {
 	counts  []int32      // per-level counting-sort scratch, reused
 	members []netlist.ID // sorted members scratch, reused
 	outputs []netlist.ID // observed members scratch, reused
+
+	// CSR views of the circuit, cached so the DFS inner loop reads flat
+	// arrays instead of dereferencing Node structs.
+	foIdx  []int32
+	foArr  []netlist.ID
+	kinds  []logic.Kind
+	levels []int
 }
 
 // NewWalker returns a Walker over circuit c.
@@ -62,11 +69,15 @@ func NewWalker(c *netlist.Circuit) *Walker {
 	for i, id := range topo {
 		pos[id] = int32(i)
 	}
-	return &Walker{
+	w := &Walker{
 		c:       c,
 		topoPos: pos,
 		inCone:  make([]bool, c.N()),
 	}
+	w.foIdx, w.foArr = c.FanoutCSR()
+	w.kinds = c.Kinds()
+	w.levels = c.Levels()
+	return w
 }
 
 // ForwardCone extracts the on-path cone of root: all nodes reachable from
@@ -89,11 +100,11 @@ func (w *Walker) ForwardCone(root netlist.ID) Cone {
 	for len(w.stack) > 0 {
 		id := w.stack[len(w.stack)-1]
 		w.stack = w.stack[:len(w.stack)-1]
-		for _, out := range c.Node(id).Fanout {
+		for _, out := range w.foArr[w.foIdx[id]:w.foIdx[id+1]] {
 			if w.inCone[out] {
 				continue
 			}
-			if c.Node(out).Kind == logic.DFF {
+			if w.kinds[out] == logic.DFF {
 				continue // time-frame boundary: do not cross
 			}
 			w.inCone[out] = true
@@ -108,7 +119,7 @@ func (w *Walker) ForwardCone(root netlist.ID) Cone {
 	// O(|cone| + depth) and allocation-free after warm-up.
 	maxLv := 0
 	for _, id := range w.touched {
-		if lv := c.Level(id); lv > maxLv {
+		if lv := w.levels[id]; lv > maxLv {
 			maxLv = lv
 		}
 	}
@@ -120,7 +131,7 @@ func (w *Walker) ForwardCone(root netlist.ID) Cone {
 		counts[i] = 0
 	}
 	for _, id := range w.touched {
-		counts[c.Level(id)+1]++
+		counts[w.levels[id]+1]++
 	}
 	for lv := 1; lv < len(counts); lv++ {
 		counts[lv] += counts[lv-1]
@@ -130,7 +141,7 @@ func (w *Walker) ForwardCone(root netlist.ID) Cone {
 	}
 	w.members = w.members[:len(w.touched)]
 	for _, id := range w.touched {
-		lv := c.Level(id)
+		lv := w.levels[id]
 		w.members[counts[lv]] = id
 		counts[lv]++
 	}

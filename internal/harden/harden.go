@@ -62,7 +62,10 @@ func TMR(c *netlist.Circuit, selected []netlist.ID) (*netlist.Circuit, error) {
 	var replicas []netlist.ID
 	newNode := func(name string, kind logic.Kind, fanin ...netlist.ID) netlist.ID {
 		id := netlist.ID(len(nodes))
-		nodes = append(nodes, netlist.Node{ID: id, Name: name, Kind: kind, Fanin: fanin})
+		// Copy the fanin: callers pass the original circuit's Fanin slices,
+		// which alias its CSR storage, and rewire mutates these lists below.
+		nodes = append(nodes, netlist.Node{ID: id, Name: name, Kind: kind,
+			Fanin: append([]netlist.ID(nil), fanin...)})
 		return id
 	}
 	for _, id := range selected {

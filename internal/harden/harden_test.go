@@ -52,6 +52,33 @@ func TestTMRStructure(t *testing.T) {
 	}
 }
 
+// TestTMRLeavesInputCircuitIntact: TMR must not mutate its input. The
+// replica nodes are seeded from the original's fanin lists, which alias the
+// circuit's shared CSR storage; a missing copy there lets the cascaded-
+// protection rewire write voter IDs (out of range for the input circuit)
+// into the caller's netlist.
+func TestTMRLeavesInputCircuitIntact(t *testing.T) {
+	c := sample(t)
+	var before [][]netlist.ID
+	for i := 0; i < c.N(); i++ {
+		before = append(before, append([]netlist.ID(nil), c.Node(netlist.ID(i)).Fanin...))
+	}
+	// Protect two gates where one consumes the other (g2 reads g1), the
+	// case that forces rewiring of replica fanins.
+	if _, err := TMR(c, []netlist.ID{c.ByName("g1"), c.ByName("g2")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.N(); i++ {
+		got := c.Node(netlist.ID(i)).Fanin
+		for j, f := range got {
+			if f != before[i][j] {
+				t.Fatalf("TMR mutated input circuit: node %s fanin[%d] = %d, want %d",
+					c.NameOf(netlist.ID(i)), j, f, before[i][j])
+			}
+		}
+	}
+}
+
 // TestTMRFunctionalEquivalence: the transformed circuit computes the same
 // outputs for every input assignment.
 func TestTMRFunctionalEquivalence(t *testing.T) {

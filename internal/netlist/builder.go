@@ -134,7 +134,7 @@ func (b *Builder) Build() (*Circuit, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
-	c.computeFanout()
+	c.buildCSR()
 	c.computeObserved()
 	if err := c.computeTopo(); err != nil {
 		return nil, err
@@ -167,22 +167,65 @@ func (c *Circuit) validate() error {
 	return nil
 }
 
-func (c *Circuit) computeFanout() {
-	counts := make([]int, len(c.Nodes))
+// buildCSR lays the adjacency out as two CSR (compressed sparse row)
+// structures — flat fanin and fanout arrays with per-node offset indexes —
+// and re-points every Node.Fanin/Node.Fanout at the corresponding span, so
+// the per-node view and the flat view share storage. Analyses that sweep
+// many nodes per call read the flat arrays directly (FaninCSR/FanoutCSR)
+// and touch one contiguous block of memory instead of len(Nodes) separate
+// allocations.
+func (c *Circuit) buildCSR() {
+	n := len(c.Nodes)
+	edges := 0
+	for i := range c.Nodes {
+		edges += len(c.Nodes[i].Fanin)
+	}
+
+	c.kinds = make([]logic.Kind, n)
+	for i := range c.Nodes {
+		c.kinds[i] = c.Nodes[i].Kind
+	}
+
+	// Fanin CSR: copy each node's declaration-order fanin list.
+	c.faninIdx = make([]int32, n+1)
+	c.faninArr = make([]ID, edges)
+	off := int32(0)
+	for i := range c.Nodes {
+		c.faninIdx[i] = off
+		off += int32(copy(c.faninArr[off:], c.Nodes[i].Fanin))
+	}
+	c.faninIdx[n] = off
+
+	// Fanout CSR: counting pass, prefix sums, then a fill pass that visits
+	// consumers in ascending ID order (so each span is sorted, one entry per
+	// use, matching the documented Node.Fanout contract).
+	c.fanoutIdx = make([]int32, n+1)
+	c.fanoutArr = make([]ID, edges)
+	for _, f := range c.faninArr {
+		c.fanoutIdx[f+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.fanoutIdx[i+1] += c.fanoutIdx[i]
+	}
+	cursor := make([]int32, n)
+	copy(cursor, c.fanoutIdx[:n])
 	for i := range c.Nodes {
 		for _, f := range c.Nodes[i].Fanin {
-			counts[f]++
+			c.fanoutArr[cursor[f]] = ID(i)
+			cursor[f]++
 		}
 	}
+
+	c.aliasAdjacency()
+}
+
+// aliasAdjacency points every Node.Fanin/Node.Fanout at its CSR span. The
+// three-index slice expressions cap each view so an append by a caller
+// reallocates instead of bleeding into the next node's span.
+func (c *Circuit) aliasAdjacency() {
 	for i := range c.Nodes {
-		if counts[i] > 0 {
-			c.Nodes[i].Fanout = make([]ID, 0, counts[i])
-		}
-	}
-	for i := range c.Nodes {
-		for _, f := range c.Nodes[i].Fanin {
-			c.Nodes[f].Fanout = append(c.Nodes[f].Fanout, ID(i))
-		}
+		c.Nodes[i].Fanin = c.FaninOf(ID(i))
+		c.Nodes[i].Fanout = c.FanoutOf(ID(i))
 	}
 }
 

@@ -3,6 +3,15 @@
 // inputs, primary outputs and D flip-flops, with dense integer node IDs so
 // analyses can use slice-indexed per-node state on their hot paths.
 //
+// Adjacency is finalized at Build time into CSR (compressed sparse row)
+// form: all fanin edges live in one flat array indexed by per-node offsets
+// (FaninCSR), and likewise for fanout edges (FanoutCSR). The per-node
+// Node.Fanin/Node.Fanout slices are views into those arrays, so casual
+// traversal code and the sweep kernels (core, sigprob, simulate, graph)
+// read the same storage — the kernels just index it contiguously, together
+// with the dense Kinds and Levels side arrays, instead of dereferencing a
+// Node struct per step.
+//
 // Circuits are constructed either programmatically through Builder or from an
 // ISCAS'89 .bench file via the bench package. After Build succeeds the
 // Circuit is immutable and safe for concurrent use by any number of analyses.
@@ -38,6 +47,13 @@ type Node struct {
 func (n *Node) IsSource() bool { return n.Kind.IsSource() }
 
 // Circuit is an immutable gate-level netlist.
+//
+// Adjacency is stored twice: per-node through Node.Fanin/Node.Fanout for
+// ergonomic traversal, and as CSR (compressed sparse row) flat arrays for
+// the analysis hot paths. The per-node slices alias the CSR arrays, so the
+// two views are one allocation and always consistent; sweeping the circuit
+// in ID or topological order reads the edge lists as a single contiguous
+// block instead of chasing one heap allocation per node.
 type Circuit struct {
 	Name  string
 	Nodes []Node // index == ID
@@ -53,6 +69,15 @@ type Circuit struct {
 	obsMask  []bool // obsMask[id] == node id is an observation point
 	topo     []ID   // combinational topological order (sources first)
 	level    []int  // combinational level per node (sources at 0)
+	kinds    []logic.Kind // kinds[id] == Nodes[id].Kind, densely packed
+
+	// CSR adjacency. Node id's fanins are faninArr[faninIdx[id]:faninIdx[id+1]]
+	// (declaration order); its fanouts are the analogous fanoutArr span
+	// (ascending consumer ID, one entry per use).
+	faninIdx  []int32
+	faninArr  []ID
+	fanoutIdx []int32
+	fanoutArr []ID
 }
 
 // N returns the number of nodes.
@@ -71,6 +96,40 @@ func (c *Circuit) ByName(name string) ID {
 
 // NameOf returns the name of node id (convenience for reports).
 func (c *Circuit) NameOf(id ID) string { return c.Nodes[id].Name }
+
+// KindOf returns the kind of node id from the dense kind array.
+func (c *Circuit) KindOf(id ID) logic.Kind { return c.kinds[id] }
+
+// Kinds returns the dense per-node kind array, indexed by ID. The slice is
+// shared; callers must not modify it. Hot loops index this instead of
+// loading whole Node structs.
+func (c *Circuit) Kinds() []logic.Kind { return c.kinds }
+
+// Levels returns the dense per-node combinational level array, indexed by
+// ID. The slice is shared; callers must not modify it.
+func (c *Circuit) Levels() []int { return c.level }
+
+// FaninOf returns node id's fanin list as a view into the CSR array.
+// Identical contents to Nodes[id].Fanin (which aliases the same storage).
+func (c *Circuit) FaninOf(id ID) []ID {
+	s, e := c.faninIdx[id], c.faninIdx[id+1]
+	return c.faninArr[s:e:e]
+}
+
+// FanoutOf returns node id's fanout list as a view into the CSR array.
+func (c *Circuit) FanoutOf(id ID) []ID {
+	s, e := c.fanoutIdx[id], c.fanoutIdx[id+1]
+	return c.fanoutArr[s:e:e]
+}
+
+// FaninCSR exposes the raw fanin CSR layout: node id's fanins are
+// arr[idx[id]:idx[id+1]]. Both slices are shared and must not be modified.
+// This is the preferred adjacency access for sweep kernels: one bounds
+// check amortizes over the whole sweep and the edge data is contiguous.
+func (c *Circuit) FaninCSR() (idx []int32, arr []ID) { return c.faninIdx, c.faninArr }
+
+// FanoutCSR exposes the raw fanout CSR layout (see FaninCSR).
+func (c *Circuit) FanoutCSR() (idx []int32, arr []ID) { return c.fanoutIdx, c.fanoutArr }
 
 // NumGates returns the number of combinational gate nodes (everything except
 // primary inputs, flip-flops and tie cells).
@@ -181,23 +240,24 @@ func (s Stats) String() string {
 // is immediately usable; derived structures are shared-by-value copies.
 func (c *Circuit) Clone() *Circuit {
 	cp := &Circuit{
-		Name:     c.Name,
-		Nodes:    make([]Node, len(c.Nodes)),
-		PIs:      append([]ID(nil), c.PIs...),
-		POs:      append([]ID(nil), c.POs...),
-		FFs:      append([]ID(nil), c.FFs...),
-		byName:   make(map[string]ID, len(c.byName)),
-		observed: append([]ID(nil), c.observed...),
-		obsMask:  append([]bool(nil), c.obsMask...),
-		topo:     append([]ID(nil), c.topo...),
-		level:    append([]int(nil), c.level...),
+		Name:      c.Name,
+		Nodes:     make([]Node, len(c.Nodes)),
+		PIs:       append([]ID(nil), c.PIs...),
+		POs:       append([]ID(nil), c.POs...),
+		FFs:       append([]ID(nil), c.FFs...),
+		byName:    make(map[string]ID, len(c.byName)),
+		observed:  append([]ID(nil), c.observed...),
+		obsMask:   append([]bool(nil), c.obsMask...),
+		topo:      append([]ID(nil), c.topo...),
+		level:     append([]int(nil), c.level...),
+		kinds:     append([]logic.Kind(nil), c.kinds...),
+		faninIdx:  append([]int32(nil), c.faninIdx...),
+		faninArr:  append([]ID(nil), c.faninArr...),
+		fanoutIdx: append([]int32(nil), c.fanoutIdx...),
+		fanoutArr: append([]ID(nil), c.fanoutArr...),
 	}
-	for i := range c.Nodes {
-		n := c.Nodes[i]
-		n.Fanin = append([]ID(nil), n.Fanin...)
-		n.Fanout = append([]ID(nil), n.Fanout...)
-		cp.Nodes[i] = n
-	}
+	copy(cp.Nodes, c.Nodes)
+	cp.aliasAdjacency() // point the copied nodes at the copied CSR arrays
 	for k, v := range c.byName {
 		cp.byName[k] = v
 	}

@@ -37,7 +37,7 @@ func New(name string, nodes []Node, pis, pos, ffs []ID) (*Circuit, error) {
 	if err := c.validate(); err != nil {
 		return nil, err
 	}
-	c.computeFanout()
+	c.buildCSR()
 	c.computeObserved()
 	if err := c.computeTopo(); err != nil {
 		return nil, err

@@ -90,6 +90,7 @@ func (a *Analyzer) rVector(lookahead int) []float64 {
 	if r, ok := a.rCache[lookahead]; ok {
 		return r
 	}
+	a.ensureFFProfiles()
 	r := make([]float64, a.nFFs)
 	if lookahead == 1 {
 		for i := 0; i < a.nFFs; i++ {
@@ -117,6 +118,12 @@ func (a *Analyzer) rVector(lookahead int) []float64 {
 // probabilities.
 func (a *Analyzer) sweepFrom(source netlist.ID) *frameSweep {
 	res := a.epp.EPP(source)
+	return a.profileFromResult(&res)
+}
+
+// profileFromResult converts one EPP Result (scalar or batched) into the
+// PO-detection probability and per-FF capture probabilities.
+func (a *Analyzer) profileFromResult(res *core.Result) *frameSweep {
 	fs := &frameSweep{cap: make([]float64, a.nFFs)}
 	missPO := 1.0
 	for _, o := range res.Outputs {
@@ -144,6 +151,52 @@ func (a *Analyzer) ffProfile(i int) *frameSweep {
 	return a.ffSweep[i]
 }
 
+// ensureFFProfiles computes every flip-flop's single-frame profile through
+// the EPP analyzer's batched engine, a batch of sources per union-cone
+// sweep. The R iteration (rVector) needs all of them anyway, so batching
+// here amortizes cone extraction across flip-flops exactly as the
+// all-sites analysis does across error sites.
+func (a *Analyzer) ensureFFProfiles() {
+	if a.nFFs == 0 {
+		return
+	}
+	missing := 0
+	for i := range a.ffSweep {
+		if a.ffSweep[i] == nil {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return
+	}
+	eng := a.epp.Batch()
+	sites := make([]netlist.ID, 0, eng.Width())
+	idx := make([]int, 0, eng.Width())
+	results := make([]core.Result, eng.Width())
+	flush := func() {
+		if len(sites) == 0 {
+			return
+		}
+		eng.EPPBatch(sites, results[:len(sites)])
+		for j := range sites {
+			a.ffSweep[idx[j]] = a.profileFromResult(&results[j])
+		}
+		sites = sites[:0]
+		idx = idx[:0]
+	}
+	for i := 0; i < a.nFFs; i++ {
+		if a.ffSweep[i] != nil {
+			continue
+		}
+		sites = append(sites, a.ffIDs[i])
+		idx = append(idx, i)
+		if len(sites) == eng.Width() {
+			flush()
+		}
+	}
+	flush()
+}
+
 // PDetect returns the probability that an SEU at site is observed at a
 // primary output within frames clock cycles; frames = 1 is the strike cycle
 // only. frames must be >= 1.
@@ -167,6 +220,31 @@ func (a *Analyzer) compose(strike *frameSweep, r []float64) float64 {
 		}
 	}
 	return 1 - miss
+}
+
+// PDetectAll returns PDetect(site, frames) for every node of the circuit in
+// one batched pass: the strike-frame sweeps run on the batched EPP engine
+// (as the all-sites single-cycle analysis does) and the per-FF lookahead
+// vector is computed once and shared across sites.
+func (a *Analyzer) PDetectAll(frames int) []float64 {
+	if frames < 1 {
+		panic(fmt.Sprintf("seq: PDetectAll with frames = %d", frames))
+	}
+	var r []float64
+	if frames > 1 {
+		r = a.rVector(frames - 1)
+	}
+	results := a.epp.AllSites()
+	out := make([]float64, len(results))
+	for id := range results {
+		strike := a.profileFromResult(&results[id])
+		if frames == 1 {
+			out[id] = strike.pPO
+		} else {
+			out[id] = a.compose(strike, r)
+		}
+	}
+	return out
 }
 
 // PDetectCurve returns PDetect(site, k) for k = 1..frames in one pass, useful

@@ -153,11 +153,7 @@ func PSensitized(c *netlist.Circuit, cfg Config) ([]float64, error) {
 			if err != nil {
 				return nil, err
 			}
-			out := make([]float64, c.N())
-			for id := 0; id < c.N(); id++ {
-				out[id] = sa.PDetect(netlist.ID(id), cfg.Frames)
-			}
-			return out, nil
+			return sa.PDetectAll(cfg.Frames), nil
 		}
 		an, err := core.New(c, sp, core.Options{})
 		if err != nil {

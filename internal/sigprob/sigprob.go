@@ -56,9 +56,10 @@ func (c *Config) sourceProb(id netlist.ID) float64 {
 func Topological(c *netlist.Circuit, cfg Config) []float64 {
 	cfg.setDefaults()
 	sp := make([]float64, c.N())
+	kinds := c.Kinds()
+	fiIdx, fiArr := c.FaninCSR()
 	for _, id := range c.Topo() {
-		n := c.Node(id)
-		switch n.Kind {
+		switch k := kinds[id]; k {
 		case logic.Input, logic.DFF:
 			sp[id] = cfg.sourceProb(id)
 		case logic.Const0:
@@ -66,7 +67,7 @@ func Topological(c *netlist.Circuit, cfg Config) []float64 {
 		case logic.Const1:
 			sp[id] = 1
 		default:
-			sp[id] = gateSP(n.Kind, n.Fanin, sp)
+			sp[id] = gateSP(k, fiArr[fiIdx[id]:fiIdx[id+1]], sp)
 		}
 	}
 	return sp

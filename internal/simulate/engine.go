@@ -22,16 +22,24 @@ type Engine struct {
 	values []uint64 // current good-machine values, indexed by node ID
 	faulty []uint64 // scratch for faulty re-simulation
 	ins    []uint64 // fanin gather scratch
+
+	// CSR adjacency views cached from the circuit (shared, read-only).
+	fiIdx []int32
+	fiArr []netlist.ID
+	kinds []logic.Kind
 }
 
 // NewEngine returns a simulator for circuit c.
 func NewEngine(c *netlist.Circuit) *Engine {
-	return &Engine{
+	e := &Engine{
 		c:      c,
 		values: make([]uint64, c.N()),
 		faulty: make([]uint64, c.N()),
 		ins:    make([]uint64, 0, 8),
+		kinds:  c.Kinds(),
 	}
+	e.fiIdx, e.fiArr = c.FaninCSR()
+	return e
 }
 
 // Circuit returns the simulated circuit.
@@ -46,10 +54,8 @@ func (e *Engine) SetSource(id netlist.ID, word uint64) {
 // Run evaluates every gate in combinational topological order from the
 // currently assigned source words.
 func (e *Engine) Run() {
-	c := e.c
-	for _, id := range c.Topo() {
-		n := c.Node(id)
-		switch n.Kind {
+	for _, id := range e.c.Topo() {
+		switch k := e.kinds[id]; k {
 		case logic.Input, logic.DFF:
 			// keep assigned word
 		case logic.Const0:
@@ -57,18 +63,19 @@ func (e *Engine) Run() {
 		case logic.Const1:
 			e.values[id] = ^uint64(0)
 		default:
-			e.values[id] = e.evalInto(e.values, n)
+			e.values[id] = e.evalInto(e.values, k, id)
 		}
 	}
 }
 
-// evalInto evaluates gate n reading fanin words from vals.
-func (e *Engine) evalInto(vals []uint64, n *netlist.Node) uint64 {
+// evalInto evaluates the kind-k gate driving node id, reading fanin words
+// from vals via the CSR adjacency.
+func (e *Engine) evalInto(vals []uint64, k logic.Kind, id netlist.ID) uint64 {
 	e.ins = e.ins[:0]
-	for _, f := range n.Fanin {
+	for _, f := range e.fiArr[e.fiIdx[id]:e.fiIdx[id+1]] {
 		e.ins = append(e.ins, vals[f])
 	}
-	return logic.EvalWord(n.Kind, e.ins)
+	return logic.EvalWord(k, e.ins)
 }
 
 // Value returns the current good-machine word of node id (valid after Run).
@@ -96,16 +103,15 @@ func (e *Engine) FaultySim(cone *graph.Cone) uint64 {
 		detected |= e.faulty[site] ^ e.values[site]
 	}
 	for _, id := range cone.Members[1:] {
-		n := c.Node(id)
 		e.ins = e.ins[:0]
-		for _, f := range n.Fanin {
+		for _, f := range e.fiArr[e.fiIdx[id]:e.fiIdx[id+1]] {
 			if cone.Contains(f) {
 				e.ins = append(e.ins, e.faulty[f])
 			} else {
 				e.ins = append(e.ins, e.values[f])
 			}
 		}
-		w := logic.EvalWord(n.Kind, e.ins)
+		w := logic.EvalWord(e.kinds[id], e.ins)
 		e.faulty[id] = w
 		if c.IsObserved(id) {
 			detected |= w ^ e.values[id]

@@ -1,0 +1,13 @@
+// Three-input majority voter with a registered copy of the vote.
+// Structurally identical to testdata/majority.bench, node for node.
+module majority (a, b, c, maj);
+  input a, b, c;
+  output maj;
+  wire ab, ac, bc, q;
+
+  and g1 (ab, a, b);
+  and g2 (ac, a, c);
+  and g3 (bc, b, c);
+  or  g4 (maj, ab, ac, bc);
+  dff r1 (q, maj);
+endmodule
