@@ -21,15 +21,18 @@
 //	-mode table2           the full Table 2 reproduction (default)
 //	-mode sp-ablation      EPP accuracy with topological vs Monte Carlo SP
 //	-mode exact-accuracy   EPP vs BDD-exact P_sensitized (small profiles)
-//	-mode bench            per-circuit EPP kernel timing (ns/op, allocs/op)
+//	-mode bench            per-circuit P_sensitized kernel timing (ns/op, allocs/op)
 //
-// In bench mode, -json FILE additionally writes the measurements as a JSON
-// array ({circuit, nodes, gates, ns_per_op, allocs_per_op, bytes_per_op})
-// so successive runs can be tracked as a BENCH_*.json trajectory. Passing
-// -json with the default mode implies -mode bench.
+// Bench mode times a named engine from the registry (-engine, default
+// epp-batch; see sercalc -engines for the set), and -json FILE additionally
+// writes the measurements as a JSON array ({circuit, engine, nodes, gates,
+// ns_per_op, allocs_per_op, bytes_per_op}) so successive runs can be
+// tracked as a BENCH_*.json trajectory. Passing -json with the default mode
+// implies -mode bench.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,6 +43,7 @@ import (
 
 	"repro/internal/bddsp"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/gen"
 	"repro/internal/netlist"
@@ -59,6 +63,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "EPP sweep parallelism")
 		csvPath   = flag.String("csv", "", "also write the table as CSV to this file")
 		jsonPath  = flag.String("json", "", "write bench-mode measurements as JSON to this file")
+		engName   = flag.String("engine", "epp-batch", "P_sensitized engine timed by bench mode")
 		quick     = flag.Bool("quick", false, "small vector counts for a fast smoke run")
 		mode      = flag.String("mode", "table2", "table2 | sp-ablation | exact-accuracy | bench")
 	)
@@ -114,7 +119,7 @@ func main() {
 	case "exact-accuracy":
 		runExactAccuracy(names, cfg)
 	case "bench":
-		runBench(names, *jsonPath)
+		runBench(names, *engName, *jsonPath)
 	default:
 		fmt.Fprintf(os.Stderr, "serbench: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -124,6 +129,7 @@ func main() {
 // benchRow is one circuit's kernel measurement, serialized by -json.
 type benchRow struct {
 	Circuit     string  `json:"circuit"`
+	Engine      string  `json:"engine"`
 	Nodes       int     `json:"nodes"`
 	Gates       int     `json:"gates"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -131,16 +137,62 @@ type benchRow struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// runBench times the all-sites EPP kernel (the batched P_sensitized sweep,
-// the "SysT" quantity) per circuit under the Go benchmark methodology and
-// optionally writes the rows as JSON, so future changes can be compared as
-// a time series of BENCH_*.json files.
-func runBench(names []string, jsonPath string) {
+// marshalBenchRows renders the bench measurements exactly as -json writes
+// them (stable field order, two-space indent, trailing newline); factored
+// out so the golden test pins the format.
+func marshalBenchRows(rows []benchRow) ([]byte, error) {
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// benchCircuit times one engine's all-sites P_sensitized sweep on one
+// circuit under the Go benchmark methodology.
+func benchCircuit(eng engine.Engine, c *netlist.Circuit) (benchRow, error) {
+	req := engine.Request{Circuit: c, SP: sigprob.Topological(c, sigprob.Config{})}
+	out := make([]float64, c.N())
+	ctx := context.Background()
+	// Warm the engine's scratch (and surface config errors) outside the
+	// timing loop.
+	if err := eng.PSensitizedAll(ctx, &req, out); err != nil {
+		return benchRow{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := eng.PSensitizedAll(ctx, &req, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return benchRow{
+		Circuit:     c.Name,
+		Engine:      eng.Name(),
+		Nodes:       c.N(),
+		Gates:       c.Stats().Gates,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
+}
+
+// runBench times the all-sites P_sensitized kernel of the selected engine
+// (the "SysT" quantity for the EPP engines) per circuit and optionally
+// writes the rows as JSON, so future changes can be compared as a time
+// series of BENCH_*.json files.
+func runBench(names []string, engName, jsonPath string) {
+	eng, err := engine.Lookup(engName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+		os.Exit(2)
+	}
 	if names == nil {
 		names = gen.Names()
 	}
 	t := report.NewTable(
-		"EPP all-sites kernel (batched engine)",
+		fmt.Sprintf("all-sites P_sensitized kernel (engine %s)", eng.Name()),
 		"Circuit", "Nodes", "ns/op", "allocs/op", "B/op",
 	)
 	rows := make([]benchRow, 0, len(names))
@@ -150,40 +202,28 @@ func runBench(names []string, jsonPath string) {
 			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 			os.Exit(1)
 		}
-		sp := sigprob.Topological(c, sigprob.Config{})
-		an := core.MustNew(c, sp, core.Options{})
-		an.PSensitizedAll() // warm the engine's scratch outside the timing loop
-		res := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				an.PSensitizedAll()
-			}
-		})
-		row := benchRow{
-			Circuit:     name,
-			Nodes:       c.N(),
-			Gates:       c.Stats().Gates,
-			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
+		row, err := benchCircuit(eng, c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serbench: %s: %v\n", name, err)
+			os.Exit(1)
 		}
 		rows = append(rows, row)
 		t.AddRowf(row.Circuit, row.Nodes, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
 		fmt.Fprintf(os.Stderr, "done %-8s %.3fms/op %d allocs/op\n",
 			name, row.NsPerOp/1e6, row.AllocsPerOp)
 	}
-	t.AddNote("one op = P_sensitized for every node (batch width %d)", core.DefaultBatchWidth)
+	t.AddNote("one op = P_sensitized for every node (default batch width %d)", core.DefaultBatchWidth)
+	t.AddNote("ops go through the stateless engine API and include per-call engine construction; BenchmarkEPPAllNodes times the warm core kernel")
 	if err := t.Render(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 		os.Exit(1)
 	}
 	if jsonPath != "" {
-		buf, err := json.MarshalIndent(rows, "", "  ")
+		buf, err := marshalBenchRows(rows)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 			os.Exit(1)
 		}
-		buf = append(buf, '\n')
 		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+)
+
+// TestBenchJSONGolden pins the serbench -json output format: field names,
+// order, indentation and the trailing newline. Timing fields vary run to
+// run, so the golden file is compared against fixed rows serialized through
+// the same marshalBenchRows path the command uses.
+func TestBenchJSONGolden(t *testing.T) {
+	rows := []benchRow{
+		{Circuit: "s953", Engine: "epp-batch", Nodes: 440, Gates: 395, NsPerOp: 1.25e6, AllocsPerOp: 1, BytesPerOp: 2048},
+		{Circuit: "s1196", Engine: "epp-batch", Nodes: 561, Gates: 529, NsPerOp: 2.5e6, AllocsPerOp: 0, BytesPerOp: 0},
+	}
+	got, err := marshalBenchRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "bench_golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("-json output drifted from %s:\ngot:\n%swant:\n%s", golden, got, want)
+	}
+}
+
+// TestBenchCircuitRow runs one real measurement through the engine-driven
+// bench path and checks the row carries the canonical engine name and sane
+// measurements, and that the JSON round-trips.
+func TestBenchCircuitRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing loop")
+	}
+	eng, err := engine.Lookup("epp-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := gen.SmallRandom(1)
+	row, err := benchCircuit(eng, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Engine != "epp-batch" {
+		t.Errorf("row.Engine = %q", row.Engine)
+	}
+	if row.Nodes != c.N() || row.NsPerOp <= 0 {
+		t.Errorf("row = %+v", row)
+	}
+	buf, err := marshalBenchRows([]benchRow{row})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []benchRow
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Circuit != row.Circuit || back[0].Engine != row.Engine {
+		t.Errorf("round-trip = %+v", back)
+	}
+}

@@ -1,6 +1,6 @@
 // Command sercalc estimates the soft error rate of a gate-level circuit:
 // it parses an ISCAS'89 .bench netlist (or generates a named synthetic
-// ISCAS'89-profile circuit), runs the EPP-based SER analysis
+// ISCAS'89-profile circuit), runs the SER analysis
 // SER(n) = R_SEU(n) × P_latched(n) × P_sensitized(n) over every node, and
 // prints the most vulnerable nodes together with the circuit total — the
 // paper's stated use-case for driving selective hardening.
@@ -13,86 +13,115 @@
 //
 //	-top 20           how many nodes to print (0 = all)
 //	-method epp       psensitized estimator: epp | monte-carlo
+//	-engine ""        named backend override (see -engines; e.g. epp-scalar, bdd)
+//	-engines          list the registered engines and exit
 //	-sp topological   signal probability source: topological | monte-carlo
 //	-vectors 10000    vectors for the monte-carlo estimators
 //	-seed 1           seed for randomized components
 //	-frames 1         clock cycles for multi-cycle P_sensitized (EPP only)
+//	-workers 0        parallelism for the P_sensitized sweep (0 = all cores)
+//	-progress         report sweep progress on stderr
 //	-harden 0         evaluate protecting the top-k nodes (0 = skip)
 //	-residual 0.1     remaining SEU fraction on hardened nodes
 //	-csv out.csv      write the full per-node table as CSV
+//
+// The run is cancellable: an interrupt (Ctrl-C) stops the sweep between
+// batches and exits cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
-	"repro/internal/bench"
-	"repro/internal/gen"
-	"repro/internal/netlist"
+	sersim "repro"
 	"repro/internal/report"
-	"repro/internal/ser"
-	"repro/internal/sigprob"
-	"repro/internal/simulate"
 	"repro/internal/verilog"
 )
 
 func main() {
 	var (
-		benchPath = flag.String("bench", "", "path to a .bench netlist")
-		vlogPath  = flag.String("verilog", "", "path to a structural Verilog netlist")
-		profile   = flag.String("profile", "", "generate a synthetic ISCAS'89 profile (e.g. s1196)")
-		top       = flag.Int("top", 20, "how many nodes to print (0 = all)")
-		method    = flag.String("method", "epp", "epp | monte-carlo")
-		spMethod  = flag.String("sp", "topological", "topological | monte-carlo")
-		vectors   = flag.Int("vectors", 10000, "vectors for monte-carlo estimators")
-		seed      = flag.Uint64("seed", 1, "seed")
-		frames    = flag.Int("frames", 1, "clock cycles for multi-cycle P_sensitized (EPP only)")
-		harden    = flag.Int("harden", 0, "evaluate protecting the top-k nodes")
-		residual  = flag.Float64("residual", 0.1, "remaining SEU fraction on hardened nodes")
-		csvPath   = flag.String("csv", "", "write the full per-node table as CSV")
+		benchPath   = flag.String("bench", "", "path to a .bench netlist")
+		vlogPath    = flag.String("verilog", "", "path to a structural Verilog netlist")
+		profile     = flag.String("profile", "", "generate a synthetic ISCAS'89 profile (e.g. s1196)")
+		top         = flag.Int("top", 20, "how many nodes to print (0 = all)")
+		method      = flag.String("method", sersim.MethodEPP.String(), "epp | monte-carlo")
+		engineName  = flag.String("engine", "", "named P_sensitized backend override (see -engines)")
+		listEngines = flag.Bool("engines", false, "list the registered engines and exit")
+		spMethod    = flag.String("sp", sersim.SPTopological.String(), "topological | monte-carlo")
+		vectors     = flag.Int("vectors", 10000, "vectors for monte-carlo estimators")
+		seed        = flag.Uint64("seed", 1, "seed")
+		frames      = flag.Int("frames", 1, "clock cycles for multi-cycle P_sensitized (EPP only)")
+		workers     = flag.Int("workers", 0, "parallelism for the P_sensitized sweep (0 = all cores)")
+		progress    = flag.Bool("progress", false, "report sweep progress on stderr")
+		harden      = flag.Int("harden", 0, "evaluate protecting the top-k nodes")
+		residual    = flag.Float64("residual", 0.1, "remaining SEU fraction on hardened nodes")
+		csvPath     = flag.String("csv", "", "write the full per-node table as CSV")
 	)
 	flag.Parse()
 
+	if *listEngines {
+		fmt.Println(strings.Join(sersim.Engines(), "\n"))
+		return
+	}
+
 	c, err := load(*benchPath, *vlogPath, *profile)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sercalc: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	cfg := ser.Config{
-		SP:     sigprob.Config{Vectors: *vectors, Seed: *seed},
-		MC:     simulate.MCOptions{Vectors: *vectors, Seed: *seed},
-		Frames: *frames,
-	}
-	switch *method {
-	case "epp":
-		cfg.Method = ser.MethodEPP
-	case "monte-carlo":
-		cfg.Method = ser.MethodMonteCarlo
-	default:
-		fmt.Fprintf(os.Stderr, "sercalc: unknown method %q\n", *method)
-		os.Exit(2)
-	}
-	switch *spMethod {
-	case "topological":
-		cfg.SPMethod = ser.SPTopological
-	case "monte-carlo":
-		cfg.SPMethod = ser.SPMonteCarlo
-	default:
-		fmt.Fprintf(os.Stderr, "sercalc: unknown sp method %q\n", *spMethod)
-		os.Exit(2)
-	}
-
-	rep, err := ser.Estimate(c, cfg)
+	// One canonical naming end to end: the flag values are exactly the
+	// String() forms the report prints back.
+	m, err := sersim.ParseMethod(*method)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sercalc: %v\n", err)
-		os.Exit(1)
+		fatalUsage(err)
+	}
+	spm, err := sersim.ParseSPMethod(*spMethod)
+	if err != nil {
+		fatalUsage(err)
+	}
+
+	opts := []sersim.Option{
+		sersim.WithSPMethod(spm),
+		sersim.WithVectors(*vectors),
+		sersim.WithSPVectors(*vectors),
+		sersim.WithSeed(*seed),
+		sersim.WithFrames(*frames),
+		sersim.WithWorkers(*workers),
+	}
+	// WithMethod and WithEngine cross-check each other; pass the method only
+	// when the user actually chose one so an -engine override alone never
+	// conflicts with the method default.
+	if *engineName != "" {
+		opts = append(opts, sersim.WithEngine(*engineName))
+	}
+	if flagWasSet("method") {
+		opts = append(opts, sersim.WithMethod(m))
+	}
+	if *progress {
+		opts = append(opts, sersim.WithProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rP_sensitized %d/%d nodes", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := sersim.Run(ctx, c, opts...)
+	if err != nil {
+		fatal(err)
 	}
 
 	s := c.Stats()
 	fmt.Printf("%s\n", s)
-	fmt.Printf("method: %v (SP: %v)\n", cfg.Method, cfg.SPMethod)
+	fmt.Printf("method: %v (engine: %s, SP: %v)\n", rep.Method, rep.Engine, spm)
 	fmt.Printf("total circuit SER: %.6g FIT\n\n", rep.TotalFIT)
 
 	ranked := rep.Ranked()
@@ -114,8 +143,7 @@ func main() {
 			r.RateFIT, r.PLatched, r.PSensitized, r.SERFIT, share)
 	}
 	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "sercalc: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	if *harden > 0 {
@@ -126,14 +154,34 @@ func main() {
 
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, c, rep); err != nil {
-			fmt.Fprintf(os.Stderr, "sercalc: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
 }
 
-func load(benchPath, vlogPath, profile string) (*netlist.Circuit, error) {
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sercalc: %v\n", err)
+	os.Exit(1)
+}
+
+func fatalUsage(err error) {
+	fmt.Fprintf(os.Stderr, "sercalc: %v\n", err)
+	os.Exit(2)
+}
+
+// flagWasSet reports whether the named flag was explicitly provided.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func load(benchPath, vlogPath, profile string) (*sersim.Circuit, error) {
 	set := 0
 	for _, s := range []string{benchPath, vlogPath, profile} {
 		if s != "" {
@@ -145,17 +193,17 @@ func load(benchPath, vlogPath, profile string) (*netlist.Circuit, error) {
 	}
 	switch {
 	case benchPath != "":
-		return bench.ParseFile(benchPath)
+		return sersim.ParseBenchFile(benchPath)
 	case vlogPath != "":
 		return verilog.ParseFile(vlogPath)
 	case profile != "":
-		return gen.ByName(profile)
+		return sersim.GenerateProfile(profile)
 	default:
 		return nil, fmt.Errorf("one of -bench, -verilog or -profile is required")
 	}
 }
 
-func writeCSV(path string, c *netlist.Circuit, rep *ser.Report) error {
+func writeCSV(path string, c *sersim.Circuit, rep *sersim.Report) error {
 	t := report.NewTable("", "node", "kind", "rate_fit", "p_latched", "p_sensitized", "ser_fit")
 	for _, r := range rep.Ranked() {
 		t.AddRowf(r.Name, c.Node(r.ID).Kind.String(), r.RateFIT, r.PLatched, r.PSensitized, r.SERFIT)

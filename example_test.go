@@ -1,14 +1,15 @@
 package sersim_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	sersim "repro"
 )
 
-// Example runs the complete pipeline on a small circuit: parse, signal
-// probabilities, one EPP query, full SER estimate.
+// Example runs the complete pipeline on a small circuit: parse, one
+// single-site EPP query, then the full SER estimate through Run.
 func Example() {
 	c, err := sersim.ParseBenchString(`
 INPUT(a)
@@ -28,7 +29,7 @@ y = NOT(g)
 	res := an.EPP(c.ByName("g"))
 	fmt.Printf("P_sensitized(g) = %.2f\n", res.PSensitized)
 
-	rep, err := sersim.Estimate(c, sersim.EstimateConfig{Method: sersim.MethodEPP})
+	rep, err := sersim.Run(context.Background(), c)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,4 +37,55 @@ y = NOT(g)
 	// Output:
 	// P_sensitized(g) = 1.00
 	// most vulnerable: g
+}
+
+// ExampleRunStream consumes per-node results incrementally: the sweep
+// produces values batch by batch and stops early if the loop breaks.
+func ExampleRunStream() {
+	c, err := sersim.ParseBenchString(`
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g = NAND(a, b)
+y = NOT(g)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for n, err := range sersim.RunStream(context.Background(), c) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n.SERFIT > 0 {
+			fmt.Printf("%s: P_sensitized = %.2f\n", n.Name, n.PSensitized)
+		}
+	}
+	// Output:
+	// g: P_sensitized = 1.00
+	// y: P_sensitized = 1.00
+}
+
+// ExampleRun_options shows engine and model selection through functional
+// options: the Monte Carlo baseline with a fixed seed and budget.
+func ExampleRun_options() {
+	c, err := sersim.ParseBenchString(`
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := sersim.Run(context.Background(), c,
+		sersim.WithMethod(sersim.MethodMonteCarlo),
+		sersim.WithVectors(1<<12),
+		sersim.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine: %s\n", rep.Engine)
+	// Output:
+	// engine: monte-carlo
 }

@@ -13,12 +13,10 @@ import (
 	"math"
 	"os"
 
-	"repro/internal/core"
+	sersim "repro"
 	"repro/internal/exact"
 	"repro/internal/gen"
-	"repro/internal/netlist"
 	"repro/internal/report"
-	"repro/internal/simulate"
 )
 
 func main() {
@@ -37,27 +35,27 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		an, err := core.New(c, spTruth, core.Options{})
+		an, err := sersim.NewAnalyzer(c, spTruth, sersim.AnalyzerOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
-		blind, err := core.New(c, spTruth, core.Options{Rules: core.RulesNoPolarity})
+		blind, err := sersim.NewAnalyzer(c, spTruth, sersim.AnalyzerOptions{Rules: sersim.RulesNoPolarity})
 		if err != nil {
 			log.Fatal(err)
 		}
-		mcs := make([]*simulate.MonteCarlo, len(vecBudgets))
+		mcs := make([]*sersim.MonteCarlo, len(vecBudgets))
 		for i, v := range vecBudgets {
-			mcs[i] = simulate.NewMonteCarlo(c, simulate.MCOptions{Vectors: v, Seed: seed + 1})
+			mcs[i] = sersim.NewMonteCarlo(c, sersim.MCOptions{Vectors: v, Seed: seed + 1})
 		}
 		for id := 0; id < c.N(); id++ {
-			truth, err := exact.PSensitized(c, netlist.ID(id))
+			truth, err := sersim.EnumeratePSensitized(c, sersim.ID(id))
 			if err != nil {
 				log.Fatal(err)
 			}
-			maeEPP += math.Abs(an.EPP(netlist.ID(id)).PSensitized - truth)
-			maeBlind += math.Abs(blind.EPP(netlist.ID(id)).PSensitized - truth)
+			maeEPP += math.Abs(an.EPP(sersim.ID(id)).PSensitized - truth)
+			maeBlind += math.Abs(blind.EPP(sersim.ID(id)).PSensitized - truth)
 			for i := range vecBudgets {
-				maeMC[i] += math.Abs(mcs[i].EPP(netlist.ID(id)).PSensitized - truth)
+				maeMC[i] += math.Abs(mcs[i].EPP(sersim.ID(id)).PSensitized - truth)
 			}
 			sites++
 		}

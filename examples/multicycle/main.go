@@ -3,20 +3,19 @@
 // or a flip-flop D input; this example follows errors *through* the
 // flip-flops across clock cycles and plots the detection-latency curve
 // P(observed at a primary output within k cycles), validated against
-// two-machine sequential fault-injection simulation.
+// two-machine sequential fault-injection simulation. The same multi-cycle
+// analysis runs circuit-wide through Run with the WithFrames option.
 //
 //	go run ./examples/multicycle
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	sersim "repro"
 	"repro/internal/gen"
-	"repro/internal/netlist"
-	"repro/internal/seq"
-	"repro/internal/sigprob"
-	"repro/internal/simulate"
 )
 
 func main() {
@@ -25,18 +24,18 @@ func main() {
 	})
 	fmt.Println(c.Stats())
 
-	sp := sigprob.Topological(c, sigprob.Config{})
-	an, err := seq.New(c, sp)
+	sp := sersim.SignalProbabilities(c, sersim.SPConfig{})
+	an, err := sersim.NewMultiCycleAnalyzer(c, sp)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	const frames = 8
 	// Pick a few error sites at different depths.
-	sites := []netlist.ID{
-		netlist.ID(c.N() / 8),
-		netlist.ID(c.N() / 2),
-		netlist.ID(c.N() - 2),
+	sites := []sersim.ID{
+		sersim.ID(c.N() / 8),
+		sersim.ID(c.N() / 2),
+		sersim.ID(c.N() - 2),
 	}
 	fmt.Printf("\ndetection probability within k cycles (analytic | simulated):\n")
 	fmt.Printf("%-8s", "site")
@@ -48,13 +47,22 @@ func main() {
 		curve := an.PDetectCurve(site, frames)
 		fmt.Printf("%-8s", c.NameOf(site))
 		for k := 1; k <= frames; k++ {
-			sim := simulate.NewSequential(c, simulate.SeqOptions{
+			sim := sersim.NewSequentialMC(c, sersim.SeqOptions{
 				Frames: k, Trials: 1 << 13, Seed: 99,
 			}).PDetect(site)
 			fmt.Printf("  %.3f | %.3f", curve[k-1], sim.PDetect)
 		}
 		fmt.Println()
 	}
+
+	// The circuit-wide view: the same frames-bounded detection probability
+	// feeds the full SER decomposition through the WithFrames option.
+	rep, err := sersim.Run(context.Background(), c, sersim.WithFrames(frames))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntotal %d-cycle SER: %.4g FIT; most vulnerable: %s\n",
+		frames, rep.TotalFIT, rep.TopK(1)[0].Name)
 
 	fmt.Println("\nthe single-cycle paper analysis is the k=1 column plus FF captures;")
 	fmt.Println("the multi-cycle extension shows how latched errors surface over time.")

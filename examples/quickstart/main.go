@@ -1,23 +1,22 @@
 // Quickstart: build a small circuit programmatically, compute the error
-// propagation probability of one node, and print the full SER report.
+// propagation probability of one node, run the full SER pipeline with one
+// call, and stream the same results incrementally.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/netlist"
-	"repro/internal/ser"
-	"repro/internal/sigprob"
+	sersim "repro"
 )
 
 func main() {
 	// A 2-bit equality comparator with a registered result:
 	//   eq = AND(XNOR(a0,b0), XNOR(a1,b1));  q = DFF(eq)
-	b := netlist.NewBuilder("cmp2")
+	b := sersim.NewBuilder("cmp2")
 	a0, b0 := b.Input("a0"), b.Input("b0")
 	a1, b1 := b.Input("a1"), b.Input("b1")
 	x0 := b.Xnor("x0", a0, b0)
@@ -31,12 +30,12 @@ func main() {
 	}
 	fmt.Println(c.Stats())
 
-	// Step 1: signal probabilities for off-path inputs (uniform inputs).
-	sp := sigprob.Topological(c, sigprob.Config{})
+	// Low-level access: signal probabilities and one single-site EPP query
+	// (the paper's core algorithm, step by step).
+	sp := sersim.SignalProbabilities(c, sersim.SPConfig{})
 	fmt.Printf("signal probability of eq: %.3f\n", sp[eq])
 
-	// Step 2: error propagation probability from one error site.
-	an, err := core.New(c, sp, core.Options{})
+	an, err := sersim.NewAnalyzer(c, sp, sersim.AnalyzerOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,14 +46,30 @@ func main() {
 		fmt.Printf("  reaches %-3s with state %v\n", c.NameOf(o.Output), o.State)
 	}
 
-	// Step 3: the full SER decomposition for every node.
-	rep, err := ser.Estimate(c, ser.Config{Method: ser.MethodEPP})
+	// The full pipeline — SER(n) = R_SEU × P_latched × P_sensitized for
+	// every node — is one cancellable call with functional options (the
+	// zero option set reproduces the paper's configuration).
+	ctx := context.Background()
+	rep, err := sersim.Run(ctx, c)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ntotal circuit SER: %.4g FIT\n", rep.TotalFIT)
+	fmt.Printf("\ntotal circuit SER: %.4g FIT (engine %s)\n", rep.TotalFIT, rep.Engine)
 	fmt.Println("rank  node  kind  SER(FIT)")
 	for i, n := range rep.TopK(5) {
 		fmt.Printf("%4d  %-4s  %-4s  %.4g\n", i+1, n.Name, c.Node(n.ID).Kind, n.SERFIT)
+	}
+
+	// RunStream yields the same per-node values one at a time, in ID order,
+	// without materializing a report — the shape that scales to circuits
+	// that do not fit one machine's memory.
+	fmt.Println("\nstreamed:")
+	for n, err := range sersim.RunStream(ctx, c) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n.SERFIT > 0 {
+			fmt.Printf("  %-4s SER = %.4g FIT\n", n.Name, n.SERFIT)
+		}
 	}
 }

@@ -1,4 +1,5 @@
-// Reconvergence: the paper's Figure 1 worked example, reproduced end to end.
+// Reconvergence: the paper's Figure 1 worked example, reproduced end to end
+// through the public API.
 //
 // The circuit has reconvergent paths from the error site A to the output H
 // (one through D with even polarity, one through E/G with odd polarity), the
@@ -19,9 +20,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/sigprob"
+	sersim "repro"
 )
 
 const fig1 = `
@@ -38,7 +37,7 @@ H = OR(C, D, G)
 `
 
 func main() {
-	c, err := bench.ParseString(fig1)
+	c, err := sersim.ParseBenchString(fig1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,9 +48,9 @@ func main() {
 	prob[c.ByName("B")] = 0.2
 	prob[c.ByName("C")] = 0.3
 	prob[c.ByName("F")] = 0.7
-	sp := sigprob.Topological(c, sigprob.Config{SourceProb: prob})
+	sp := sersim.SignalProbabilities(c, sersim.SPConfig{SourceProb: prob})
 
-	an, err := core.New(c, sp, core.Options{})
+	an, err := sersim.NewAnalyzer(c, sp, sersim.AnalyzerOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

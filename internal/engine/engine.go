@@ -1,0 +1,204 @@
+// Package engine defines the pluggable P_sensitized backend interface of
+// the SER pipeline and a registry of the built-in implementations.
+//
+// The paper's decomposition SER(n) = R_SEU(n) × P_latched(n) × P_sensitized(n)
+// has exactly one expensive term, and this repository grew four independent
+// ways to compute it: the scalar EPP sweep (the executable specification of
+// the paper's method), the batched union-cone EPP kernel (the production
+// path), random-vector fault injection (the baseline the paper compares
+// against), and two exact backends (exhaustive enumeration and a BDD
+// good/faulty miter). An Engine wraps one of those behind a uniform
+// all-sites contract so that pipeline assembly, CLI selection, conformance
+// testing and future sharded backends are table-driven rather than
+// switch-driven.
+//
+// All engines honor context cancellation between batches (or between sites
+// for the per-site backends) and support incremental result delivery through
+// Request.OnBatch, which is what the public streaming API builds on.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/netlist"
+	"repro/internal/sigprob"
+	"repro/internal/simulate"
+)
+
+// Class groups engines by the nature of their estimate, which determines
+// what agreement the conformance suite may demand between them.
+type Class int
+
+const (
+	// ClassAnalytic engines compute the paper's closed-form EPP
+	// approximation: deterministic, linear-time, exact only on fanout-free
+	// circuits. All analytic engines must agree with each other to
+	// floating-point tolerance.
+	ClassAnalytic Class = iota
+	// ClassSampling engines estimate by random simulation: unbiased, with
+	// ~1/sqrt(vectors) noise. They agree with ClassExact only statistically.
+	ClassSampling
+	// ClassExact engines compute ground truth (no independence assumption,
+	// no sampling). All exact engines must agree with each other to
+	// floating-point tolerance.
+	ClassExact
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassAnalytic:
+		return "analytic"
+	case ClassSampling:
+		return "sampling"
+	case ClassExact:
+		return "exact"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Request carries one all-sites P_sensitized computation. The zero value of
+// every field except Circuit is usable; engines that do not consume a field
+// ignore it.
+type Request struct {
+	// Circuit is the netlist under analysis. Required.
+	Circuit *netlist.Circuit
+	// SP is the per-node signal probability vector consumed by the analytic
+	// engines for off-path fanins (indexed by node ID). Nil means one
+	// Parker–McCluskey topological sweep seeded with Bias.
+	SP []float64
+	// Bias is the per-source probability of logic 1 (indexed by node ID;
+	// nil = 0.5 everywhere). It seeds the default SP computation, the
+	// sampling engines' vector sources, and the BDD engine's source
+	// probabilities. The enumeration engine supports only uniform sources
+	// and rejects a non-nil Bias.
+	Bias []float64
+	// Workers bounds the engine's parallelism: 0 means all cores, 1 forces
+	// a serial sweep. Engines that parallelize guarantee results identical
+	// to the serial sweep (batch partitioning is worker-independent).
+	Workers int
+	// BatchWidth is the lane count for the batched EPP engine (0 = default,
+	// clamped to [1, core.MaxBatchWidth]).
+	BatchWidth int
+	// Frames > 1 replaces the single-cycle P_sensitized with the
+	// multi-cycle detection probability within Frames clock cycles
+	// (analytic engines only; errors are followed through flip-flops).
+	Frames int
+	// Vectors is the random-vector budget per site for the sampling
+	// engines (0 = simulate default).
+	Vectors int
+	// Seed fixes the sampling engines' vector streams.
+	Seed uint64
+	// BDDBudget bounds the BDD engine's node count (0 = default); blow-ups
+	// become errors rather than hangs.
+	BDDBudget int
+	// OnBatch, when non-nil, is invoked after each batch of results is
+	// finalized in out[lo:hi]. When Workers allows parallelism the calls
+	// may arrive out of order (but never overlap); a non-nil return aborts
+	// the sweep and is returned verbatim from PSensitizedAll.
+	OnBatch func(lo, hi int) error
+}
+
+// sp returns the request's signal probability vector, computing the
+// topological default if none was supplied.
+func (r *Request) sp() []float64 {
+	if r.SP != nil {
+		return r.SP
+	}
+	return sigprob.Topological(r.Circuit, sigprob.Config{SourceProb: r.Bias})
+}
+
+// mcOptions assembles the sampling engines' options from the request.
+func (r *Request) mcOptions() simulate.MCOptions {
+	return simulate.MCOptions{Vectors: r.Vectors, Seed: r.Seed, SourceProb: r.Bias}
+}
+
+// Engine computes P_sensitized for every node of a circuit.
+type Engine interface {
+	// Name is the stable identifier used by CLI -engine flags and the
+	// registry. Lower-case, hyphenated.
+	Name() string
+	// Class reports the engine's estimate class (analytic, sampling,
+	// exact), which fixes the agreement the conformance suite demands.
+	Class() Class
+	// PSensitizedAll writes P_sensitized(id) to out[id] for every node of
+	// req.Circuit. len(out) must equal req.Circuit.N(). Cancellation of ctx
+	// is honored between batches: the method returns ctx.Err() promptly and
+	// out holds a partial result. A non-nil error from req.OnBatch aborts
+	// the sweep the same way and is returned verbatim.
+	PSensitizedAll(ctx context.Context, req *Request, out []float64) error
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Engine{}
+)
+
+// Register adds an engine to the registry. It panics if the name is empty
+// or already taken — registration is an init-time programming error, not a
+// runtime condition.
+func Register(e Engine) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := e.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic("engine: duplicate Register of " + name)
+	}
+	registry[name] = e
+}
+
+// Lookup returns the registered engine with the given name, or an error
+// naming the registered alternatives.
+func Lookup(name string) (Engine, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if e, ok := registry[name]; ok {
+		return e, nil
+	}
+	return nil, fmt.Errorf("engine: unknown engine %q (registered: %v)", name, namesLocked())
+}
+
+// Names returns the registered engine names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engines returns the registered engines sorted by name, for table-driven
+// conformance testing.
+func Engines() []Engine {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Engine, 0, len(registry))
+	for _, name := range namesLocked() {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// checkOut validates the request/output pairing shared by every engine.
+func checkOut(req *Request, out []float64) error {
+	if req.Circuit == nil {
+		return fmt.Errorf("engine: nil circuit")
+	}
+	if len(out) != req.Circuit.N() {
+		return fmt.Errorf("engine: output slice has %d entries for %d nodes", len(out), req.Circuit.N())
+	}
+	return nil
+}

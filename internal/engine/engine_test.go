@@ -1,0 +1,318 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/sigprob"
+)
+
+func circuitFile(t testing.TB, name string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseFile("../../testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"bdd", "enum", "epp-batch", "epp-scalar", "monte-carlo"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, e.Name())
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown engine succeeded")
+	}
+}
+
+// TestConformance is the registry-wide agreement suite on the two testdata
+// circuits (c17, the majority voter): every registered engine runs the same
+// request, then
+//
+//   - deterministic engines of the same class must agree pairwise to 1e-9
+//     (the analytic engines share the same arithmetic; the exact engines
+//     share the same ground truth),
+//   - the sampling engine must agree with the exact class within its
+//     statistical tolerance,
+//   - the analytic class must stay within the known EPP approximation error
+//     of ground truth (sanity bound, not a precision claim).
+func TestConformance(t *testing.T) {
+	for _, file := range []string{"c17.bench", "majority.bench"} {
+		t.Run(file, func(t *testing.T) {
+			c := circuitFile(t, file)
+			sp := sigprob.Topological(c, sigprob.Config{})
+			results := map[string][]float64{}
+			for _, e := range Engines() {
+				req := &Request{Circuit: c, SP: sp, Vectors: 1 << 15, Seed: 3}
+				out := make([]float64, c.N())
+				if err := e.PSensitizedAll(context.Background(), req, out); err != nil {
+					t.Fatalf("%s: %v", e.Name(), err)
+				}
+				results[e.Name()] = out
+			}
+			assertAgree := func(a, b string, tol float64) {
+				t.Helper()
+				for id := range results[a] {
+					if d := math.Abs(results[a][id] - results[b][id]); d > tol {
+						t.Errorf("%s vs %s at node %s: %v vs %v (|diff| %v > %v)",
+							a, b, c.NameOf(netlist.ID(id)), results[a][id], results[b][id], d, tol)
+					}
+				}
+			}
+			// Within-class agreement: deterministic engines to 1e-9.
+			assertAgree("epp-batch", "epp-scalar", 1e-9)
+			assertAgree("enum", "bdd", 1e-9)
+			// Sampling vs truth: binomial noise at 2^15 vectors is ~2.8e-3
+			// per site; 5σ keeps the test deterministic-in-practice.
+			assertAgree("monte-carlo", "enum", 5*2.8e-3)
+			// Analytic vs truth: bounded by the EPP reconvergence error
+			// (measured ≤ 0.094 on these circuits).
+			assertAgree("epp-batch", "enum", 0.15)
+		})
+	}
+}
+
+// TestWorkerAndWidthInvariance: the batched engine's results are
+// bit-identical across worker counts and agree across batch widths.
+func TestWorkerAndWidthInvariance(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	e, err := Lookup("epp-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]float64, c.N())
+	if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp, Workers: 1}, base); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, 7} {
+		out := make([]float64, c.N())
+		if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp, Workers: workers}, out); err != nil {
+			t.Fatal(err)
+		}
+		for id := range out {
+			if out[id] != base[id] {
+				t.Fatalf("workers=%d: node %d differs: %v vs %v", workers, id, out[id], base[id])
+			}
+		}
+	}
+	for _, width := range []int{1, 8, 64} {
+		out := make([]float64, c.N())
+		if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp, BatchWidth: width}, out); err != nil {
+			t.Fatal(err)
+		}
+		for id := range out {
+			if math.Abs(out[id]-base[id]) > 1e-12 {
+				t.Fatalf("width=%d: node %d differs: %v vs %v", width, id, out[id], base[id])
+			}
+		}
+	}
+}
+
+// TestCancellation: a pre-cancelled context returns ctx.Err() promptly from
+// every engine, before any (or after at most one batch of) work.
+func TestCancellation(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, e := range Engines() {
+		out := make([]float64, c.N())
+		err := e.PSensitizedAll(ctx, &Request{Circuit: c, SP: sp, Vectors: 256}, out)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", e.Name(), err)
+		}
+	}
+}
+
+// TestCancellationMidSweep cancels from inside an OnBatch callback and
+// checks the sweep stops early rather than draining all nodes.
+func TestCancellationMidSweep(t *testing.T) {
+	c, err := gen.ByName("s1196")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	e, err := Lookup("epp-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	req := &Request{
+		Circuit: c,
+		SP:      sp,
+		Workers: 1,
+		OnBatch: func(lo, hi int) error {
+			seen += hi - lo
+			if seen >= 64 {
+				cancel()
+			}
+			return nil
+		},
+	}
+	out := make([]float64, c.N())
+	if err := e.PSensitizedAll(ctx, req, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if seen >= c.N() {
+		t.Fatalf("sweep drained all %d nodes despite cancellation", c.N())
+	}
+}
+
+// TestOnBatchError: an OnBatch error aborts the sweep and surfaces
+// verbatim, serial and parallel.
+func TestOnBatchError(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	e, err := Lookup("epp-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop here")
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		calls := 0
+		req := &Request{
+			Circuit: c,
+			SP:      sp,
+			Workers: workers,
+			OnBatch: func(lo, hi int) error {
+				mu.Lock()
+				defer mu.Unlock()
+				calls++
+				if calls == 2 {
+					return sentinel
+				}
+				return nil
+			},
+		}
+		out := make([]float64, c.N())
+		if err := e.PSensitizedAll(context.Background(), req, out); !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+	}
+}
+
+// TestFramesConformance: the batched and scalar engines agree on the
+// multi-cycle detection probability.
+func TestFramesConformance(t *testing.T) {
+	c, err := gen.ByName("s1423") // FF-heavy profile
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	outs := map[string][]float64{}
+	for _, name := range []string{"epp-batch", "epp-scalar"} {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, c.N())
+		if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp, Frames: 4, Workers: 1}, out); err != nil {
+			t.Fatal(err)
+		}
+		outs[name] = out
+	}
+	for id := range outs["epp-batch"] {
+		if d := math.Abs(outs["epp-batch"][id] - outs["epp-scalar"][id]); d > 1e-9 {
+			t.Fatalf("frames: node %d: batch %v vs scalar %v", id, outs["epp-batch"][id], outs["epp-scalar"][id])
+		}
+	}
+}
+
+// TestEngineErrors: unsupported configurations fail descriptively.
+func TestEngineErrors(t *testing.T) {
+	c := circuitFile(t, "c17.bench")
+	bias := make([]float64, c.N())
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"monte-carlo", Request{Circuit: c, Frames: 2}},
+		{"enum", Request{Circuit: c, Frames: 2}},
+		{"enum", Request{Circuit: c, Bias: bias}},
+		{"bdd", Request{Circuit: c, Frames: 2}},
+	}
+	for _, tc := range cases {
+		e, err := Lookup(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, c.N())
+		if err := e.PSensitizedAll(context.Background(), &tc.req, out); err == nil {
+			t.Errorf("%s with %+v: no error", tc.name, tc.req)
+		}
+	}
+	// Mis-sized output slice.
+	e, _ := Lookup("epp-batch")
+	if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c}, make([]float64, 3)); err == nil {
+		t.Error("short output slice accepted")
+	}
+}
+
+// TestOnBatchCoversAllNodes: the serial batch hooks tile [0, N) exactly.
+func TestOnBatchCoversAllNodes(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	for _, name := range []string{"epp-batch", "epp-scalar", "monte-carlo"} {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := 0
+		req := &Request{
+			Circuit: c, SP: sp, Workers: 1, Vectors: 64,
+			OnBatch: func(lo, hi int) error {
+				if lo != next {
+					return fmt.Errorf("batch starts at %d, want %d", lo, next)
+				}
+				next = hi
+				return nil
+			},
+		}
+		out := make([]float64, c.N())
+		if err := e.PSensitizedAll(context.Background(), req, out); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if next != c.N() {
+			t.Fatalf("%s: batches covered [0,%d), want [0,%d)", name, next, c.N())
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bddsp"
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/netlist"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func init() {
+	Register(batchEngine{})
+	Register(scalarEngine{})
+	Register(mcEngine{})
+	Register(enumEngine{})
+	Register(bddEngine{})
+}
+
+// resolveWorkers maps the Request.Workers convention (0 = all cores) to a
+// concrete goroutine count.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// parallelSweep partitions [0, n) into fixed chunk-aligned batches claimed
+// from a lock-free atomic cursor by workers goroutines, each running its own
+// do closure from newWorker. Because the partitioning depends only on chunk,
+// every engine built on it produces bit-identical results at any worker
+// count. Cancellation is checked before each claim; onBatch errors abort all
+// workers. With workers == 1 the sweep is strictly ordered, which is what
+// the streaming API relies on.
+func parallelSweep(ctx context.Context, n, chunk, workers int, onBatch func(lo, hi int) error, newWorker func() (func(lo, hi int) error, error)) error {
+	if workers > (n+chunk-1)/chunk {
+		workers = (n + chunk - 1) / chunk
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		abort  atomic.Bool
+		first  error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+		abort.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		do, err := newWorker()
+		if err != nil {
+			fail(err)
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if abort.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				if err := do(lo, hi); err != nil {
+					fail(err)
+					return
+				}
+				if onBatch != nil {
+					mu.Lock()
+					err := first
+					if err == nil {
+						err = onBatch(lo, hi)
+					}
+					mu.Unlock()
+					if err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// batchEngine is the production EPP backend: core.BatchAnalyzer sweeping up
+// to 64 error sites per union-cone pass, optionally across workers.
+type batchEngine struct{}
+
+func (batchEngine) Name() string { return "epp-batch" }
+func (batchEngine) Class() Class { return ClassAnalytic }
+
+func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64) error {
+	if err := checkOut(req, out); err != nil {
+		return err
+	}
+	sp := req.sp()
+	c := req.Circuit
+	if req.Frames > 1 {
+		sa, err := seq.New(c, sp)
+		if err != nil {
+			return err
+		}
+		return sa.PDetectAllInto(ctx, req.Frames, out, req.OnBatch)
+	}
+	proto, err := core.New(c, sp, core.Options{BatchWidth: req.BatchWidth})
+	if err != nil {
+		return err
+	}
+	chunk := proto.Batch().Width()
+	return parallelSweep(ctx, c.N(), chunk, resolveWorkers(req.Workers), req.OnBatch,
+		func() (func(lo, hi int) error, error) {
+			local := proto.Clone()
+			eng := local.Batch()
+			sites := make([]netlist.ID, 0, eng.Width())
+			return func(lo, hi int) error {
+				sites = sites[:0]
+				for id := lo; id < hi; id++ {
+					sites = append(sites, netlist.ID(id))
+				}
+				eng.PSensitizedBatch(sites, out[lo:hi])
+				return nil
+			}, nil
+		})
+}
+
+// scalarEngine is the executable specification: one scalar EPP sweep per
+// site (core.Analyzer.EPP), against which the batched engine is verified.
+type scalarEngine struct{}
+
+func (scalarEngine) Name() string { return "epp-scalar" }
+func (scalarEngine) Class() Class { return ClassAnalytic }
+
+func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64) error {
+	if err := checkOut(req, out); err != nil {
+		return err
+	}
+	sp := req.sp()
+	c := req.Circuit
+	if req.Frames > 1 {
+		// Per-site multi-cycle composition over scalar strike sweeps; the
+		// flip-flop lookahead vector is memoized inside the seq analyzer.
+		sa, err := seq.New(c, sp)
+		if err != nil {
+			return err
+		}
+		return parallelSweep(ctx, c.N(), 64, 1, req.OnBatch,
+			func() (func(lo, hi int) error, error) {
+				return func(lo, hi int) error {
+					for id := lo; id < hi; id++ {
+						out[id] = sa.PDetect(netlist.ID(id), req.Frames)
+					}
+					return nil
+				}, nil
+			})
+	}
+	return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch,
+		func() (func(lo, hi int) error, error) {
+			an, err := core.New(c, sp, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return func(lo, hi int) error {
+				for id := lo; id < hi; id++ {
+					out[id] = an.EPP(netlist.ID(id)).PSensitized
+				}
+				return nil
+			}, nil
+		})
+}
+
+// mcEngine is the random-vector fault-injection baseline. Per-site seed
+// streams are derived from the site ID, so results are identical at any
+// worker count.
+type mcEngine struct{}
+
+func (mcEngine) Name() string { return "monte-carlo" }
+func (mcEngine) Class() Class { return ClassSampling }
+
+func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64) error {
+	if err := checkOut(req, out); err != nil {
+		return err
+	}
+	if req.Frames > 1 {
+		return fmt.Errorf("engine: monte-carlo does not support multi-cycle frames (use simulate.Sequential directly)")
+	}
+	c := req.Circuit
+	opt := req.mcOptions()
+	return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch,
+		func() (func(lo, hi int) error, error) {
+			mc := simulate.NewMonteCarlo(c, opt)
+			return func(lo, hi int) error {
+				for id := lo; id < hi; id++ {
+					out[id] = mc.EPP(netlist.ID(id)).PSensitized
+				}
+				return nil
+			}, nil
+		})
+}
+
+// enumEngine computes ground truth by exhaustive input enumeration (uniform
+// sources, at most exact.MaxSupport of them). Chunk size 1: each site is
+// 2^sources simulations, so cancellation is checked per site.
+type enumEngine struct{}
+
+func (enumEngine) Name() string { return "enum" }
+func (enumEngine) Class() Class { return ClassExact }
+
+func (enumEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64) error {
+	if err := checkOut(req, out); err != nil {
+		return err
+	}
+	if req.Frames > 1 {
+		return fmt.Errorf("engine: enum does not support multi-cycle frames")
+	}
+	if req.Bias != nil {
+		return fmt.Errorf("engine: enum supports only uniform sources (Bias must be nil; use the bdd engine for biased sources)")
+	}
+	c := req.Circuit
+	return parallelSweep(ctx, c.N(), 1, resolveWorkers(req.Workers), req.OnBatch,
+		func() (func(lo, hi int) error, error) {
+			return func(lo, hi int) error {
+				for id := lo; id < hi; id++ {
+					p, err := exact.PSensitized(c, netlist.ID(id))
+					if err != nil {
+						return err
+					}
+					out[id] = p
+				}
+				return nil
+			}, nil
+		})
+}
+
+// bddEngine computes ground truth with a BDD good/faulty miter per site,
+// with per-source bias and a node budget that turns blow-ups into errors.
+type bddEngine struct{}
+
+func (bddEngine) Name() string { return "bdd" }
+func (bddEngine) Class() Class { return ClassExact }
+
+func (bddEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64) error {
+	if err := checkOut(req, out); err != nil {
+		return err
+	}
+	if req.Frames > 1 {
+		return fmt.Errorf("engine: bdd does not support multi-cycle frames")
+	}
+	c := req.Circuit
+	return parallelSweep(ctx, c.N(), 1, resolveWorkers(req.Workers), req.OnBatch,
+		func() (func(lo, hi int) error, error) {
+			return func(lo, hi int) error {
+				for id := lo; id < hi; id++ {
+					p, err := bddsp.PSensitized(c, netlist.ID(id), req.Bias, req.BDDBudget)
+					if err != nil {
+						return err
+					}
+					out[id] = p
+				}
+				return nil
+			}, nil
+		})
+}

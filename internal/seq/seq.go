@@ -31,6 +31,7 @@
 package seq
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -227,24 +228,66 @@ func (a *Analyzer) compose(strike *frameSweep, r []float64) float64 {
 // (as the all-sites single-cycle analysis does) and the per-FF lookahead
 // vector is computed once and shared across sites.
 func (a *Analyzer) PDetectAll(frames int) []float64 {
+	out := make([]float64, a.c.N())
+	if err := a.PDetectAllInto(context.Background(), frames, out, nil); err != nil {
+		panic("seq: " + err.Error()) // unreachable: the background ctx never cancels
+	}
+	return out
+}
+
+// PDetectAllInto is the context-aware form of PDetectAll: it writes
+// PDetect(id, frames) to out[id] for every node, checks ctx between batches
+// (returning ctx.Err() promptly with out partially filled), and — when
+// onBatch is non-nil — invokes it after each out[lo:hi] range is final; a
+// non-nil return aborts the sweep and is returned verbatim. len(out) must
+// equal the circuit's node count.
+func (a *Analyzer) PDetectAllInto(ctx context.Context, frames int, out []float64, onBatch func(lo, hi int) error) error {
 	if frames < 1 {
-		panic(fmt.Sprintf("seq: PDetectAll with frames = %d", frames))
+		panic(fmt.Sprintf("seq: PDetectAllInto with frames = %d", frames))
+	}
+	n := a.c.N()
+	if len(out) != n {
+		return fmt.Errorf("seq: output slice has %d entries for %d nodes", len(out), n)
 	}
 	var r []float64
 	if frames > 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r = a.rVector(frames - 1)
 	}
-	results := a.epp.AllSites()
-	out := make([]float64, len(results))
-	for id := range results {
-		strike := a.profileFromResult(&results[id])
-		if frames == 1 {
-			out[id] = strike.pPO
-		} else {
-			out[id] = a.compose(strike, r)
+	eng := a.epp.Batch()
+	w := eng.Width()
+	sites := make([]netlist.ID, 0, w)
+	results := make([]core.Result, w)
+	for lo := 0; lo < n; lo += w {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		hi := lo + w
+		if hi > n {
+			hi = n
+		}
+		sites = sites[:0]
+		for id := lo; id < hi; id++ {
+			sites = append(sites, netlist.ID(id))
+		}
+		eng.EPPBatch(sites, results[:hi-lo])
+		for i := range sites {
+			strike := a.profileFromResult(&results[i])
+			if frames == 1 {
+				out[lo+i] = strike.pPO
+			} else {
+				out[lo+i] = a.compose(strike, r)
+			}
+		}
+		if onBatch != nil {
+			if err := onBatch(lo, hi); err != nil {
+				return err
+			}
 		}
 	}
-	return out
+	return nil
 }
 
 // PDetectCurve returns PDetect(site, k) for k = 1..frames in one pass, useful

@@ -1,20 +1,29 @@
 // Package ser assembles the full soft-error-rate estimate of the paper:
 // SER(n) = R_SEU(n) × P_latched(n) × P_sensitized(n) for every circuit node,
-// with P_sensitized computed either analytically (the paper's EPP method,
-// package core) or by random simulation (the baseline, package simulate).
-// It also implements the paper's stated use-case: identifying the most
-// vulnerable components and evaluating selective hardening.
+// with the expensive P_sensitized term computed by a pluggable backend from
+// the engine registry (the paper's EPP method — scalar or batched —, the
+// random-simulation baseline, or an exact backend). It also implements the
+// paper's stated use-case: identifying the most vulnerable components and
+// evaluating selective hardening.
+//
+// Run is the context-aware pipeline entry point; Stream is its incremental
+// sibling that yields one NodeSER at a time. Estimate is the original
+// synchronous entry point, retained as a thin wrapper.
 package ser
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"iter"
+	"math"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/latch"
 	"repro/internal/netlist"
-	"repro/internal/seq"
 	"repro/internal/sigprob"
 	"repro/internal/simulate"
 )
@@ -62,10 +71,36 @@ func (m SPMethod) String() string {
 	return fmt.Sprintf("SPMethod(%d)", int(m))
 }
 
+// ParseMethod inverts Method.String: it maps the canonical method name
+// ("epp", "monte-carlo") back to the Method, so flags, JSON and reports all
+// share one vocabulary.
+func ParseMethod(s string) (Method, error) {
+	for _, m := range []Method{MethodEPP, MethodMonteCarlo} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("ser: unknown method %q (want %q or %q)", s, MethodEPP, MethodMonteCarlo)
+}
+
+// ParseSPMethod inverts SPMethod.String ("topological", "monte-carlo").
+func ParseSPMethod(s string) (SPMethod, error) {
+	for _, m := range []SPMethod{SPTopological, SPMonteCarlo} {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("ser: unknown signal probability method %q (want %q or %q)", s, SPTopological, SPMonteCarlo)
+}
+
 // Config configures an SER estimation run.
 type Config struct {
 	Method   Method
 	SPMethod SPMethod
+	// Engine overrides the Method-derived P_sensitized backend with a named
+	// engine from the registry ("" = epp-batch for MethodEPP, monte-carlo
+	// for MethodMonteCarlo). See engine.Names for the registered set.
+	Engine string
 	// SP configures signal probability computation (bias, vectors, seed).
 	SP sigprob.Config
 	// MC configures the Monte Carlo P_sensitized baseline (MethodMonteCarlo).
@@ -74,13 +109,98 @@ type Config struct {
 	Faults *faults.Model
 	// Latch is the P_latched model; nil is replaced by latch.Default().
 	Latch *latch.Model
-	// Workers bounds parallelism for the EPP all-nodes sweep (0 = all cores).
+	// Workers bounds parallelism for the P_sensitized sweep (0 = all cores).
 	Workers int
 	// Frames, when > 1, replaces the single-cycle P_sensitized with the
 	// multi-cycle detection probability within Frames clock cycles
 	// (primary-output observation only; errors are followed through
 	// flip-flops — the sequential extension, MethodEPP only).
 	Frames int
+	// BatchWidth sets the batched EPP engine's lane count (0 = default).
+	BatchWidth int
+	// BDDBudget bounds the bdd engine's node count (0 = default).
+	BDDBudget int
+	// Progress, when non-nil, is called after each completed batch with the
+	// number of nodes finished so far and the total. Calls never overlap
+	// but may be out of ID order when Workers allows parallelism.
+	Progress func(done, total int)
+}
+
+// engineName resolves the effective engine: an explicit override wins,
+// otherwise the Method picks its canonical backend.
+func (cfg *Config) engineName() string {
+	if cfg.Engine != "" {
+		return cfg.Engine
+	}
+	if cfg.Method == MethodMonteCarlo {
+		return "monte-carlo"
+	}
+	return "epp-batch"
+}
+
+// Validate rejects contradictory or out-of-range configurations with
+// descriptive errors instead of silently ignoring them. c may be nil when no
+// circuit is at hand; per-node slice lengths are then not checked.
+func (cfg *Config) Validate(c *netlist.Circuit) error {
+	switch cfg.Method {
+	case MethodEPP, MethodMonteCarlo:
+	default:
+		return fmt.Errorf("ser: unknown method %v", cfg.Method)
+	}
+	switch cfg.SPMethod {
+	case SPTopological, SPMonteCarlo:
+	default:
+		return fmt.Errorf("ser: unknown signal probability method %v", cfg.SPMethod)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("ser: Workers = %d is negative (0 means all cores)", cfg.Workers)
+	}
+	if cfg.Frames < 0 {
+		return fmt.Errorf("ser: Frames = %d is negative (1 means single-cycle)", cfg.Frames)
+	}
+	if cfg.BatchWidth < 0 || cfg.BatchWidth > core.MaxBatchWidth {
+		return fmt.Errorf("ser: BatchWidth = %d outside [0, %d]", cfg.BatchWidth, core.MaxBatchWidth)
+	}
+	if cfg.MC.Vectors < 0 {
+		return fmt.Errorf("ser: MC.Vectors = %d is negative", cfg.MC.Vectors)
+	}
+	if cfg.SP.Vectors < 0 {
+		return fmt.Errorf("ser: SP.Vectors = %d is negative", cfg.SP.Vectors)
+	}
+	if cfg.BDDBudget < 0 {
+		return fmt.Errorf("ser: BDDBudget = %d is negative", cfg.BDDBudget)
+	}
+	eng, err := engine.Lookup(cfg.engineName())
+	if err != nil {
+		return err
+	}
+	if cfg.Method == MethodMonteCarlo && eng.Class() != engine.ClassSampling {
+		return fmt.Errorf("ser: engine %q contradicts MethodMonteCarlo (drop the method or pick the monte-carlo engine)", eng.Name())
+	}
+	if cfg.Frames > 1 && eng.Class() != engine.ClassAnalytic {
+		return fmt.Errorf("ser: Frames = %d requires an EPP engine; %q cannot follow errors through flip-flops", cfg.Frames, eng.Name())
+	}
+	if err := validBias("SP.SourceProb", cfg.SP.SourceProb, c); err != nil {
+		return err
+	}
+	return validBias("MC.SourceProb", cfg.MC.SourceProb, c)
+}
+
+// validBias checks a per-source probability vector for range and, when the
+// circuit is known, length.
+func validBias(field string, bias []float64, c *netlist.Circuit) error {
+	if bias == nil {
+		return nil
+	}
+	if c != nil && len(bias) != c.N() {
+		return fmt.Errorf("ser: %s has %d entries for %d nodes", field, len(bias), c.N())
+	}
+	for i, p := range bias {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("ser: %s[%d] = %v outside [0,1]", field, i, p)
+		}
+	}
+	return nil
 }
 
 // NodeSER is the per-node soft error rate decomposition.
@@ -97,86 +217,183 @@ type NodeSER struct {
 type Report struct {
 	Circuit  string
 	Method   Method
+	Engine   string    // registry name of the P_sensitized backend used
 	Nodes    []NodeSER // indexed by node ID
 	TotalFIT float64   // sum over nodes
 }
 
-// Estimate runs the full analysis on circuit c.
-func Estimate(c *netlist.Circuit, cfg Config) (*Report, error) {
-	fm := faults.Default()
-	if cfg.Faults != nil {
-		fm = *cfg.Faults
-	}
-	lm := latch.Default()
-	if cfg.Latch != nil {
-		lm = *cfg.Latch
-	}
-	if err := fm.Validate(); err != nil {
-		return nil, err
-	}
-	if err := lm.Validate(); err != nil {
-		return nil, err
-	}
+// prepared is the validated, resolved state shared by Run, Stream and
+// PSensitized: the engine, its request, and the R_SEU / P_latched models.
+type prepared struct {
+	eng    engine.Engine
+	req    engine.Request
+	faults faults.Model
+	latch  latch.Model
+}
 
-	psens, err := PSensitized(c, cfg)
+// prepare validates cfg against c, resolves the engine and models, and
+// assembles the engine request (computing the signal probability vector for
+// analytic engines per cfg.SPMethod).
+func prepare(c *netlist.Circuit, cfg *Config) (*prepared, error) {
+	if err := cfg.Validate(c); err != nil {
+		return nil, err
+	}
+	p := &prepared{faults: faults.Default(), latch: latch.Default()}
+	if cfg.Faults != nil {
+		p.faults = *cfg.Faults
+	}
+	if cfg.Latch != nil {
+		p.latch = *cfg.Latch
+	}
+	if err := p.faults.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.latch.Validate(); err != nil {
+		return nil, err
+	}
+	eng, err := engine.Lookup(cfg.engineName())
 	if err != nil {
 		return nil, err
 	}
-	rates := fm.RatesFIT(c)
-	platch := lm.Probabilities(c)
+	p.eng = eng
+	if eng.Class() == engine.ClassSampling {
+		// Normalize so the report names the method actually used even when
+		// the engine was selected directly.
+		cfg.Method = MethodMonteCarlo
+	}
+	// The sampling engines draw fault-injection vectors from MC.SourceProb
+	// only (matching the original Estimate semantics — an SP-only bias must
+	// not leak into the injection vectors); everything else reads the
+	// signal-probability bias. WithSourceBias sets both.
+	bias := cfg.SP.SourceProb
+	if eng.Class() == engine.ClassSampling {
+		bias = cfg.MC.SourceProb
+	}
+	p.req = engine.Request{
+		Circuit:    c,
+		Bias:       bias,
+		Workers:    cfg.Workers,
+		BatchWidth: cfg.BatchWidth,
+		Frames:     cfg.Frames,
+		Vectors:    cfg.MC.Vectors,
+		Seed:       cfg.MC.Seed,
+		BDDBudget:  cfg.BDDBudget,
+	}
+	if eng.Class() == engine.ClassAnalytic {
+		p.req.SP = SignalProbabilities(c, *cfg)
+	}
+	return p, nil
+}
 
-	rep := &Report{Circuit: c.Name, Method: cfg.Method, Nodes: make([]NodeSER, c.N())}
-	for id := 0; id < c.N(); id++ {
-		n := NodeSER{
-			ID:          netlist.ID(id),
-			Name:        c.NameOf(netlist.ID(id)),
-			RateFIT:     rates[id],
-			PLatched:    platch[id],
-			PSensitized: psens[id],
+// nodeSER assembles one node's SER decomposition from the factor vectors.
+func nodeSER(c *netlist.Circuit, id netlist.ID, rates, platch, psens []float64) NodeSER {
+	n := NodeSER{
+		ID:          id,
+		Name:        c.NameOf(id),
+		RateFIT:     rates[id],
+		PLatched:    platch[id],
+		PSensitized: psens[id],
+	}
+	n.SERFIT = n.RateFIT * n.PLatched * n.PSensitized
+	return n
+}
+
+// Run executes the full pipeline — signal probabilities, per-site
+// P_sensitized through the configured engine, R_SEU and P_latched models —
+// and returns the assembled report. Cancellation of ctx is honored between
+// engine batches and returns ctx.Err().
+func Run(ctx context.Context, c *netlist.Circuit, cfg Config) (*Report, error) {
+	p, err := prepare(c, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := c.N()
+	if cfg.Progress != nil {
+		done := 0
+		p.req.OnBatch = func(lo, hi int) error {
+			done += hi - lo
+			cfg.Progress(done, n)
+			return nil
 		}
-		n.SERFIT = n.RateFIT * n.PLatched * n.PSensitized
-		rep.Nodes[id] = n
-		rep.TotalFIT += n.SERFIT
+	}
+	psens := make([]float64, n)
+	if err := p.eng.PSensitizedAll(ctx, &p.req, psens); err != nil {
+		return nil, err
+	}
+	rates := p.faults.RatesFIT(c)
+	platch := p.latch.Probabilities(c)
+	rep := &Report{Circuit: c.Name, Method: cfg.Method, Engine: p.eng.Name(), Nodes: make([]NodeSER, n)}
+	for id := 0; id < n; id++ {
+		ns := nodeSER(c, netlist.ID(id), rates, platch, psens)
+		rep.Nodes[id] = ns
+		rep.TotalFIT += ns.SERFIT
 	}
 	return rep, nil
 }
 
+// errStreamStopped signals through the engine that the stream consumer
+// broke out of the loop; it is never surfaced to callers.
+var errStreamStopped = errors.New("ser: stream consumer stopped")
+
+// Stream is the incremental form of Run: it yields one NodeSER per node in
+// ID order as each engine batch completes, without materializing a Report —
+// the factor vectors aside, memory stays O(batch). The sweep runs
+// single-threaded so emission order is deterministic. On failure or
+// cancellation the final yield carries the error (with a zero NodeSER);
+// breaking out of the loop stops the sweep after the current batch.
+func Stream(ctx context.Context, c *netlist.Circuit, cfg Config) iter.Seq2[NodeSER, error] {
+	return func(yield func(NodeSER, error) bool) {
+		p, err := prepare(c, &cfg)
+		if err != nil {
+			yield(NodeSER{}, err)
+			return
+		}
+		n := c.N()
+		rates := p.faults.RatesFIT(c)
+		platch := p.latch.Probabilities(c)
+		psens := make([]float64, n)
+		p.req.Workers = 1 // ordered emission needs an ordered sweep
+		stopped := false
+		p.req.OnBatch = func(lo, hi int) error {
+			for id := lo; id < hi; id++ {
+				if !yield(nodeSER(c, netlist.ID(id), rates, platch, psens), nil) {
+					stopped = true
+					return errStreamStopped
+				}
+			}
+			if cfg.Progress != nil {
+				cfg.Progress(hi, n)
+			}
+			return nil
+		}
+		if err := p.eng.PSensitizedAll(ctx, &p.req, psens); err != nil && !stopped {
+			yield(NodeSER{}, err)
+		}
+	}
+}
+
+// Estimate runs the full analysis on circuit c.
+//
+// Deprecated: Estimate is the original synchronous entry point, kept as a
+// thin wrapper over Run with a background context. New code should call Run
+// (or Stream) for cancellation, engine selection and progress reporting.
+func Estimate(c *netlist.Circuit, cfg Config) (*Report, error) {
+	return Run(context.Background(), c, cfg)
+}
+
 // PSensitized computes the per-node sensitization probability vector with
-// the configured method (the expensive term; exposed separately for the
+// the configured engine (the expensive term; exposed separately for the
 // benchmark harness).
 func PSensitized(c *netlist.Circuit, cfg Config) ([]float64, error) {
-	switch cfg.Method {
-	case MethodEPP:
-		sp := SignalProbabilities(c, cfg)
-		if cfg.Frames > 1 {
-			sa, err := seq.New(c, sp)
-			if err != nil {
-				return nil, err
-			}
-			return sa.PDetectAll(cfg.Frames), nil
-		}
-		an, err := core.New(c, sp, core.Options{})
-		if err != nil {
-			return nil, err
-		}
-		if cfg.Workers == 1 {
-			return an.PSensitizedAll(), nil
-		}
-		results := an.AllSitesParallel(cfg.Workers)
-		out := make([]float64, c.N())
-		for id, r := range results {
-			out[id] = r.PSensitized
-		}
-		return out, nil
-	case MethodMonteCarlo:
-		mc := simulate.NewMonteCarlo(c, cfg.MC)
-		out := make([]float64, c.N())
-		for id := 0; id < c.N(); id++ {
-			out[id] = mc.EPP(netlist.ID(id)).PSensitized
-		}
-		return out, nil
+	p, err := prepare(c, &cfg)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("ser: unknown method %v", cfg.Method)
+	out := make([]float64, c.N())
+	if err := p.eng.PSensitizedAll(context.Background(), &p.req, out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // SignalProbabilities computes the configured signal probability vector.

@@ -1,0 +1,229 @@
+package sersim
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"repro/internal/engine"
+	"repro/internal/ser"
+)
+
+// Option configures a Run or RunStream call. Options are applied in order;
+// contradictory combinations (e.g. WithMethod(MethodMonteCarlo) together
+// with an EPP engine, or multi-cycle frames on a backend that cannot follow
+// errors through flip-flops) are rejected with a descriptive error before
+// any work starts.
+type Option func(*runConfig) error
+
+// runConfig accumulates option state. The explicit-set flags let Run
+// distinguish "defaulted" from "requested" when checking for contradictions
+// the zero values would mask.
+type runConfig struct {
+	cfg       ser.Config
+	methodSet bool
+	engineSet bool
+}
+
+// buildConfig applies the options and cross-checks explicit requests.
+func buildConfig(opts []Option) (*runConfig, error) {
+	rc := &runConfig{}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(rc); err != nil {
+			return nil, err
+		}
+	}
+	if rc.methodSet && rc.engineSet {
+		eng, err := engine.Lookup(rc.cfg.Engine)
+		if err != nil {
+			return nil, err
+		}
+		wantSampling := rc.cfg.Method == MethodMonteCarlo
+		isSampling := eng.Class() == engine.ClassSampling
+		isAnalytic := eng.Class() == engine.ClassAnalytic
+		if (wantSampling && !isSampling) || (!wantSampling && !isAnalytic) {
+			return nil, fmt.Errorf("sersim: WithMethod(%v) contradicts WithEngine(%q) (a %v engine); pick one",
+				rc.cfg.Method, eng.Name(), eng.Class())
+		}
+	}
+	return rc, nil
+}
+
+// WithMethod selects the P_sensitized estimator family: MethodEPP (the
+// paper's analysis, default) or MethodMonteCarlo (the random-simulation
+// baseline). For finer backend control use WithEngine.
+func WithMethod(m Method) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.Method = m
+		rc.methodSet = true
+		return nil
+	}
+}
+
+// WithSPMethod selects the signal probability source feeding the EPP
+// engines: SPTopological (fast Parker–McCluskey sweep, default) or
+// SPMonteCarlo (bit-parallel random simulation).
+func WithSPMethod(m SPMethod) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.SPMethod = m
+		return nil
+	}
+}
+
+// WithEngine selects a named P_sensitized backend from the engine registry
+// — see Engines for the registered set ("epp-batch", "epp-scalar",
+// "monte-carlo", "enum", "bdd", plus any future backends). It overrides the
+// WithMethod-derived default.
+func WithEngine(name string) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.Engine = name
+		rc.engineSet = true
+		return nil
+	}
+}
+
+// WithFrames extends the analysis across clock cycles: an error captured by
+// flip-flops in the strike cycle keeps propagating for up to frames cycles
+// (the sequential extension). frames <= 1 is the paper's single-cycle
+// analysis. Requires an EPP engine.
+func WithFrames(frames int) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.Frames = frames
+		return nil
+	}
+}
+
+// WithWorkers bounds the P_sensitized sweep's parallelism: 0 (default)
+// means all cores, 1 forces a serial sweep. Results are identical at any
+// worker count; RunStream always sweeps serially for ordered emission.
+func WithWorkers(workers int) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.Workers = workers
+		return nil
+	}
+}
+
+// WithBatchWidth sets the batched EPP engine's lane count — how many error
+// sites share one union-cone sweep (0 = default, clamped to the engine
+// maximum). Mostly a tuning and debugging knob.
+func WithBatchWidth(width int) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.BatchWidth = width
+		return nil
+	}
+}
+
+// WithVectors sets the random-vector budget per site for the Monte Carlo
+// estimator (0 = default).
+func WithVectors(vectors int) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.MC.Vectors = vectors
+		return nil
+	}
+}
+
+// WithSPVectors sets the vector budget for Monte Carlo signal probability
+// computation (0 = default; only consulted with WithSPMethod(SPMonteCarlo)).
+func WithSPVectors(vectors int) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.SP.Vectors = vectors
+		return nil
+	}
+}
+
+// WithSeed fixes every randomized component (signal probability simulation
+// and the Monte Carlo estimator), making runs reproducible.
+func WithSeed(seed uint64) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.SP.Seed = seed
+		rc.cfg.MC.Seed = seed
+		return nil
+	}
+}
+
+// WithSourceBias sets the per-source probability of logic 1, indexed by
+// node ID (primary inputs and flip-flop outputs; other entries are
+// ignored). Nil means 0.5 everywhere. Entries must lie in [0,1] and the
+// slice must cover every node.
+func WithSourceBias(prob1 []float64) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.SP.SourceProb = prob1
+		rc.cfg.MC.SourceProb = prob1
+		return nil
+	}
+}
+
+// WithBDDBudget bounds the bdd engine's node count, turning BDD blow-ups
+// into errors instead of hangs (0 = default budget).
+func WithBDDBudget(nodes int) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.BDDBudget = nodes
+		return nil
+	}
+}
+
+// WithFaultModel replaces the default R_SEU model.
+func WithFaultModel(m FaultModel) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.Faults = &m
+		return nil
+	}
+}
+
+// WithLatchModel replaces the default P_latched model.
+func WithLatchModel(m LatchModel) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.Latch = &m
+		return nil
+	}
+}
+
+// WithProgress registers a callback invoked after each completed batch with
+// the number of nodes finished so far and the total. Calls never overlap
+// but may arrive out of ID order when the sweep is parallel.
+func WithProgress(fn func(done, total int)) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.Progress = fn
+		return nil
+	}
+}
+
+// Run executes the full SER pipeline on circuit c — signal probabilities,
+// per-site P_sensitized through the selected engine, the R_SEU and
+// P_latched models — and returns the assembled per-node report. The zero
+// option set reproduces the paper's configuration: the batched EPP engine
+// over topological signal probabilities with the default technology models.
+//
+// Cancellation of ctx is honored between engine batches: Run returns
+// ctx.Err() promptly without draining the remaining sweep.
+func Run(ctx context.Context, c *Circuit, opts ...Option) (*Report, error) {
+	rc, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return ser.Run(ctx, c, rc.cfg)
+}
+
+// RunStream is the incremental form of Run: it yields one NodeSER per node
+// in ID order as each engine batch completes, so million-gate sweeps need
+// not hold a full Report in memory. The sequence yields exactly the NodeSER
+// values Run would report. On failure or cancellation the final yield
+// carries the error with a zero NodeSER; breaking out of the loop stops the
+// sweep after the current batch. The sweep runs serially so emission order
+// is deterministic — use Run for multi-core sweeps.
+func RunStream(ctx context.Context, c *Circuit, opts ...Option) iter.Seq2[NodeSER, error] {
+	rc, err := buildConfig(opts)
+	if err != nil {
+		return func(yield func(NodeSER, error) bool) {
+			yield(NodeSER{}, err)
+		}
+	}
+	return ser.Stream(ctx, c, rc.cfg)
+}
+
+// Engines returns the names of the registered P_sensitized backends, sorted
+// — the valid arguments to WithEngine.
+func Engines() []string { return engine.Names() }

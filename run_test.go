@@ -1,0 +1,272 @@
+package sersim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunMatchesEstimate: the new pipeline reproduces the deprecated
+// wrapper's report exactly (same engine, same arithmetic).
+func TestRunMatchesEstimate(t *testing.T) {
+	c, err := GenerateProfile("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Estimate(c, EstimateConfig{Method: MethodEPP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalFIT != old.TotalFIT {
+		t.Fatalf("Run TotalFIT %v != Estimate TotalFIT %v", rep.TotalFIT, old.TotalFIT)
+	}
+	for id := range rep.Nodes {
+		if rep.Nodes[id] != old.Nodes[id] {
+			t.Fatalf("node %d: Run %+v != Estimate %+v", id, rep.Nodes[id], old.Nodes[id])
+		}
+	}
+	if rep.Engine != "epp-batch" {
+		t.Errorf("Run engine = %q", rep.Engine)
+	}
+}
+
+// TestRunStreamMatchesRun: the streamed NodeSER sequence is exactly the
+// report's Nodes slice, in ID order — for the default engine, a worker-
+// parallel run, the Monte Carlo engine, and a multi-cycle sweep.
+func TestRunStreamMatchesRun(t *testing.T) {
+	c, err := GenerateProfile("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"default", nil},
+		{"parallel", []Option{WithWorkers(4)}},
+		{"monte-carlo", []Option{WithMethod(MethodMonteCarlo), WithVectors(256), WithSeed(9)}},
+		{"frames", []Option{WithFrames(3)}},
+		{"scalar-engine", []Option{WithEngine("epp-scalar")}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := Run(context.Background(), c, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := 0
+			for n, err := range RunStream(context.Background(), c, tc.opts...) {
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i >= len(rep.Nodes) {
+					t.Fatalf("stream yielded more than %d nodes", len(rep.Nodes))
+				}
+				if n != rep.Nodes[i] {
+					t.Fatalf("node %d: stream %+v != run %+v", i, n, rep.Nodes[i])
+				}
+				i++
+			}
+			if i != len(rep.Nodes) {
+				t.Fatalf("stream yielded %d nodes, want %d", i, len(rep.Nodes))
+			}
+		})
+	}
+}
+
+// TestRunStreamEarlyBreak: breaking out of the loop stops the sweep without
+// surfacing an error.
+func TestRunStreamEarlyBreak(t *testing.T) {
+	c, err := GenerateProfile("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, err := range RunStream(context.Background(), c) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen++
+		if seen == 10 {
+			break
+		}
+	}
+	if seen != 10 {
+		t.Fatalf("consumed %d nodes, want 10", seen)
+	}
+}
+
+// TestRunCancellation: a cancelled context surfaces context.Canceled from
+// Run, and mid-stream cancellation ends RunStream with ctx.Err() without
+// draining the remaining nodes.
+func TestRunCancellation(t *testing.T) {
+	c, err := GenerateProfile("s1196")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, err := Run(pre, c); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run on cancelled ctx: err = %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	seen := 0
+	var final error
+	for n, err := range RunStream(ctx, c) {
+		if err != nil {
+			final = err
+			if n != (NodeSER{}) {
+				t.Errorf("error yield carried non-zero NodeSER %+v", n)
+			}
+			continue
+		}
+		seen++
+		if seen == 70 { // past the first batch: cancellation hits between batches
+			cancel()
+		}
+	}
+	if !errors.Is(final, context.Canceled) {
+		t.Fatalf("stream final err = %v, want context.Canceled", final)
+	}
+	if seen >= c.N() {
+		t.Fatalf("stream drained all %d nodes despite cancellation", c.N())
+	}
+}
+
+// TestOptionValidation: contradictory or out-of-range options fail with
+// descriptive errors before any work starts.
+func TestOptionValidation(t *testing.T) {
+	c, err := ParseBenchString(`
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"frames+mc", []Option{WithMethod(MethodMonteCarlo), WithFrames(4)}, "Frames"},
+		{"negative-workers", []Option{WithWorkers(-2)}, "Workers"},
+		{"negative-frames", []Option{WithFrames(-1)}, "Frames"},
+		{"negative-vectors", []Option{WithMethod(MethodMonteCarlo), WithVectors(-5)}, "Vectors"},
+		{"bias-range", []Option{WithSourceBias([]float64{1.5, 0})}, "outside [0,1]"},
+		{"bias-length", []Option{WithSourceBias([]float64{0.5})}, "entries"},
+		{"unknown-engine", []Option{WithEngine("warp")}, "unknown engine"},
+		{"method-vs-engine", []Option{WithMethod(MethodMonteCarlo), WithEngine("epp-batch")}, "contradicts"},
+		{"epp-vs-mc-engine", []Option{WithMethod(MethodEPP), WithEngine("monte-carlo")}, "contradicts"},
+		{"frames-on-exact", []Option{WithEngine("enum"), WithFrames(2)}, "Frames"},
+		{"batch-width", []Option{WithBatchWidth(65)}, "BatchWidth"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(context.Background(), c, tc.opts...)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %q, want mention of %q", err, tc.want)
+			}
+			// RunStream must reject identically, via its first yield.
+			var streamErr error
+			for _, err := range RunStream(context.Background(), c, tc.opts...) {
+				streamErr = err
+			}
+			if streamErr == nil || streamErr.Error() != err.Error() {
+				t.Fatalf("stream err = %v, run err = %v", streamErr, err)
+			}
+		})
+	}
+}
+
+// TestParseRoundTrip: ParseMethod/ParseSPMethod invert String, giving one
+// canonical naming end to end.
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range []Method{MethodEPP, MethodMonteCarlo} {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseMethod(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for _, m := range []SPMethod{SPTopological, SPMonteCarlo} {
+		got, err := ParseSPMethod(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseSPMethod(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if _, err := ParseMethod("exact"); err == nil {
+		t.Error("ParseMethod accepted unknown name")
+	}
+	if _, err := ParseSPMethod("epp"); err == nil {
+		t.Error("ParseSPMethod accepted unknown name")
+	}
+}
+
+// TestEnginesListed: the registry surface the CLI exposes.
+func TestEnginesListed(t *testing.T) {
+	names := Engines()
+	want := map[string]bool{"epp-batch": true, "epp-scalar": true, "monte-carlo": true, "enum": true, "bdd": true}
+	if len(names) < len(want) {
+		t.Fatalf("Engines() = %v", names)
+	}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Engines() = %v, missing %v", names, want)
+	}
+}
+
+// TestRunWithProgress: the progress callback covers every node exactly once.
+func TestRunWithProgress(t *testing.T) {
+	c, err := GenerateProfile("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, total := 0, 0
+	_, err = Run(context.Background(), c,
+		WithWorkers(1),
+		WithProgress(func(done, n int) { last, total = done, n }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != c.N() || total != c.N() {
+		t.Fatalf("final progress %d/%d, want %d/%d", last, total, c.N(), c.N())
+	}
+}
+
+// TestRunExactEngines: the exact backends are reachable through Run on a
+// circuit small enough to enumerate, and agree with each other.
+func TestRunExactEngines(t *testing.T) {
+	c, err := ParseBenchFile("testdata/majority.bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repEnum, err := Run(context.Background(), c, WithEngine("enum"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repBDD, err := Run(context.Background(), c, WithEngine("bdd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range repEnum.Nodes {
+		if repEnum.Nodes[id].PSensitized != repBDD.Nodes[id].PSensitized {
+			t.Fatalf("node %d: enum %v != bdd %v", id,
+				repEnum.Nodes[id].PSensitized, repBDD.Nodes[id].PSensitized)
+		}
+	}
+	if repEnum.Engine != "enum" || repBDD.Engine != "bdd" {
+		t.Errorf("engines recorded as %q, %q", repEnum.Engine, repBDD.Engine)
+	}
+}

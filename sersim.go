@@ -12,18 +12,54 @@
 // the propagated error's polarity, which keeps the estimate accurate at
 // reconvergent fanout.
 //
-// Typical use:
+// # Quickstart
+//
+// The whole pipeline is one call: Run parses nothing and hides nothing — it
+// takes a circuit, functional options, and a context, and returns the
+// per-node report.
 //
 //	c, err := sersim.ParseBenchFile("s1196.bench")
-//	sp := sersim.SignalProbabilities(c, sersim.SPConfig{})
-//	an, err := sersim.NewAnalyzer(c, sp, sersim.AnalyzerOptions{})
-//	res := an.EPP(c.ByName("G42"))        // one error site
-//	rep, err := sersim.Estimate(c, sersim.EstimateConfig{}) // whole circuit
+//	rep, err := sersim.Run(ctx, c)                         // paper defaults
+//	rep, err := sersim.Run(ctx, c,
+//	        sersim.WithSPMethod(sersim.SPMonteCarlo),      // simulation-grade SP
+//	        sersim.WithSeed(7),
+//	        sersim.WithWorkers(8))
+//	for _, n := range rep.TopK(10) { ... }                 // vulnerability ranking
+//
+// RunStream is the incremental form: it yields one NodeSER at a time in ID
+// order, honoring cancellation between batches, so huge sweeps need not
+// materialize a full report:
+//
+//	for n, err := range sersim.RunStream(ctx, c) {
+//	        if err != nil { return err }
+//	        consume(n)
+//	}
+//
+// The P_sensitized backend is pluggable: WithMethod picks the estimator
+// family (EPP vs Monte Carlo), WithEngine names a specific registered
+// backend ("epp-batch", "epp-scalar", "monte-carlo", "enum", "bdd" — see
+// Engines), and WithFrames extends the analysis across clock cycles.
+// Contradictory option combinations are rejected up front with descriptive
+// errors.
+//
+// # Migration from the pre-Run API
+//
+// The original entry points remain as thin wrappers and low-level access
+// paths: Estimate(c, EstimateConfig{...}) is Run with a background context
+// and struct-style config (deprecated); NewAnalyzer serves single-site EPP
+// queries; NewMonteCarlo, NewMultiCycleAnalyzer and the Exact* functions
+// expose the individual backends directly. Every capability of those entry
+// points is reachable through Run/RunStream options:
+//
+//	Estimate(c, EstimateConfig{Method: MethodMonteCarlo}) → Run(ctx, c, WithMethod(MethodMonteCarlo))
+//	Estimate(c, EstimateConfig{Frames: 8})                → Run(ctx, c, WithFrames(8))
+//	NewMonteCarlo(c, MCOptions{Vectors: 4096})            → Run(ctx, c, WithMethod(MethodMonteCarlo), WithVectors(4096))
+//	ExactPSensitized / EnumeratePSensitized (per node)    → Run(ctx, c, WithEngine("bdd" /* or "enum" */))
 //
 // The implementation lives in the internal packages (netlist, bench, graph,
-// sigprob, core, simulate, exact, faults, latch, ser, gen); this package
-// re-exports the stable surface as type aliases so downstream code needs a
-// single import.
+// sigprob, core, engine, simulate, exact, faults, latch, ser, gen); this
+// package re-exports the stable surface as type aliases so downstream code
+// needs a single import.
 package sersim
 
 import (
@@ -33,8 +69,10 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/exact"
+	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/harden"
+	"repro/internal/latch"
 	"repro/internal/netlist"
 	"repro/internal/seq"
 	"repro/internal/ser"
@@ -94,6 +132,21 @@ type Analyzer = core.Analyzer
 // AnalyzerOptions configure an Analyzer.
 type AnalyzerOptions = core.Options
 
+// RuleSet selects the gate-rule implementation used by the EPP sweep (see
+// AnalyzerOptions.Rules).
+type RuleSet = core.RuleSet
+
+// RuleSet values.
+const (
+	// RulesClosedForm is the paper's Table 1 product formulas (default).
+	RulesClosedForm = core.RulesClosedForm
+	// RulesPairwise folds every gate through the exhaustive 4×4 symbol
+	// table — equivalent results, an executable specification.
+	RulesPairwise = core.RulesPairwise
+	// RulesNoPolarity ablates the paper's key idea (polarity tracking).
+	RulesNoPolarity = core.RulesNoPolarity
+)
+
 // EPPResult is the per-site analysis result.
 type EPPResult = core.Result
 
@@ -115,6 +168,10 @@ func NewMonteCarlo(c *Circuit, opt MCOptions) *MonteCarlo {
 }
 
 // EstimateConfig configures a full-circuit SER estimation.
+//
+// Deprecated: EstimateConfig is the struct-style configuration of the
+// original Estimate entry point. New code should pass Options to Run or
+// RunStream instead.
 type EstimateConfig = ser.Config
 
 // Report is a full-circuit SER estimation result with ranking and hardening
@@ -126,15 +183,61 @@ type NodeSER = ser.NodeSER
 
 // Estimate runs the full SER analysis SER(n) = R_SEU × P_latched ×
 // P_sensitized over every node of c.
+//
+// Deprecated: Estimate is Run with a background context and struct-style
+// config; it remains for compatibility. New code should call Run (for
+// cancellation, engine selection and progress) or RunStream (for
+// incremental results).
 func Estimate(c *Circuit, cfg EstimateConfig) (*Report, error) {
 	return ser.Estimate(c, cfg)
 }
 
-// Method selects the P_sensitized estimator in EstimateConfig.
+// Method selects the P_sensitized estimator family.
+type Method = ser.Method
+
+// Method values.
 const (
-	MethodEPP        = ser.MethodEPP
+	// MethodEPP is the paper's propagation-probability analysis (default).
+	MethodEPP = ser.MethodEPP
+	// MethodMonteCarlo is the random-simulation baseline.
 	MethodMonteCarlo = ser.MethodMonteCarlo
 )
+
+// SPMethod selects the signal probability source feeding the EPP engines.
+type SPMethod = ser.SPMethod
+
+// SPMethod values.
+const (
+	// SPTopological is the fast Parker–McCluskey sweep (default).
+	SPTopological = ser.SPTopological
+	// SPMonteCarlo is simulation-based signal probability, the accurate
+	// design-flow by-product the paper leverages.
+	SPMonteCarlo = ser.SPMonteCarlo
+)
+
+// ParseMethod maps a canonical method name ("epp", "monte-carlo") back to
+// its Method; it inverts Method.String, so flag parsing, JSON output and
+// reports share one vocabulary.
+func ParseMethod(s string) (Method, error) { return ser.ParseMethod(s) }
+
+// ParseSPMethod maps a canonical signal probability method name
+// ("topological", "monte-carlo") back to its SPMethod, inverting
+// SPMethod.String.
+func ParseSPMethod(s string) (SPMethod, error) { return ser.ParseSPMethod(s) }
+
+// FaultModel computes per-node raw SEU rates R_SEU(n); see WithFaultModel.
+type FaultModel = faults.Model
+
+// DefaultFaultModel returns the documented default R_SEU model, a useful
+// starting point for WithFaultModel customization.
+func DefaultFaultModel() FaultModel { return faults.Default() }
+
+// LatchModel computes per-node latching probabilities P_latched(n); see
+// WithLatchModel.
+type LatchModel = latch.Model
+
+// DefaultLatchModel returns the documented default P_latched model.
+func DefaultLatchModel() LatchModel { return latch.Default() }
 
 // ExactSignalProbabilities computes symbolically exact (BDD-based,
 // Parker–McCluskey) signal probabilities, with per-source bias prob1 (nil =
