@@ -119,22 +119,31 @@ func main() {
 	case "exact-accuracy":
 		runExactAccuracy(names, cfg)
 	case "bench":
-		runBench(names, *engName, *jsonPath)
+		runBench(names, *engName, *jsonPath, cfg.Workers, cfg.MCVectors, cfg.Seed)
 	default:
 		fmt.Fprintf(os.Stderr, "serbench: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
 }
 
-// benchRow is one circuit's kernel measurement, serialized by -json.
+// benchRow is one circuit's kernel measurement, serialized by -json. The
+// counter ratios make the batching wins visible in the artifact trajectory:
+// swept_nodes_per_site is the batched EPP engine's cone-locality
+// efficiency (union-cone nodes swept per site; a full-cone per-site sweep
+// would pay the mean cone size), and good_sims_per_word is the sampling
+// engine's good-simulation sharing (exactly 1 for the shared-good-sim
+// kernel; the per-site estimator pays one per site). Zero-valued counters
+// (an engine that does not record them) are omitted.
 type benchRow struct {
-	Circuit     string  `json:"circuit"`
-	Engine      string  `json:"engine"`
-	Nodes       int     `json:"nodes"`
-	Gates       int     `json:"gates"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	Circuit           string  `json:"circuit"`
+	Engine            string  `json:"engine"`
+	Nodes             int     `json:"nodes"`
+	Gates             int     `json:"gates"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	BytesPerOp        int64   `json:"bytes_per_op"`
+	SweptNodesPerSite float64 `json:"swept_nodes_per_site,omitempty"`
+	GoodSimsPerWord   float64 `json:"good_sims_per_word,omitempty"`
 }
 
 // marshalBenchRows renders the bench measurements exactly as -json writes
@@ -149,16 +158,30 @@ func marshalBenchRows(rows []benchRow) ([]byte, error) {
 }
 
 // benchCircuit times one engine's all-sites P_sensitized sweep on one
-// circuit under the Go benchmark methodology.
-func benchCircuit(eng engine.Engine, c *netlist.Circuit) (benchRow, error) {
-	req := engine.Request{Circuit: c, SP: sigprob.Topological(c, sigprob.Config{})}
+// circuit under the Go benchmark methodology. The warm-up pass doubles as
+// the counted pass: it carries an engine.Stats whose ratios land in the
+// row. workers bounds the sweep's parallelism (the -workers flag defaults
+// to 1 so BENCH_*.json rows track the kernel, not the machine's core
+// count); vectors/seed configure the sampling engines (0 = engine
+// default).
+func benchCircuit(eng engine.Engine, c *netlist.Circuit, workers, vectors int, seed uint64) (benchRow, error) {
+	var stats engine.Stats
+	req := engine.Request{
+		Circuit: c,
+		SP:      sigprob.Topological(c, sigprob.Config{}),
+		Workers: workers,
+		Vectors: vectors,
+		Seed:    seed,
+		Stats:   &stats,
+	}
 	out := make([]float64, c.N())
 	ctx := context.Background()
-	// Warm the engine's scratch (and surface config errors) outside the
-	// timing loop.
+	// Warm the engine's scratch, count the work, and surface config errors
+	// outside the timing loop.
 	if err := eng.PSensitizedAll(ctx, &req, out); err != nil {
 		return benchRow{}, err
 	}
+	req.Stats = nil // keep counter writes out of the timed loop
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -168,21 +191,25 @@ func benchCircuit(eng engine.Engine, c *netlist.Circuit) (benchRow, error) {
 		}
 	})
 	return benchRow{
-		Circuit:     c.Name,
-		Engine:      eng.Name(),
-		Nodes:       c.N(),
-		Gates:       c.Stats().Gates,
-		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
-		AllocsPerOp: res.AllocsPerOp(),
-		BytesPerOp:  res.AllocedBytesPerOp(),
+		Circuit:           c.Name,
+		Engine:            eng.Name(),
+		Nodes:             c.N(),
+		Gates:             c.Stats().Gates,
+		NsPerOp:           float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp:       res.AllocsPerOp(),
+		BytesPerOp:        res.AllocedBytesPerOp(),
+		SweptNodesPerSite: stats.SweptNodesPerSite(),
+		GoodSimsPerWord:   stats.GoodSimsPerWord(),
 	}, nil
 }
 
 // runBench times the all-sites P_sensitized kernel of the selected engine
 // (the "SysT" quantity for the EPP engines) per circuit and optionally
 // writes the rows as JSON, so future changes can be compared as a time
-// series of BENCH_*.json files.
-func runBench(names []string, engName, jsonPath string) {
+// series of BENCH_*.json files. Work-counter ratios (swept nodes per site,
+// good sims per word) ride along so locality and good-sim-sharing wins show
+// up in the artifact trajectory, not just wall-clock.
+func runBench(names []string, engName, jsonPath string, workers, vectors int, seed uint64) {
 	eng, err := engine.Lookup(engName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
@@ -193,7 +220,7 @@ func runBench(names []string, engName, jsonPath string) {
 	}
 	t := report.NewTable(
 		fmt.Sprintf("all-sites P_sensitized kernel (engine %s)", eng.Name()),
-		"Circuit", "Nodes", "ns/op", "allocs/op", "B/op",
+		"Circuit", "Nodes", "ns/op", "allocs/op", "B/op", "swept/site", "goodsims/word",
 	)
 	rows := make([]benchRow, 0, len(names))
 	for _, name := range names {
@@ -202,18 +229,20 @@ func runBench(names []string, engName, jsonPath string) {
 			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 			os.Exit(1)
 		}
-		row, err := benchCircuit(eng, c)
+		row, err := benchCircuit(eng, c, workers, vectors, seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		rows = append(rows, row)
-		t.AddRowf(row.Circuit, row.Nodes, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
+		t.AddRowf(row.Circuit, row.Nodes, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp,
+			row.SweptNodesPerSite, row.GoodSimsPerWord)
 		fmt.Fprintf(os.Stderr, "done %-8s %.3fms/op %d allocs/op\n",
 			name, row.NsPerOp/1e6, row.AllocsPerOp)
 	}
 	t.AddNote("one op = P_sensitized for every node (default batch width %d)", core.DefaultBatchWidth)
 	t.AddNote("ops go through the stateless engine API and include per-call engine construction; BenchmarkEPPAllNodes times the warm core kernel")
+	t.AddNote("swept/site = union-cone nodes per site (batched EPP); goodsims/word = good sims per 64-vector word (sampling; the shared kernel pins it at 1)")
 	if err := t.Render(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 		os.Exit(1)

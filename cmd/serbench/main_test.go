@@ -17,8 +17,9 @@ import (
 // the same marshalBenchRows path the command uses.
 func TestBenchJSONGolden(t *testing.T) {
 	rows := []benchRow{
-		{Circuit: "s953", Engine: "epp-batch", Nodes: 440, Gates: 395, NsPerOp: 1.25e6, AllocsPerOp: 1, BytesPerOp: 2048},
+		{Circuit: "s953", Engine: "epp-batch", Nodes: 440, Gates: 395, NsPerOp: 1.25e6, AllocsPerOp: 1, BytesPerOp: 2048, SweptNodesPerSite: 3.925},
 		{Circuit: "s1196", Engine: "epp-batch", Nodes: 561, Gates: 529, NsPerOp: 2.5e6, AllocsPerOp: 0, BytesPerOp: 0},
+		{Circuit: "s953", Engine: "monte-carlo", Nodes: 440, Gates: 395, NsPerOp: 9.5e6, AllocsPerOp: 12, BytesPerOp: 4096, SweptNodesPerSite: 52.5, GoodSimsPerWord: 1},
 	}
 	got, err := marshalBenchRows(rows)
 	if err != nil {
@@ -46,7 +47,7 @@ func TestBenchCircuitRow(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := gen.SmallRandom(1)
-	row, err := benchCircuit(eng, c)
+	row, err := benchCircuit(eng, c, 1, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +56,12 @@ func TestBenchCircuitRow(t *testing.T) {
 	}
 	if row.Nodes != c.N() || row.NsPerOp <= 0 {
 		t.Errorf("row = %+v", row)
+	}
+	if row.SweptNodesPerSite <= 0 {
+		t.Errorf("SweptNodesPerSite = %v, want > 0 for epp-batch", row.SweptNodesPerSite)
+	}
+	if row.GoodSimsPerWord != 0 {
+		t.Errorf("GoodSimsPerWord = %v, want 0 (unrecorded) for epp-batch", row.GoodSimsPerWord)
 	}
 	buf, err := marshalBenchRows([]benchRow{row})
 	if err != nil {

@@ -53,6 +53,7 @@ func main() {
 		engineName  = flag.String("engine", "", "named P_sensitized backend override (see -engines)")
 		listEngines = flag.Bool("engines", false, "list the registered engines and exit")
 		spMethod    = flag.String("sp", sersim.SPTopological.String(), "topological | monte-carlo")
+		rules       = flag.String("rules", sersim.RulesClosedForm.String(), "EPP gate rules: closed-form | pairwise | no-polarity")
 		vectors     = flag.Int("vectors", 10000, "vectors for monte-carlo estimators")
 		seed        = flag.Uint64("seed", 1, "seed")
 		frames      = flag.Int("frames", 1, "clock cycles for multi-cycle P_sensitized (EPP only)")
@@ -84,6 +85,10 @@ func main() {
 	if err != nil {
 		fatalUsage(err)
 	}
+	rs, err := sersim.ParseRuleSet(*rules)
+	if err != nil {
+		fatalUsage(err)
+	}
 
 	opts := []sersim.Option{
 		sersim.WithSPMethod(spm),
@@ -92,6 +97,12 @@ func main() {
 		sersim.WithSeed(*seed),
 		sersim.WithFrames(*frames),
 		sersim.WithWorkers(*workers),
+	}
+	if rs != sersim.RulesClosedForm {
+		// Non-default rule sets require an EPP engine; the option layer
+		// rejects contradictions (e.g. -rules pairwise -method monte-carlo)
+		// with a descriptive error before any work starts.
+		opts = append(opts, sersim.WithRules(rs))
 	}
 	// WithMethod and WithEngine cross-check each other; pass the method only
 	// when the user actually chose one so an -engine override alone never

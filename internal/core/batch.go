@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -73,7 +74,14 @@ type BatchAnalyzer struct {
 	miss  []float64 // per-lane running ∏ (1 − PErr(output))
 	csize []int32   // per-lane on-path signal count
 	ins   []logic.Prob4
-	sites []netlist.ID
+
+	// Cumulative work counters since construction (or ResetCounters): how
+	// many union-cone nodes were swept and how many sites were analyzed.
+	// sweptNodes/sitesSwept is the batching efficiency — with perfect cone
+	// overlap it approaches |cone|/width per site; with disjoint cones it
+	// equals the mean cone size. See Counters.
+	sweptNodes int64
+	sitesSwept int64
 }
 
 // NewBatch returns a batched engine over the same circuit, signal
@@ -97,12 +105,25 @@ func NewBatch(a *Analyzer, width int) *BatchAnalyzer {
 		miss:      make([]float64, width),
 		csize:     make([]int32, width),
 		ins:       make([]logic.Prob4, 0, 8),
-		sites:     make([]netlist.ID, 0, width),
 	}
 }
 
 // Width returns the configured batch width (lanes per pass).
 func (b *BatchAnalyzer) Width() int { return b.stride }
+
+// Counters returns the cumulative work counters: union-cone nodes swept and
+// sites analyzed since construction (or the last ResetCounters). Their ratio
+// is the batching efficiency the cone-locality scheduler optimizes — swept
+// nodes per site, lower is better (the per-site minimum is the mean cone
+// size divided by the batch width when cones overlap perfectly).
+func (b *BatchAnalyzer) Counters() (sweptNodes, sites int64) {
+	return b.sweptNodes, b.sitesSwept
+}
+
+// ResetCounters zeroes the work counters.
+func (b *BatchAnalyzer) ResetCounters() {
+	b.sweptNodes, b.sitesSwept = 0, 0
+}
 
 // Batch returns the Analyzer's batched engine (lazily created at the
 // Options.BatchWidth lane count), the engine behind the AllSites entry
@@ -157,7 +178,8 @@ func (b *BatchAnalyzer) EPPBatch(sites []netlist.ID, out []Result) {
 			ConeSize:    int(b.csize[i]),
 		}
 	}
-	// Gather per-lane output states in sweep (topological) order.
+	// Gather per-lane output states in ascending node-ID order (b.obs is
+	// sorted after the sweep; see run).
 	for _, id := range b.obs {
 		base := int(b.pos[id]) * stride
 		for mm := b.mask[id]; mm != 0; mm &= mm - 1 {
@@ -280,6 +302,27 @@ func (b *BatchAnalyzer) run(sites []netlist.ID) {
 	b.obs = b.obs[:0]
 
 	b.sweepUnion()
+
+	// Fold each lane's per-output miss product in ascending output-ID
+	// order. The order is canonical — independent of which sites share the
+	// batch and of the union sweep's within-level tie-breaking — which
+	// makes every batched result bit-identical under any site packing (see
+	// TestBatchPackingInvariance); lane states themselves are already
+	// packing-invariant because a lane's arithmetic only ever reads its own
+	// lane and off-path signal probabilities. The scalar engine folds in
+	// cone topological order instead, hence the documented ≤ 1e-12 (not
+	// bitwise) agreement between the engines.
+	slices.Sort(b.obs)
+	for _, id := range b.obs {
+		base := int(b.pos[id]) * stride
+		for mm := b.mask[id]; mm != 0; mm &= mm - 1 {
+			l := bits.TrailingZeros64(mm)
+			j := base + l
+			b.miss[l] *= 1 - (b.pa[j] + b.pab[j])
+		}
+	}
+	b.sweptNodes += int64(len(b.members))
+	b.sitesSwept += int64(len(sites))
 }
 
 // sweepUnion is the batched step 3: one pass over the union cone in
@@ -338,12 +381,7 @@ func (b *BatchAnalyzer) sweepUnion() {
 		}
 
 		if c.IsObserved(id) && m != 0 {
-			b.obs = append(b.obs, id)
-			for mm := m; mm != 0; mm &= mm - 1 {
-				l := bits.TrailingZeros64(mm)
-				j := base + l
-				b.miss[l] *= 1 - (b.pa[j] + b.pab[j])
-			}
+			b.obs = append(b.obs, id) // miss folding happens post-sweep, in ID order
 		}
 		for mm := m; mm != 0; mm &= mm - 1 {
 			b.csize[bits.TrailingZeros64(mm)]++
@@ -590,62 +628,67 @@ func (b *BatchAnalyzer) genericLanes(base int, compute uint64, kind logic.Kind, 
 // AllSites runs the EPP analysis with every node of the circuit as the error
 // site ("we consider all circuit nodes as possible error sites", paper §2)
 // and returns one Result per node, indexed by node ID. The analysis runs on
-// the batched engine (DefaultBatchWidth sites per union-cone sweep); see
+// the batched engine (DefaultBatchWidth sites per union-cone sweep) with
+// sites packed by the cone-locality scheduler, so lanes in one batch share
+// most of their union cone; because the batched engine is packing-invariant
+// (see run), the results are bit-identical to any other packing. See
 // AllSitesParallel for the multi-core variant.
 func (a *Analyzer) AllSites() []Result {
 	n := a.c.N()
 	out := make([]Result, n)
 	eng := a.Batch()
+	order := a.Schedule().Order
+	tmp := make([]Result, eng.stride)
 	for lo := 0; lo < n; lo += eng.stride {
 		hi := lo + eng.stride
 		if hi > n {
 			hi = n
 		}
-		eng.EPPBatch(siteRange(&eng.sites, lo, hi), out[lo:hi])
+		eng.EPPBatch(order[lo:hi], tmp[:hi-lo])
+		for _, r := range tmp[:hi-lo] {
+			out[r.Site] = r
+		}
 	}
 	return out
 }
 
 // PSensitizedAll computes only the P_sensitized value for every node,
 // avoiding per-output result allocation. This is the kernel timed as "SysT"
-// in the Table 2 reproduction; it runs on the batched engine and performs
-// no per-site heap allocation.
+// in the Table 2 reproduction; it runs on the batched engine over the
+// cone-locality schedule and performs no per-site heap allocation.
 func (a *Analyzer) PSensitizedAll() []float64 {
 	n := a.c.N()
 	out := make([]float64, n)
 	eng := a.Batch()
+	order := a.Schedule().Order
+	tmp := make([]float64, eng.stride)
 	for lo := 0; lo < n; lo += eng.stride {
 		hi := lo + eng.stride
 		if hi > n {
 			hi = n
 		}
-		eng.PSensitizedBatch(siteRange(&eng.sites, lo, hi), out[lo:hi])
+		sites := order[lo:hi]
+		eng.PSensitizedBatch(sites, tmp[:hi-lo])
+		for i, site := range sites {
+			out[site] = tmp[i]
+		}
 	}
 	return out
 }
 
-// siteRange fills *buf with the IDs lo..hi-1, reusing its capacity.
-func siteRange(buf *[]netlist.ID, lo, hi int) []netlist.ID {
-	s := (*buf)[:0]
-	for id := lo; id < hi; id++ {
-		s = append(s, netlist.ID(id))
-	}
-	*buf = s
-	return s
-}
-
 // AllSitesParallel runs AllSites across workers goroutines (0 means
 // GOMAXPROCS), each with its own cloned Analyzer and batched engine.
-// Batches are claimed from a lock-free atomic cursor in fixed
-// DefaultBatchWidth-aligned chunks, so the partitioning — and therefore
-// every floating-point result — is identical to the serial AllSites
-// regardless of worker count or scheduling.
+// Scheduled batches are claimed from a lock-free atomic cursor in fixed
+// DefaultBatchWidth-aligned chunks; together with the batched engine's
+// packing invariance this makes every floating-point result identical to
+// the serial AllSites regardless of worker count or scheduling.
 func (a *Analyzer) AllSitesParallel(workers int) []Result {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	n := a.c.N()
 	out := make([]Result, n)
+	order := a.Schedule().Order // resolve once; worker clones share it
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -655,6 +698,7 @@ func (a *Analyzer) AllSitesParallel(workers int) []Result {
 			local := a.Clone()
 			eng := local.Batch()
 			k := int64(eng.stride)
+			tmp := make([]Result, eng.stride)
 			for {
 				lo := cursor.Add(k) - k
 				if lo >= int64(n) {
@@ -664,7 +708,10 @@ func (a *Analyzer) AllSitesParallel(workers int) []Result {
 				if hi > n {
 					hi = n
 				}
-				eng.EPPBatch(siteRange(&eng.sites, int(lo), hi), out[lo:hi])
+				eng.EPPBatch(order[lo:hi], tmp[:hi-int(lo)])
+				for _, r := range tmp[:hi-int(lo)] {
+					out[r.Site] = r
+				}
 			}
 		}()
 	}

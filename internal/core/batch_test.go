@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 
 	"repro/internal/gen"
@@ -139,4 +140,139 @@ func TestBatchWidthClamp(t *testing.T) {
 	if w := NewBatch(a, 1000).Width(); w != MaxBatchWidth {
 		t.Errorf("width 1000 clamped to %d, want %d", w, MaxBatchWidth)
 	}
+}
+
+// TestBatchPackingInvariance: the batched engine must produce bit-identical
+// results for ANY site order and ANY packing of sites into batches — the
+// property that lets the cone-locality scheduler reorder the all-sites
+// sweep freely. Exercised for every rule set and the full width ladder,
+// against the ascending-ID width-64 packing as the reference, with results
+// additionally cross-checked against the scalar engine to 1e-12.
+func TestBatchPackingInvariance(t *testing.T) {
+	rules := []RuleSet{RulesClosedForm, RulesPairwise, RulesNoPolarity}
+	for seed := uint64(0); seed < 3; seed++ {
+		c := gen.SmallRandomSequential(seed + 70)
+		sp := sigprob.Topological(c, sigprob.Config{})
+		n := c.N()
+		for _, rs := range rules {
+			// Reference: ascending IDs, width 64.
+			ref := make([]float64, n)
+			refEng := NewBatch(MustNew(c, sp, Options{Rules: rs}), 64)
+			sites := make([]netlist.ID, 0, 64)
+			for lo := 0; lo < n; lo += 64 {
+				hi := min(lo+64, n)
+				sites = sites[:0]
+				for id := lo; id < hi; id++ {
+					sites = append(sites, netlist.ID(id))
+				}
+				refEng.PSensitizedBatch(sites, ref[lo:hi])
+			}
+			scalar := MustNew(c, sp, Options{Rules: rs})
+
+			// Shuffled site orders at several widths, deterministic in seed.
+			rng := rand.New(rand.NewPCG(seed, 1234))
+			for _, width := range batchWidths {
+				perm := rng.Perm(n)
+				eng := NewBatch(MustNew(c, sp, Options{Rules: rs}), width)
+				got := make([]float64, n)
+				tmp := make([]float64, width)
+				for lo := 0; lo < n; lo += width {
+					hi := min(lo+width, n)
+					sites = sites[:0]
+					for _, p := range perm[lo:hi] {
+						sites = append(sites, netlist.ID(p))
+					}
+					eng.PSensitizedBatch(sites, tmp[:hi-lo])
+					for i, site := range sites {
+						got[site] = tmp[i]
+					}
+				}
+				for id := 0; id < n; id++ {
+					if got[id] != ref[id] {
+						t.Fatalf("seed %d rules %v width %d site %d: shuffled packing %v != reference %v (must be bit-identical)",
+							seed, rs, width, id, got[id], ref[id])
+					}
+					if d := math.Abs(got[id] - scalar.EPP(netlist.ID(id)).PSensitized); d > 1e-12 {
+						t.Fatalf("seed %d rules %v width %d site %d: |batch - scalar| = %g > 1e-12",
+							seed, rs, width, id, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllSitesUsesSchedule: the all-sites entry points sweep the
+// cone-locality schedule yet index results by node ID, bit-equal to an
+// explicit ID-ordered reference loop.
+func TestAllSitesUsesSchedule(t *testing.T) {
+	c := gen.SmallRandomSequential(31)
+	sp := sigprob.Topological(c, sigprob.Config{})
+	a := MustNew(c, sp, Options{})
+	s := a.Schedule()
+	if s.Len() != c.N() {
+		t.Fatalf("schedule covers %d sites, want %d", s.Len(), c.N())
+	}
+	if s != a.Clone().Schedule() {
+		t.Error("Clone does not share the schedule")
+	}
+	got := a.PSensitizedAll()
+	ref := make([]float64, c.N())
+	eng := NewBatch(MustNew(c, sp, Options{}), DefaultBatchWidth)
+	sites := make([]netlist.ID, 0, DefaultBatchWidth)
+	for lo := 0; lo < c.N(); lo += DefaultBatchWidth {
+		hi := min(lo+DefaultBatchWidth, c.N())
+		sites = sites[:0]
+		for id := lo; id < hi; id++ {
+			sites = append(sites, netlist.ID(id))
+		}
+		eng.PSensitizedBatch(sites, ref[lo:hi])
+	}
+	for id := range ref {
+		if got[id] != ref[id] {
+			t.Fatalf("site %d: scheduled sweep %v != ID-ordered sweep %v", id, got[id], ref[id])
+		}
+	}
+	swept, nsites := a.Batch().Counters()
+	if nsites != int64(c.N()) || swept <= 0 {
+		t.Fatalf("counters = (%d swept, %d sites), want sites == %d", swept, nsites, c.N())
+	}
+	a.Batch().ResetCounters()
+	if sw, si := a.Batch().Counters(); sw != 0 || si != 0 {
+		t.Fatalf("ResetCounters left (%d, %d)", sw, si)
+	}
+}
+
+// TestBatchEpochWraparound forces the uint32 epoch counter through its
+// wraparound (epoch++ overflowing to 0 must invalidate all stamps rather
+// than treat stale stamps as current) and checks results straddling the
+// wrap are unchanged.
+func TestBatchEpochWraparound(t *testing.T) {
+	c := gen.SmallRandomSequential(3)
+	sp := sigprob.Topological(c, sigprob.Config{})
+	a := MustNew(c, sp, Options{})
+	eng := NewBatch(a, 8)
+	want := make([]float64, c.N())
+	for id := 0; id < c.N(); id++ {
+		want[id] = a.EPP(netlist.ID(id)).PSensitized
+	}
+	check := func(tag string) {
+		t.Helper()
+		var out [1]float64
+		for id := 0; id < c.N(); id++ {
+			eng.PSensitizedBatch([]netlist.ID{netlist.ID(id)}, out[:])
+			if d := math.Abs(out[0] - want[id]); d > 1e-12 {
+				t.Fatalf("%s: site %d: %v, want %v", tag, id, out[0], want[id])
+			}
+		}
+	}
+	check("pre-wrap")
+	// Park the engine two increments before overflow: the next run() takes
+	// epoch to ^uint32(0), the one after wraps to 0 and must invalidate.
+	eng.epoch = ^uint32(0) - 2
+	check("straddling wrap")
+	if eng.epoch >= ^uint32(0)-2 {
+		t.Fatalf("epoch = %d, wraparound branch not exercised", eng.epoch)
+	}
+	check("post-wrap")
 }

@@ -26,6 +26,15 @@
 // rule dispatch across the batch (~5× on the large ISCAS'89 profiles). The
 // engines agree to ≤ 1e-12 on every site; both read the netlist through
 // the CSR adjacency arrays (netlist.Circuit.FaninCSR/FanoutCSR).
+//
+// The batched engine is packing-invariant: a site's result is bit-identical
+// no matter which sites share its batch, in what order, at what width. Lane
+// arithmetic never reads companion lanes, and the per-output miss product is
+// folded in canonical output-ID order rather than sweep order. The AllSites
+// entry points exploit this by packing batches from the cone-locality site
+// schedule (internal/sched) — lanes in one batch share most of their union
+// cone — while remaining bit-equal to any other packing; callers driving
+// PSensitizedBatch/EPPBatch directly may order sites freely.
 package core
 
 import (
@@ -34,6 +43,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/sched"
 )
 
 // RuleSet selects the gate-rule implementation used by the sweep.
@@ -121,7 +131,8 @@ type Analyzer struct {
 	fiArr []netlist.ID
 	kinds []logic.Kind
 
-	batch *BatchAnalyzer // lazily created engine behind the AllSites entry points
+	batch *BatchAnalyzer  // lazily created engine behind the AllSites entry points
+	order *sched.Schedule // lazily computed cone-locality site schedule
 }
 
 // New returns an Analyzer for circuit c using the given signal probabilities
@@ -162,13 +173,28 @@ func MustNew(c *netlist.Circuit, sp []float64, opt Options) *Analyzer {
 }
 
 // Clone returns an independent Analyzer sharing the circuit and signal
-// probabilities, for concurrent use from another goroutine.
+// probabilities, for concurrent use from another goroutine. The clone also
+// shares the (immutable) site schedule, so worker fleets do not recompute
+// it.
 func (a *Analyzer) Clone() *Analyzer {
 	cp, err := New(a.c, a.sp, a.opt)
 	if err != nil {
 		panic("core: Clone: " + err.Error())
 	}
+	cp.order = a.order
 	return cp
+}
+
+// Schedule returns the cone-locality site schedule the AllSites entry
+// points sweep in (computed lazily, cached, shared with Clones). Callers
+// running their own PSensitizedBatch/EPPBatch loops over all sites should
+// pack batches from Schedule().Order for the same locality win; any packing
+// produces bit-identical results.
+func (a *Analyzer) Schedule() *sched.Schedule {
+	if a.order == nil {
+		a.order = sched.ConeLocality(a.c)
+	}
+	return a.order
 }
 
 // Circuit returns the analyzed circuit.

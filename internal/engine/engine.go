@@ -22,7 +22,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/sigprob"
 	"repro/internal/simulate"
@@ -95,11 +97,72 @@ type Request struct {
 	// BDDBudget bounds the BDD engine's node count (0 = default); blow-ups
 	// become errors rather than hangs.
 	BDDBudget int
+	// Rules selects the analytic engines' gate-rule implementation
+	// (core.RulesClosedForm, the paper's Table 1 formulas, is the zero
+	// default; RulesPairwise and RulesNoPolarity are the documented
+	// ablations). Only meaningful for single-frame analytic engines; the
+	// sampling and exact engines ignore it, and the multi-cycle path
+	// rejects a non-default value.
+	Rules core.RuleSet
 	// OnBatch, when non-nil, is invoked after each batch of results is
-	// finalized in out[lo:hi]. When Workers allows parallelism the calls
-	// may arrive out of order (but never overlap); a non-nil return aborts
-	// the sweep and is returned verbatim from PSensitizedAll.
+	// finalized. The ranges tile [0, N) exactly, and hi−lo counts newly
+	// finalized sites (what progress reporting needs), but [lo:hi) indexes
+	// the engine's sweep schedule — only with OrderedSweep set is it also
+	// the node-ID range out[lo:hi]. When Workers allows parallelism the
+	// calls may arrive out of order (but never overlap); a non-nil return
+	// aborts the sweep and is returned verbatim from PSensitizedAll.
+	//
+	// The monte-carlo engine finalizes all sites together (its outer loop
+	// is over vector words, not sites), so its OnBatch calls all arrive
+	// once the sweep completes, tiling [0, N) in ascending node-ID order;
+	// cancellation is still honored per word.
 	OnBatch func(lo, hi int) error
+	// OrderedSweep pins the batched EPP engine to ascending node-ID order,
+	// making every OnBatch range an ID range with out[lo:hi] final — the
+	// streaming API's contract. Without it the engine packs sites by cone
+	// locality; the two orders produce bit-identical results (the kernel
+	// is packing-invariant), only the work distribution differs.
+	OrderedSweep bool
+	// Stats, when non-nil, accumulates engine work counters for the sweep
+	// (atomically, so one Stats may be shared across requests). The batched
+	// EPP engine records swept union-cone nodes and sites; the monte-carlo
+	// engine records good simulations and vector words — the ratios that
+	// quantify the cone-locality and shared-good-sim savings.
+	Stats *Stats
+}
+
+// Stats accumulates engine work counters. All fields are atomic so engines
+// may add from concurrent workers; the zero value is ready to use.
+type Stats struct {
+	// SweptNodes counts union-cone nodes visited by batched sweeps (for the
+	// monte-carlo engine: union members visited, summed over words).
+	SweptNodes atomic.Int64
+	// Sites counts error sites analyzed.
+	Sites atomic.Int64
+	// GoodSims counts full-circuit good simulations (sampling engines).
+	GoodSims atomic.Int64
+	// Words counts 64-vector words applied (sampling engines).
+	Words atomic.Int64
+}
+
+// SweptNodesPerSite reports batching efficiency: union-cone nodes swept per
+// site analyzed (lower is better; 0 if no sites were recorded).
+func (s *Stats) SweptNodesPerSite() float64 {
+	if n := s.Sites.Load(); n > 0 {
+		return float64(s.SweptNodes.Load()) / float64(n)
+	}
+	return 0
+}
+
+// GoodSimsPerWord reports good-simulation sharing: full-circuit good
+// simulations per 64-vector word. The shared-good-sim kernel's invariant
+// value is exactly 1; the per-site estimator would cost one per site per
+// word.
+func (s *Stats) GoodSimsPerWord() float64 {
+	if n := s.Words.Load(); n > 0 {
+		return float64(s.GoodSims.Load()) / float64(n)
+	}
+	return 0
 }
 
 // sp returns the request's signal probability vector, computing the
@@ -111,9 +174,11 @@ func (r *Request) sp() []float64 {
 	return sigprob.Topological(r.Circuit, sigprob.Config{SourceProb: r.Bias})
 }
 
-// mcOptions assembles the sampling engines' options from the request.
+// mcOptions assembles the sampling engines' options from the request. The
+// monte-carlo engine runs the shared-vector regime (simulate.MCBatch), so
+// the flag is set for documentation symmetry even though MCBatch implies it.
 func (r *Request) mcOptions() simulate.MCOptions {
-	return simulate.MCOptions{Vectors: r.Vectors, Seed: r.Seed, SourceProb: r.Bias}
+	return simulate.MCOptions{Vectors: r.Vectors, Seed: r.Seed, SourceProb: r.Bias, SharedVectors: true}
 }
 
 // Engine computes P_sensitized for every node of a circuit.

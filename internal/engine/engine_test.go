@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/netlist"
 	"repro/internal/sigprob"
@@ -313,6 +314,137 @@ func TestOnBatchCoversAllNodes(t *testing.T) {
 		}
 		if next != c.N() {
 			t.Fatalf("%s: batches covered [0,%d), want [0,%d)", name, next, c.N())
+		}
+	}
+}
+
+// TestBatchEngineOrderInvariance: with OrderedSweep the epp-batch engine
+// sweeps ascending IDs (the streaming contract), without it the
+// cone-locality schedule — and the two must produce bit-identical outputs
+// (the kernel's packing invariance is what lets Run and RunStream agree
+// exactly).
+func TestBatchEngineOrderInvariance(t *testing.T) {
+	c, err := gen.ByName("s1196")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	e, err := Lookup("epp-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduled := make([]float64, c.N())
+	if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp}, scheduled); err != nil {
+		t.Fatal(err)
+	}
+	byID := make([]float64, c.N())
+	req := &Request{Circuit: c, SP: sp, OrderedSweep: true, OnBatch: func(lo, hi int) error { return nil }}
+	if err := e.PSensitizedAll(context.Background(), req, byID); err != nil {
+		t.Fatal(err)
+	}
+	for id := range byID {
+		if scheduled[id] != byID[id] {
+			t.Fatalf("node %d: scheduled %v != by-ID %v (must be bit-identical)", id, scheduled[id], byID[id])
+		}
+	}
+}
+
+// TestStatsCounters: the work counters quantify the two kernel wins — the
+// batched EPP engine's swept-nodes-per-site and the monte-carlo engine's
+// one-good-sim-per-word invariant.
+func TestStatsCounters(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+
+	var epp Stats
+	e, _ := Lookup("epp-batch")
+	out := make([]float64, c.N())
+	if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp, Stats: &epp}, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := epp.Sites.Load(); got != int64(c.N()) {
+		t.Errorf("epp-batch Sites = %d, want %d", got, c.N())
+	}
+	if epp.SweptNodesPerSite() <= 0 {
+		t.Errorf("epp-batch SweptNodesPerSite = %v, want > 0", epp.SweptNodesPerSite())
+	}
+
+	var mc Stats
+	m, _ := Lookup("monte-carlo")
+	vectors := 500 // 8 words
+	if err := m.PSensitizedAll(context.Background(), &Request{Circuit: c, Vectors: vectors, Seed: 2, Stats: &mc}, out); err != nil {
+		t.Fatal(err)
+	}
+	words := int64((vectors + 63) / 64)
+	if got := mc.Words.Load(); got != words {
+		t.Errorf("monte-carlo Words = %d, want %d", got, words)
+	}
+	if got := mc.GoodSims.Load(); got != words {
+		t.Errorf("monte-carlo GoodSims = %d, want %d (exactly one per word)", got, words)
+	}
+	if got := mc.GoodSimsPerWord(); got != 1 {
+		t.Errorf("GoodSimsPerWord = %v, want exactly 1", got)
+	}
+}
+
+// TestRulesWiring: Request.Rules reaches both analytic engines (the
+// no-polarity ablation must change results where polarity matters and the
+// two engines must agree under every rule set), is rejected for multi-cycle
+// frames, and is ignored by the sampling engine.
+func TestRulesWiring(t *testing.T) {
+	// The reconvergent XOR-style structure where polarity tracking matters:
+	// a NOT and a BUF path reconverging on an OR.
+	c := circuitFile(t, "c17.bench")
+	sp := sigprob.Topological(c, sigprob.Config{})
+	results := map[core.RuleSet]map[string][]float64{}
+	for _, rs := range []core.RuleSet{core.RulesClosedForm, core.RulesPairwise, core.RulesNoPolarity} {
+		results[rs] = map[string][]float64{}
+		for _, name := range []string{"epp-batch", "epp-scalar"} {
+			e, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := make([]float64, c.N())
+			if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp, Rules: rs}, out); err != nil {
+				t.Fatalf("%s rules %v: %v", name, rs, err)
+			}
+			results[rs][name] = out
+		}
+		for id := range results[rs]["epp-batch"] {
+			if d := math.Abs(results[rs]["epp-batch"][id] - results[rs]["epp-scalar"][id]); d > 1e-12 {
+				t.Errorf("rules %v node %d: batch %v vs scalar %v", rs,
+					id, results[rs]["epp-batch"][id], results[rs]["epp-scalar"][id])
+			}
+		}
+	}
+	// Closed-form and pairwise are equivalent formulations; no-polarity is
+	// the lossy ablation and must diverge somewhere on c17 (it has
+	// reconvergent fanout with inversions).
+	agree := func(a, b map[string][]float64) bool {
+		for id := range a["epp-batch"] {
+			if math.Abs(a["epp-batch"][id]-b["epp-batch"][id]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if !agree(results[core.RulesClosedForm], results[core.RulesPairwise]) {
+		t.Error("closed-form and pairwise rules disagree (they are the same math)")
+	}
+	if agree(results[core.RulesClosedForm], results[core.RulesNoPolarity]) {
+		t.Error("no-polarity ablation changed nothing on c17 — wiring suspect")
+	}
+	// Frames > 1 rejects a non-default rule set on both engines.
+	for _, name := range []string{"epp-batch", "epp-scalar"} {
+		e, _ := Lookup(name)
+		out := make([]float64, c.N())
+		err := e.PSensitizedAll(context.Background(),
+			&Request{Circuit: c, SP: sp, Frames: 3, Rules: core.RulesPairwise}, out)
+		if err == nil {
+			t.Errorf("%s: Frames+Rules accepted", name)
 		}
 	}
 }

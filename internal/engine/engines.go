@@ -123,28 +123,56 @@ func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float
 	sp := req.sp()
 	c := req.Circuit
 	if req.Frames > 1 {
+		if req.Rules != core.RulesClosedForm {
+			return fmt.Errorf("engine: Rules %v requires a single-frame analysis", req.Rules)
+		}
 		sa, err := seq.New(c, sp)
 		if err != nil {
 			return err
 		}
-		return sa.PDetectAllInto(ctx, req.Frames, out, req.OnBatch)
+		return sa.PDetectAllInto(ctx, req.Frames, out, req.OrderedSweep, req.OnBatch)
 	}
-	proto, err := core.New(c, sp, core.Options{BatchWidth: req.BatchWidth})
+	proto, err := core.New(c, sp, core.Options{Rules: req.Rules, BatchWidth: req.BatchWidth})
 	if err != nil {
 		return err
 	}
 	chunk := proto.Batch().Width()
+	// Sweep order: cone-locality schedule positions by default, so lanes in
+	// one batch share most of their union cone; ascending node IDs when the
+	// caller needs OnBatch's out[lo:hi] ranges to be ID ranges (streaming).
+	// The kernel is packing-invariant, so both orders produce bit-identical
+	// results.
+	var order []netlist.ID
+	if !req.OrderedSweep {
+		order = proto.Schedule().Order
+	}
 	return parallelSweep(ctx, c.N(), chunk, resolveWorkers(req.Workers), req.OnBatch,
 		func() (func(lo, hi int) error, error) {
 			local := proto.Clone()
 			eng := local.Batch()
 			sites := make([]netlist.ID, 0, eng.Width())
+			tmp := make([]float64, eng.Width())
+			var prevSwept, prevSites int64
 			return func(lo, hi int) error {
-				sites = sites[:0]
-				for id := lo; id < hi; id++ {
-					sites = append(sites, netlist.ID(id))
+				if order != nil {
+					batch := order[lo:hi]
+					eng.PSensitizedBatch(batch, tmp[:hi-lo])
+					for i, site := range batch {
+						out[site] = tmp[i]
+					}
+				} else {
+					sites = sites[:0]
+					for id := lo; id < hi; id++ {
+						sites = append(sites, netlist.ID(id))
+					}
+					eng.PSensitizedBatch(sites, out[lo:hi])
 				}
-				eng.PSensitizedBatch(sites, out[lo:hi])
+				if req.Stats != nil {
+					swept, ns := eng.Counters()
+					req.Stats.SweptNodes.Add(swept - prevSwept)
+					req.Stats.Sites.Add(ns - prevSites)
+					prevSwept, prevSites = swept, ns
+				}
 				return nil
 			}, nil
 		})
@@ -164,6 +192,9 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 	sp := req.sp()
 	c := req.Circuit
 	if req.Frames > 1 {
+		if req.Rules != core.RulesClosedForm {
+			return fmt.Errorf("engine: Rules %v requires a single-frame analysis", req.Rules)
+		}
 		// Per-site multi-cycle composition over scalar strike sweeps; the
 		// flip-flop lookahead vector is memoized inside the seq analyzer.
 		sa, err := seq.New(c, sp)
@@ -182,7 +213,7 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 	}
 	return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch,
 		func() (func(lo, hi int) error, error) {
-			an, err := core.New(c, sp, core.Options{})
+			an, err := core.New(c, sp, core.Options{Rules: req.Rules})
 			if err != nil {
 				return nil, err
 			}
@@ -195,9 +226,16 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 		})
 }
 
-// mcEngine is the random-vector fault-injection baseline. Per-site seed
-// streams are derived from the site ID, so results are identical at any
-// worker count.
+// mcEngine is the random-vector fault-injection baseline, built on the
+// shared-good-sim batched kernel (simulate.MCBatch): the outer loop claims
+// 64-vector words from an atomic cursor, each word costs exactly one
+// full-circuit good simulation shared by every error site, and faulty
+// re-simulation runs over cone-locality site groups. Vectors follow the
+// shared-stream regime (word-indexed seeding), so results are identical at
+// any worker count; see MCOptions.SharedVectors for the reproducibility
+// contract. Because the sweep is word-major, per-site results all finalize
+// together: OnBatch calls arrive after the last word, tiling [0, N) in
+// order, while cancellation stays word-granular.
 type mcEngine struct{}
 
 func (mcEngine) Name() string { return "monte-carlo" }
@@ -211,17 +249,33 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 		return fmt.Errorf("engine: monte-carlo does not support multi-cycle frames (use simulate.Sequential directly)")
 	}
 	c := req.Circuit
-	opt := req.mcOptions()
-	return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch,
-		func() (func(lo, hi int) error, error) {
-			mc := simulate.NewMonteCarlo(c, opt)
-			return func(lo, hi int) error {
-				for id := lo; id < hi; id++ {
-					out[id] = mc.EPP(netlist.ID(id)).PSensitized
-				}
-				return nil
-			}, nil
-		})
+	mb := simulate.NewMCBatch(c, req.mcOptions())
+	res, err := mb.EPPAll(ctx, resolveWorkers(req.Workers))
+	if err != nil {
+		return err
+	}
+	for id := range res {
+		out[id] = res[id].PSensitized
+	}
+	if req.Stats != nil {
+		st := mb.Stats()
+		req.Stats.GoodSims.Add(st.GoodSims)
+		req.Stats.Words.Add(st.Words)
+		req.Stats.SweptNodes.Add(st.SweptMembers)
+		req.Stats.Sites.Add(st.Sites)
+	}
+	if req.OnBatch != nil {
+		for lo := 0; lo < c.N(); lo += 64 {
+			hi := lo + 64
+			if hi > c.N() {
+				hi = c.N()
+			}
+			if err := req.OnBatch(lo, hi); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // enumEngine computes ground truth by exhaustive input enumeration (uniform

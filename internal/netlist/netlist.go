@@ -20,6 +20,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/logic"
 )
@@ -78,6 +79,12 @@ type Circuit struct {
 	faninArr  []ID
 	fanoutIdx []int32
 	fanoutArr []ID
+
+	// Reachable-observation signatures, computed lazily on first use (the
+	// Circuit is otherwise immutable, so a Once keeps concurrent readers
+	// safe). See ObsSignatures.
+	obsSigOnce sync.Once
+	obsSig     []uint64
 }
 
 // N returns the number of nodes.
@@ -164,6 +171,51 @@ func (c *Circuit) Observed() []ID { return c.observed }
 
 // IsObserved reports whether node id is an observation point.
 func (c *Circuit) IsObserved(id ID) bool { return c.obsMask[id] }
+
+// ObsSignatures returns the per-node cone signature: a 64-bit bitmask of the
+// observation points reachable from each node through combinational gates
+// (flip-flops are time-frame boundaries, exactly as in forward-cone
+// extraction). Observation point i of Observed() owns bit i when there are
+// at most 64 observation points; otherwise adjacent observation points share
+// a bit (i scaled into [0,64)), so the mask is a locality-preserving sketch
+// of the reachable-output set rather than an exact one. Two properties hold
+// regardless of circuit size:
+//
+//   - sig[id] == 0 iff no observation point is reachable from id (an SEU at
+//     id can never be latched), and
+//   - nodes whose forward cones feed the same outputs have equal signatures,
+//     so sorting by signature clusters sites with heavily overlapping cones.
+//
+// The signatures are computed once per Circuit with a single reverse
+// topological sweep over the fanout CSR (O(edges)) and cached; the returned
+// slice is shared and must not be modified.
+func (c *Circuit) ObsSignatures() []uint64 {
+	c.obsSigOnce.Do(func() {
+		sig := make([]uint64, c.N())
+		obs := c.Observed()
+		for i, id := range obs {
+			bit := i
+			if len(obs) > 64 {
+				bit = i * 64 / len(obs)
+			}
+			sig[id] |= 1 << uint(bit)
+		}
+		topo := c.topo
+		for i := len(topo) - 1; i >= 0; i-- {
+			id := topo[i]
+			s := sig[id]
+			for _, o := range c.fanoutArr[c.fanoutIdx[id]:c.fanoutIdx[id+1]] {
+				if c.kinds[o] == logic.DFF {
+					continue // time-frame boundary: do not cross
+				}
+				s |= sig[o]
+			}
+			sig[id] = s
+		}
+		c.obsSig = sig
+	})
+	return c.obsSig
+}
 
 // Topo returns a combinational topological order of all nodes: every source
 // (PI, FF, tie) precedes any gate, and every gate appears after all of its

@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// TestConeLocalityIsPermutation: the schedule lists every node exactly once
+// and Pos is its inverse.
+func TestConeLocalityIsPermutation(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		c := gen.SmallRandomSequential(seed)
+		s := ConeLocality(c)
+		if s.Len() != c.N() {
+			t.Fatalf("seed %d: Len = %d, want %d", seed, s.Len(), c.N())
+		}
+		seen := make([]bool, c.N())
+		for i, id := range s.Order {
+			if id < 0 || int(id) >= c.N() {
+				t.Fatalf("seed %d: Order[%d] = %d out of range", seed, i, id)
+			}
+			if seen[id] {
+				t.Fatalf("seed %d: node %d scheduled twice", seed, id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestConeLocalityDeterministic: two computations agree element-wise (the
+// schedule is a pure function of the circuit).
+func TestConeLocalityDeterministic(t *testing.T) {
+	c := gen.SmallRandomSequential(11)
+	a, b := ConeLocality(c), ConeLocality(c)
+	for i := range a.Order {
+		if a.Order[i] != b.Order[i] {
+			t.Fatalf("position %d: %d vs %d", i, a.Order[i], b.Order[i])
+		}
+	}
+}
+
+// TestConeLocalityGroupsSignatures: the schedule is level-major, and within
+// a level sites with equal reachable-observation signatures form contiguous
+// runs (that is the whole point of the ordering).
+func TestConeLocalityGroupsSignatures(t *testing.T) {
+	c := gen.SmallRandomSequential(23)
+	s := ConeLocality(c)
+	sig := c.ObsSignatures()
+	levels := c.Levels()
+	for i := 1; i < len(s.Order); i++ {
+		p, q := s.Order[i-1], s.Order[i]
+		if levels[p] > levels[q] {
+			t.Fatalf("schedule not level-major at %d: level %d before %d", i, levels[p], levels[q])
+		}
+		if levels[p] == levels[q] && sig[p] > sig[q] {
+			t.Fatalf("schedule not signature-sorted within level %d at %d: %#x > %#x",
+				levels[p], i, sig[p], sig[q])
+		}
+		if levels[p] == levels[q] && sig[p] == sig[q] && p >= q {
+			t.Fatalf("ID tie-break broken at %d: %d before %d", i, p, q)
+		}
+	}
+}
+
+// TestScheduleLen: the schedule covers the whole circuit.
+func TestScheduleLen(t *testing.T) {
+	c := gen.SmallRandomSequential(5)
+	s := ConeLocality(c)
+	if s.Len() != c.N() || len(s.Order) != c.N() {
+		t.Fatalf("Len = %d, want %d", s.Len(), c.N())
+	}
+	var _ netlist.ID = s.Order[0] // the order is the packing API: plain IDs
+}

@@ -229,7 +229,7 @@ func (a *Analyzer) compose(strike *frameSweep, r []float64) float64 {
 // vector is computed once and shared across sites.
 func (a *Analyzer) PDetectAll(frames int) []float64 {
 	out := make([]float64, a.c.N())
-	if err := a.PDetectAllInto(context.Background(), frames, out, nil); err != nil {
+	if err := a.PDetectAllInto(context.Background(), frames, out, false, nil); err != nil {
 		panic("seq: " + err.Error()) // unreachable: the background ctx never cancels
 	}
 	return out
@@ -238,10 +238,14 @@ func (a *Analyzer) PDetectAll(frames int) []float64 {
 // PDetectAllInto is the context-aware form of PDetectAll: it writes
 // PDetect(id, frames) to out[id] for every node, checks ctx between batches
 // (returning ctx.Err() promptly with out partially filled), and — when
-// onBatch is non-nil — invokes it after each out[lo:hi] range is final; a
-// non-nil return aborts the sweep and is returned verbatim. len(out) must
-// equal the circuit's node count.
-func (a *Analyzer) PDetectAllInto(ctx context.Context, frames int, out []float64, onBatch func(lo, hi int) error) error {
+// onBatch is non-nil — invokes it after each batch finalizes; a non-nil
+// return aborts the sweep and is returned verbatim. ordered pins the sweep
+// to ascending node IDs so every onBatch range [lo, hi) is a final
+// out[lo:hi] node-ID range (the streaming contract); without it batches are
+// packed from the cone-locality schedule — bit-identical results, onBatch
+// ranges then index sweep positions and only their hi−lo counts are
+// meaningful. len(out) must equal the circuit's node count.
+func (a *Analyzer) PDetectAllInto(ctx context.Context, frames int, out []float64, ordered bool, onBatch func(lo, hi int) error) error {
 	if frames < 1 {
 		panic(fmt.Sprintf("seq: PDetectAllInto with frames = %d", frames))
 	}
@@ -258,6 +262,15 @@ func (a *Analyzer) PDetectAllInto(ctx context.Context, frames int, out []float64
 	}
 	eng := a.epp.Batch()
 	w := eng.Width()
+	// Unless ordered emission is required, pack batches from the
+	// cone-locality schedule like the single-cycle AllSites sweeps; the
+	// batched kernel is packing-invariant and per-lane Outputs are emitted
+	// in canonical ID order, so the composed results are bit-identical
+	// either way.
+	var order []netlist.ID
+	if !ordered {
+		order = a.epp.Schedule().Order
+	}
 	sites := make([]netlist.ID, 0, w)
 	results := make([]core.Result, w)
 	for lo := 0; lo < n; lo += w {
@@ -268,17 +281,23 @@ func (a *Analyzer) PDetectAllInto(ctx context.Context, frames int, out []float64
 		if hi > n {
 			hi = n
 		}
-		sites = sites[:0]
-		for id := lo; id < hi; id++ {
-			sites = append(sites, netlist.ID(id))
+		batch := order
+		if batch != nil {
+			batch = order[lo:hi]
+		} else {
+			sites = sites[:0]
+			for id := lo; id < hi; id++ {
+				sites = append(sites, netlist.ID(id))
+			}
+			batch = sites
 		}
-		eng.EPPBatch(sites, results[:hi-lo])
-		for i := range sites {
+		eng.EPPBatch(batch, results[:hi-lo])
+		for i, site := range batch {
 			strike := a.profileFromResult(&results[i])
 			if frames == 1 {
-				out[lo+i] = strike.pPO
+				out[site] = strike.pPO
 			} else {
-				out[lo+i] = a.compose(strike, r)
+				out[site] = a.compose(strike, r)
 			}
 		}
 		if onBatch != nil {

@@ -93,6 +93,18 @@ func ParseSPMethod(s string) (SPMethod, error) {
 	return 0, fmt.Errorf("ser: unknown signal probability method %q (want %q or %q)", s, SPTopological, SPMonteCarlo)
 }
 
+// ParseRuleSet inverts core.RuleSet.String ("closed-form", "pairwise",
+// "no-polarity"), so flags and reports share the rule-set vocabulary.
+func ParseRuleSet(s string) (core.RuleSet, error) {
+	for _, r := range []core.RuleSet{core.RulesClosedForm, core.RulesPairwise, core.RulesNoPolarity} {
+		if s == r.String() {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("ser: unknown rule set %q (want %q, %q or %q)",
+		s, core.RulesClosedForm, core.RulesPairwise, core.RulesNoPolarity)
+}
+
 // Config configures an SER estimation run.
 type Config struct {
 	Method   Method
@@ -118,6 +130,13 @@ type Config struct {
 	Frames int
 	// BatchWidth sets the batched EPP engine's lane count (0 = default).
 	BatchWidth int
+	// Rules selects the EPP engines' gate-rule implementation: the paper's
+	// closed-form Table 1 rules (core.RulesClosedForm, default), the
+	// pairwise symbol-table fold (core.RulesPairwise, an executable
+	// specification with identical results), or the polarity-tracking
+	// ablation (core.RulesNoPolarity). Requires an analytic engine and a
+	// single-frame analysis.
+	Rules core.RuleSet
 	// BDDBudget bounds the bdd engine's node count (0 = default).
 	BDDBudget int
 	// Progress, when non-nil, is called after each completed batch with the
@@ -161,6 +180,11 @@ func (cfg *Config) Validate(c *netlist.Circuit) error {
 	if cfg.BatchWidth < 0 || cfg.BatchWidth > core.MaxBatchWidth {
 		return fmt.Errorf("ser: BatchWidth = %d outside [0, %d]", cfg.BatchWidth, core.MaxBatchWidth)
 	}
+	switch cfg.Rules {
+	case core.RulesClosedForm, core.RulesPairwise, core.RulesNoPolarity:
+	default:
+		return fmt.Errorf("ser: unknown rule set %v", cfg.Rules)
+	}
 	if cfg.MC.Vectors < 0 {
 		return fmt.Errorf("ser: MC.Vectors = %d is negative", cfg.MC.Vectors)
 	}
@@ -179,6 +203,14 @@ func (cfg *Config) Validate(c *netlist.Circuit) error {
 	}
 	if cfg.Frames > 1 && eng.Class() != engine.ClassAnalytic {
 		return fmt.Errorf("ser: Frames = %d requires an EPP engine; %q cannot follow errors through flip-flops", cfg.Frames, eng.Name())
+	}
+	if cfg.Rules != core.RulesClosedForm {
+		if eng.Class() != engine.ClassAnalytic {
+			return fmt.Errorf("ser: Rules %v requires an EPP engine; %q does not use propagation rules", cfg.Rules, eng.Name())
+		}
+		if cfg.Frames > 1 {
+			return fmt.Errorf("ser: Rules %v requires a single-frame analysis (the multi-cycle composition is closed-form only)", cfg.Rules)
+		}
 	}
 	if err := validBias("SP.SourceProb", cfg.SP.SourceProb, c); err != nil {
 		return err
@@ -275,6 +307,7 @@ func prepare(c *netlist.Circuit, cfg *Config) (*prepared, error) {
 		Workers:    cfg.Workers,
 		BatchWidth: cfg.BatchWidth,
 		Frames:     cfg.Frames,
+		Rules:      cfg.Rules,
 		Vectors:    cfg.MC.Vectors,
 		Seed:       cfg.MC.Seed,
 		BDDBudget:  cfg.BDDBudget,
@@ -337,8 +370,10 @@ var errStreamStopped = errors.New("ser: stream consumer stopped")
 
 // Stream is the incremental form of Run: it yields one NodeSER per node in
 // ID order as each engine batch completes, without materializing a Report —
-// the factor vectors aside, memory stays O(batch). The sweep runs
-// single-threaded so emission order is deterministic. On failure or
+// the factor vectors aside, memory stays O(batch). Per-site engines sweep
+// single-threaded so emission order is deterministic; the sampling engine
+// keeps its internal word-level parallelism (its results finalize together
+// and emit in order regardless of worker count). On failure or
 // cancellation the final yield carries the error (with a zero NodeSER);
 // breaking out of the loop stops the sweep after the current batch.
 func Stream(ctx context.Context, c *netlist.Circuit, cfg Config) iter.Seq2[NodeSER, error] {
@@ -352,7 +387,15 @@ func Stream(ctx context.Context, c *netlist.Circuit, cfg Config) iter.Seq2[NodeS
 		rates := p.faults.RatesFIT(c)
 		platch := p.latch.Probabilities(c)
 		psens := make([]float64, n)
-		p.req.Workers = 1 // ordered emission needs an ordered sweep
+		// Ordered emission needs OnBatch ranges to be final node-ID ranges.
+		// For the per-site engines that means a serial sweep; the sampling
+		// engine keeps its word-level parallelism — it finalizes all sites
+		// together and emits ordered tiles at the end regardless of worker
+		// count, with bit-identical results.
+		p.req.OrderedSweep = true
+		if p.eng.Class() != engine.ClassSampling {
+			p.req.Workers = 1
+		}
 		stopped := false
 		p.req.OnBatch = func(lo, hi int) error {
 			for id := lo; id < hi; id++ {

@@ -1,11 +1,21 @@
 // Package simulate implements a 64-way bit-parallel gate-level logic
 // simulator with single-event-upset fault injection, and on top of it the
-// random-vector (Monte Carlo) error-propagation-probability estimator that
+// random-vector (Monte Carlo) error-propagation-probability estimators that
 // the paper uses as its accuracy and runtime baseline ("SimT" in Table 2).
 //
 // The simulator evaluates 64 input patterns per machine word, and faulty
 // re-simulation is restricted to the structural fault cone, so the baseline
 // is a competently engineered comparator rather than a strawman.
+//
+// Two estimators share those kernels. MonteCarlo is the per-site estimator
+// (one vector stream and one good simulation per site per word — the
+// paper-era baseline shape, and the per-site cost model Table 2's SimT
+// column reports). MCBatch is the production all-sites form: vectors are
+// shared across sites (MCOptions.SharedVectors), so each 64-vector word
+// costs exactly one good simulation for the whole circuit, and faulty
+// re-simulation runs over cone-locality site groups (internal/sched) with
+// per-site results bit-identical to the per-site estimator under the shared
+// stream.
 package simulate
 
 import (

@@ -1,0 +1,400 @@
+package simulate
+
+import (
+	"context"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/sched"
+)
+
+// mcLanes is the lane count of one Monte Carlo site group: like the batched
+// EPP engine, one bit of a uint64 lane mask per site.
+const mcLanes = 64
+
+// MCStats are the work counters of one MCBatch.EPPAll sweep, the quantities
+// the shared-good-sim design optimizes. GoodSims == Words is the kernel's
+// defining invariant: the good machine depends only on the vectors, never on
+// the error site, so exactly one full-circuit simulation is performed per
+// 64-vector word — against Words × Sites for the per-site estimator.
+type MCStats struct {
+	Words        int64 // 64-vector words applied
+	GoodSims     int64 // full-circuit good simulations (one per word)
+	LaneSims     int64 // faulty node re-evaluations, summed over sites and words
+	SweptMembers int64 // union-cone members visited, summed over groups and words
+	Sites        int64 // error sites estimated
+	Unobservable int64 // sites excluded up front (no reachable observation point)
+}
+
+// MCBatch is the batched Monte Carlo error-propagation estimator: the same
+// random-vector fault-injection semantics as MonteCarlo, restructured so the
+// good-machine work is shared across all error sites.
+//
+// The per-site estimator re-runs the full good simulation once per site per
+// word — O(sites × words) full-circuit simulations where O(words) suffices,
+// because the good values depend only on the vectors. MCBatch inverts the
+// loops: the outer loop claims 64-vector words (one good simulation each),
+// and the inner loop re-simulates every site's fault cone against those good
+// values. Sites are packed into 64-lane groups by the cone-locality
+// scheduler (sched.ConeLocality), so one pass over a group's union cone
+// serves 64 sites and the union stays close to a single cone; sites that
+// reach no observation point are excluded from the groups entirely (their
+// P_sensitized is identically 0). Faulty evaluation per lane is bitwise
+// identical to Engine.FaultySim over the site's own cone, so per-site
+// detection counts — and therefore every MCResult — are independent of the
+// grouping.
+//
+// Vectors are drawn from the shared-stream regime (one stream per word,
+// seeded by (Seed, word index) — see MCOptions.SharedVectors): every site
+// sees the same vectors, which is what makes the good sharing sound. A
+// per-site MonteCarlo with SharedVectors set reproduces MCBatch's results
+// bit-exactly; the estimate of each site is unchanged in distribution, but
+// estimates of different sites are correlated through the shared vectors
+// (see the MCOptions.SharedVectors contract).
+//
+// Word claims are distributed over workers by an atomic cursor. Detection
+// counts are integers summed per site, so results are identical at any
+// worker count. An MCBatch may be reused for repeated EPPAll calls but is
+// not safe for concurrent use.
+type MCBatch struct {
+	c   *netlist.Circuit
+	opt MCOptions
+
+	groups     []mcGroup
+	maxMembers int // largest group union cone, sizes the lane scratch
+	skipped    int // sites excluded as unobservable
+
+	stats MCStats
+}
+
+// mcGroup is one scheduled 64-lane site group with its precomputed union
+// cone: members in combinational level (= topological) order, a per-member
+// lane-membership mask, and per lane the member index of its error site.
+type mcGroup struct {
+	sites   []netlist.ID
+	members []netlist.ID
+	mask    []uint64
+	siteIdx [mcLanes]int32
+}
+
+// NewMCBatch builds the batched estimator for circuit c: schedules all
+// observable sites by cone locality and extracts one union cone per 64-site
+// group. The precomputed structures are shared read-only by all EPPAll
+// workers.
+func NewMCBatch(c *netlist.Circuit, opt MCOptions) *MCBatch {
+	opt.setDefaults()
+	m := &MCBatch{c: c, opt: opt}
+
+	// Observable sites only, in cone-locality order: a site whose signature
+	// is zero reaches no observation point, so no vector can ever detect it.
+	sig := c.ObsSignatures()
+	order := sched.ConeLocality(c).Order
+	sites := make([]netlist.ID, 0, len(order))
+	for _, id := range order {
+		if sig[id] != 0 {
+			sites = append(sites, id)
+		}
+	}
+	m.skipped = c.N() - len(sites)
+
+	n := c.N()
+	stamp := make([]int32, n)
+	pos := make([]int32, n)
+	maskTmp := make([]uint64, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var stack, touched, membuf []netlist.ID
+	var counts []int32
+	foIdx, foArr := c.FanoutCSR()
+	fiIdx, fiArr := c.FaninCSR()
+	kinds := c.Kinds()
+	levels := c.Levels()
+
+	for lo := 0; lo < len(sites); lo += mcLanes {
+		hi := lo + mcLanes
+		if hi > len(sites) {
+			hi = len(sites)
+		}
+		gi := int32(len(m.groups))
+		gsites := sites[lo:hi]
+
+		// Union-cone DFS from every lane's site, accumulating lane masks.
+		touched = touched[:0]
+		stack = stack[:0]
+		for _, site := range gsites {
+			if stamp[site] != gi {
+				stamp[site] = gi
+				maskTmp[site] = 0
+				touched = append(touched, site)
+				stack = append(stack, site)
+			}
+		}
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, o := range foArr[foIdx[id]:foIdx[id+1]] {
+				if stamp[o] == gi {
+					continue
+				}
+				if kinds[o] == logic.DFF {
+					continue // time-frame boundary: do not cross
+				}
+				stamp[o] = gi
+				maskTmp[o] = 0
+				touched = append(touched, o)
+				stack = append(stack, o)
+			}
+		}
+		// Counting sort by combinational level: a valid topological order.
+		maxLv := 0
+		for _, id := range touched {
+			if lv := levels[id]; lv > maxLv {
+				maxLv = lv
+			}
+		}
+		if cap(counts) < maxLv+2 {
+			counts = make([]int32, maxLv+2)
+		}
+		cnt := counts[:maxLv+2]
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, id := range touched {
+			cnt[levels[id]+1]++
+		}
+		for lv := 1; lv < len(cnt); lv++ {
+			cnt[lv] += cnt[lv-1]
+		}
+		if cap(membuf) < len(touched) {
+			membuf = make([]netlist.ID, len(touched))
+		}
+		membuf = membuf[:len(touched)]
+		for _, id := range touched {
+			lv := levels[id]
+			membuf[cnt[lv]] = id
+			cnt[lv]++
+		}
+
+		g := mcGroup{
+			sites:   append([]netlist.ID(nil), gsites...),
+			members: append([]netlist.ID(nil), membuf...),
+			mask:    make([]uint64, len(membuf)),
+		}
+		for i, id := range g.members {
+			pos[id] = int32(i)
+		}
+		// Lane masks by forward propagation in topological order: a node is
+		// on-path for lane l iff it is lane l's site or has an on-path fanin.
+		for lane, site := range gsites {
+			maskTmp[site] |= 1 << uint(lane)
+			g.siteIdx[lane] = pos[site]
+		}
+		for lane := len(gsites); lane < mcLanes; lane++ {
+			g.siteIdx[lane] = -1
+		}
+		for i, id := range g.members {
+			mk := maskTmp[id]
+			if kinds[id].IsGate() {
+				for _, f := range fiArr[fiIdx[id]:fiIdx[id+1]] {
+					if stamp[f] == gi {
+						mk |= maskTmp[f]
+					}
+				}
+				maskTmp[id] = mk
+			}
+			g.mask[i] = mk
+		}
+		if len(g.members) > m.maxMembers {
+			m.maxMembers = len(g.members)
+		}
+		m.groups = append(m.groups, g)
+	}
+	return m
+}
+
+// Circuit returns the simulated circuit.
+func (m *MCBatch) Circuit() *netlist.Circuit { return m.c }
+
+// Stats returns the work counters of the most recent EPPAll call.
+func (m *MCBatch) Stats() MCStats { return m.stats }
+
+// EPPAll estimates P_sensitized for every node of the circuit (indexed by
+// node ID) across workers goroutines (0 = GOMAXPROCS). Each 64-vector word
+// costs exactly one good simulation shared by all sites. Cancellation of
+// ctx is honored between word claims; on cancellation the partial estimate
+// is discarded and ctx.Err() returned. Results are identical at any worker
+// count.
+func (m *MCBatch) EPPAll(ctx context.Context, workers int) ([]MCResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	words := (m.opt.Vectors + 63) / 64
+	if workers > words {
+		workers = words
+	}
+	n := m.c.N()
+
+	var (
+		cursor   atomic.Int64
+		abort    atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		detected = make([]int64, n)
+		stats    MCStats
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk := newMCWorker(m)
+			for {
+				if abort.Load() {
+					break
+				}
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					abort.Store(true)
+					break
+				}
+				word := cursor.Add(1) - 1
+				if word >= int64(words) {
+					break
+				}
+				wk.runWord(word)
+			}
+			mu.Lock()
+			for id, d := range wk.detected {
+				detected[id] += d
+			}
+			stats.Words += wk.words
+			stats.GoodSims += wk.goodSims
+			stats.LaneSims += wk.laneSims
+			stats.SweptMembers += wk.sweptMembers
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	stats.Sites = int64(n)
+	stats.Unobservable = int64(m.skipped)
+	m.stats = stats
+
+	nv := words * 64
+	out := make([]MCResult, n)
+	for id := 0; id < n; id++ {
+		p := float64(detected[id]) / float64(nv)
+		out[id] = MCResult{
+			Site:        netlist.ID(id),
+			PSensitized: p,
+			StdErr:      math.Sqrt(p * (1 - p) / float64(nv)),
+			Vectors:     nv,
+			Detected:    int(detected[id]),
+		}
+	}
+	return out, nil
+}
+
+// mcWorker is the per-goroutine state of one EPPAll sweep: a bit-parallel
+// engine for the shared good simulation, the lane-value scratch for faulty
+// re-simulation, and local counters merged under the mutex at exit.
+type mcWorker struct {
+	m        *MCBatch
+	eng      *Engine
+	lanes    []uint64 // faulty lane values, member-major: lanes[i*64+lane]
+	pos      []int32 // member index of node, valid where stamp == current
+	stamp    []int64 // int64: one epoch per (word, group), never wraps in practice
+	stampVal int64
+	ins      []uint64
+	detected []int64
+
+	words, goodSims, laneSims, sweptMembers int64
+}
+
+func newMCWorker(m *MCBatch) *mcWorker {
+	return &mcWorker{
+		m:        m,
+		eng:      NewEngine(m.c),
+		lanes:    make([]uint64, m.maxMembers*mcLanes),
+		pos:      make([]int32, m.c.N()),
+		stamp:    make([]int64, m.c.N()),
+		ins:      make([]uint64, 0, 8),
+		detected: make([]int64, m.c.N()),
+	}
+}
+
+// runWord applies word w's shared vectors: one good simulation, then one
+// union-cone faulty sweep per site group.
+func (wk *mcWorker) runWord(w int64) {
+	m := wk.m
+	src := NewVectorSource(wordSeed(m.opt.Seed, w), m.opt.SourceProb)
+	src.Fill(wk.eng)
+	wk.eng.Run()
+	wk.words++
+	wk.goodSims++
+
+	c := m.c
+	good := wk.eng.values
+	fiIdx, fiArr := wk.eng.fiIdx, wk.eng.fiArr
+	kinds := wk.eng.kinds
+	for gi := range m.groups {
+		g := &m.groups[gi]
+		wk.stampVal++
+		for i, id := range g.members {
+			wk.stamp[id] = wk.stampVal
+			wk.pos[id] = int32(i)
+		}
+		var det [mcLanes]uint64
+		for i, id := range g.members {
+			mk := g.mask[i]
+			base := i * mcLanes
+			for mm := mk; mm != 0; mm &= mm - 1 {
+				l := bits.TrailingZeros64(mm)
+				var v uint64
+				if g.siteIdx[l] == int32(i) {
+					// Lane l's error site: the SEU forces the complement of
+					// the good value in all 64 patterns.
+					v = ^good[id]
+				} else {
+					wk.ins = wk.ins[:0]
+					for _, f := range fiArr[fiIdx[id]:fiIdx[id+1]] {
+						if wk.stamp[f] == wk.stampVal && g.mask[wk.pos[f]]>>uint(l)&1 == 1 {
+							wk.ins = append(wk.ins, wk.lanes[int(wk.pos[f])*mcLanes+l])
+						} else {
+							wk.ins = append(wk.ins, good[f])
+						}
+					}
+					v = logic.EvalWord(kinds[id], wk.ins)
+				}
+				wk.lanes[base+l] = v
+				if c.IsObserved(id) {
+					det[l] |= v ^ good[id]
+				}
+			}
+			wk.laneSims += int64(bits.OnesCount64(mk))
+		}
+		wk.sweptMembers += int64(len(g.members))
+		for l, site := range g.sites {
+			wk.detected[site] += int64(bits.OnesCount64(det[l]))
+		}
+	}
+}
+
+// wordSeed derives the deterministic vector-source seed of 64-vector word w
+// in the shared-stream regime (see MCOptions.SharedVectors): every site —
+// and every worker claiming the word — sees identical vectors for word w.
+func wordSeed(seed uint64, w int64) uint64 {
+	return seed ^ (uint64(w)*0x94d049bb133111eb + 0x2545f4914f6cdd1d)
+}

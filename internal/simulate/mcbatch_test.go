@@ -1,0 +1,165 @@
+package simulate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// TestMCBatchMatchesPerSite is the kernel's conformance suite: for every
+// site of random sequential circuits, the batched estimate must equal a
+// per-site MonteCarlo run in the shared-vector regime BIT-EXACTLY — same
+// detection counts, same vectors, same standard error. Faulty lane
+// evaluation is FaultySim's arithmetic over the same cone against the same
+// good values, so any divergence is a grouping bug, not noise.
+func TestMCBatchMatchesPerSite(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		c := gen.SmallRandomSequential(seed + 50)
+		opt := MCOptions{Vectors: 256, Seed: seed + 1}
+		mb := NewMCBatch(c, opt)
+		got, err := mb.EPPAll(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != c.N() {
+			t.Fatalf("seed %d: %d results for %d nodes", seed, len(got), c.N())
+		}
+		optShared := opt
+		optShared.SharedVectors = true
+		ps := NewMonteCarlo(c, optShared)
+		for id := 0; id < c.N(); id++ {
+			want := ps.EPP(netlist.ID(id))
+			g := got[id]
+			if g.Site != want.Site || g.Detected != want.Detected ||
+				g.Vectors != want.Vectors || g.PSensitized != want.PSensitized ||
+				g.StdErr != want.StdErr {
+				t.Fatalf("seed %d site %d: batched %+v, per-site shared %+v", seed, id, g, want)
+			}
+		}
+	}
+}
+
+// TestMCBatchWorkerInvariance: detection counts are summed integers, so the
+// result is identical at any worker count.
+func TestMCBatchWorkerInvariance(t *testing.T) {
+	c := gen.SmallRandomSequential(61)
+	mb := NewMCBatch(c, MCOptions{Vectors: 512, Seed: 7})
+	base, err := mb.EPPAll(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got, err := mb.EPPAll(context.Background(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range got {
+			if got[id] != base[id] {
+				t.Fatalf("workers=%d site %d: %+v != %+v", workers, id, got[id], base[id])
+			}
+		}
+	}
+}
+
+// TestMCBatchGoodSimInvariant: exactly one good simulation per 64-vector
+// word, regardless of site count — the defining counter of the kernel. The
+// per-site estimator pays words × sites.
+func TestMCBatchGoodSimInvariant(t *testing.T) {
+	c := gen.SmallRandomSequential(42)
+	vectors := 1000 // rounds up to 16 words
+	mb := NewMCBatch(c, MCOptions{Vectors: vectors, Seed: 1})
+	if _, err := mb.EPPAll(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	st := mb.Stats()
+	words := int64((vectors + 63) / 64)
+	if st.Words != words || st.GoodSims != words {
+		t.Fatalf("stats = %+v, want Words == GoodSims == %d", st, words)
+	}
+	if st.Sites != int64(c.N()) {
+		t.Fatalf("Sites = %d, want %d", st.Sites, c.N())
+	}
+	if perSite := words * int64(c.N()); perSite < 5*st.GoodSims {
+		t.Fatalf("good-sim saving %d/%d < 5x", perSite, st.GoodSims)
+	}
+	if st.LaneSims <= 0 || st.SweptMembers <= 0 {
+		t.Fatalf("work counters not recorded: %+v", st)
+	}
+}
+
+// TestMCBatchUnobservableSites: sites with no reachable observation point
+// are excluded from the lane groups and report P = 0 with full vector
+// accounting.
+func TestMCBatchUnobservableSites(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+dead = AND(a, b)
+y = OR(a, b)
+`)
+	mb := NewMCBatch(c, MCOptions{Vectors: 128, Seed: 3})
+	out, err := mb.EPPAll(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := c.ByName("dead")
+	if out[dead].PSensitized != 0 || out[dead].Detected != 0 {
+		t.Fatalf("dead node: %+v, want P = 0", out[dead])
+	}
+	if out[dead].Vectors != 128 {
+		t.Fatalf("dead node vectors = %d, want 128", out[dead].Vectors)
+	}
+	if got := mb.Stats().Unobservable; got != 1 {
+		t.Fatalf("Stats().Unobservable = %d, want 1 (just the dead gate)", got)
+	}
+	// And an always-observed site: a is a PO's fanin through OR... the PO
+	// itself must be P = 1 (its own flip is always visible).
+	y := c.ByName("y")
+	if out[y].PSensitized != 1 {
+		t.Fatalf("PO site: %+v, want P = 1", out[y])
+	}
+}
+
+// TestMCBatchCancellation: a pre-cancelled context aborts before (or
+// promptly after) the first word and surfaces ctx.Err().
+func TestMCBatchCancellation(t *testing.T) {
+	c := gen.SmallRandomSequential(13)
+	mb := NewMCBatch(c, MCOptions{Vectors: 1 << 14, Seed: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mb.EPPAll(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMonteCarloSeedGolden pins one MCResult per vector regime for a fixed
+// seed, making the reproducibility contract explicit: the per-site regime
+// must keep producing the historical stream, and the shared regime (the
+// monte-carlo engine's, via MCBatch) is versioned by wordSeed. If either
+// value changes, a seeding change has silently broken reproducibility.
+func TestMonteCarloSeedGolden(t *testing.T) {
+	c := gen.SmallRandomSequential(1)
+	site := netlist.ID(2) // mid-probability site: 0.1 < P < 0.9, regimes differ
+	perSite := NewMonteCarlo(c, MCOptions{Vectors: 1024, Seed: 1}).EPP(site)
+	shared := NewMonteCarlo(c, MCOptions{Vectors: 1024, Seed: 1, SharedVectors: true}).EPP(site)
+	t.Logf("per-site: %v", perSite)
+	t.Logf("shared:   %v", shared)
+	if got, want := perSite.Detected, 134; got != want {
+		t.Errorf("per-site regime: Detected = %d, want %d (seed stream changed!)", got, want)
+	}
+	if got, want := shared.Detected, 121; got != want {
+		t.Errorf("shared regime: Detected = %d, want %d (wordSeed stream changed!)", got, want)
+	}
+	// MCBatch inherits the shared-regime value verbatim.
+	batched, err := NewMCBatch(c, MCOptions{Vectors: 1024, Seed: 1}).EPPAll(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched[site].Detected != shared.Detected {
+		t.Errorf("MCBatch Detected = %d, want shared-regime %d", batched[site].Detected, shared.Detected)
+	}
+}

@@ -20,6 +20,21 @@ type MCOptions struct {
 	// SourceProb optionally biases each source's probability of logic 1
 	// (indexed by node ID); nil means 0.5 everywhere.
 	SourceProb []float64
+	// SharedVectors selects the shared-stream vector regime: the vectors of
+	// 64-pattern word w are drawn from a stream seeded by (Seed, w), so
+	// every error site sees the same vector sequence. This is the regime
+	// MCBatch is built on — the good simulation of a word can be shared by
+	// all sites only if the sites share the word's vectors — and setting it
+	// on a per-site MonteCarlo reproduces MCBatch's per-site results
+	// bit-exactly (see TestMCBatchMatchesPerSite). Each site's estimate is
+	// unchanged in distribution either way; what changes is the joint
+	// behavior (estimates of different sites become correlated through the
+	// shared vectors) and the per-site detection counts for a given Seed.
+	//
+	// Default false: each site draws its own stream seeded by (Seed, site),
+	// the historical regime, kept so existing per-site results stay
+	// reproducible (both regimes are pinned by TestMonteCarloSeedGolden).
+	SharedVectors bool
 }
 
 func (o *MCOptions) setDefaults() {
@@ -69,11 +84,21 @@ func NewMonteCarlo(c *netlist.Circuit, opt MCOptions) *MonteCarlo {
 func (m *MonteCarlo) EPP(site netlist.ID) MCResult {
 	cone := m.walker.ForwardCone(site)
 	words := (m.opt.Vectors + 63) / 64
-	// The per-site seed stream is decorrelated from other sites but stable
-	// across runs.
-	src := NewVectorSource(m.opt.Seed^(uint64(site)*0xbf58476d1ce4e5b9+1), m.opt.SourceProb)
+	// Only the vector source differs between the regimes: per-site keeps one
+	// decorrelated stream seeded by (Seed, site); shared re-seeds per word
+	// by (Seed, w) — identical vectors for every site, the MCBatch contract.
+	// One loop body, so the documented bit-exact MCBatch equivalence cannot
+	// desynchronize.
+	var perSiteSrc *VectorSource
+	if !m.opt.SharedVectors {
+		perSiteSrc = NewVectorSource(m.opt.Seed^(uint64(site)*0xbf58476d1ce4e5b9+1), m.opt.SourceProb)
+	}
 	detected := 0
 	for w := 0; w < words; w++ {
+		src := perSiteSrc
+		if src == nil {
+			src = NewVectorSource(wordSeed(m.opt.Seed, int64(w)), m.opt.SourceProb)
+		}
 		src.Fill(m.eng)
 		m.eng.Run()
 		detected += bits.OnesCount64(m.eng.FaultySim(&cone))

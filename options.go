@@ -116,6 +116,20 @@ func WithBatchWidth(width int) Option {
 	}
 }
 
+// WithRules selects the EPP engines' gate-rule implementation:
+// RulesClosedForm (the paper's Table 1 product formulas, default),
+// RulesPairwise (the exhaustive 4×4 symbol fold — same results, an
+// executable specification), or RulesNoPolarity (the ablation of the
+// paper's polarity tracking, for quantifying what the four-valued states
+// buy). Requires an analytic (EPP) engine and a single-frame analysis;
+// contradictory combinations are rejected before any work starts.
+func WithRules(r RuleSet) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.Rules = r
+		return nil
+	}
+}
+
 // WithVectors sets the random-vector budget per site for the Monte Carlo
 // estimator (0 = default).
 func WithVectors(vectors int) Option {

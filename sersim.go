@@ -225,6 +225,11 @@ func ParseMethod(s string) (Method, error) { return ser.ParseMethod(s) }
 // SPMethod.String.
 func ParseSPMethod(s string) (SPMethod, error) { return ser.ParseSPMethod(s) }
 
+// ParseRuleSet maps a canonical rule-set name ("closed-form", "pairwise",
+// "no-polarity") back to its RuleSet, inverting RuleSet.String — the
+// vocabulary of WithRules and the sercalc -rules flag.
+func ParseRuleSet(s string) (RuleSet, error) { return ser.ParseRuleSet(s) }
+
 // FaultModel computes per-node raw SEU rates R_SEU(n); see WithFaultModel.
 type FaultModel = faults.Model
 
