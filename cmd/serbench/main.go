@@ -21,6 +21,7 @@
 //	-mode table2           the full Table 2 reproduction (default)
 //	-mode sp-ablation      EPP accuracy with topological vs Monte Carlo SP
 //	-mode exact-accuracy   EPP vs BDD-exact P_sensitized (small profiles)
+//	-mode accuracy         per-engine accuracy vs the shared sampling reference
 //	-mode bench            per-circuit P_sensitized kernel timing (ns/op, allocs/op)
 //
 // Bench mode times a named engine from the registry (-engine, default
@@ -28,7 +29,18 @@
 // writes the measurements as a JSON array ({circuit, engine, nodes, gates,
 // ns_per_op, allocs_per_op, bytes_per_op}) so successive runs can be
 // tracked as a BENCH_*.json trajectory. Passing -json with the default mode
-// implies -mode bench.
+// implies -mode bench. -frames N > 1 times (or compares) the multi-cycle
+// detection analysis instead of the single-cycle P_sensitized, for every
+// engine that supports it (epp-batch, epp-scalar, monte-carlo).
+//
+// Accuracy mode compares the engines named by -compare (default
+// epp-batch,epp-scalar,monte-carlo) against one shared Monte Carlo
+// reference pass per circuit: the reference P_sensitized vector is computed
+// once per (circuit, vectors, seed, frames) and reused for every engine
+// under comparison — including the monte-carlo engine itself — so the full
+// good simulation runs exactly once per circuit no matter how many engines
+// are compared. The goodsims/word column proves it: the shared kernels pin
+// it at 1 per frame even though every comparison consumed the pass.
 package main
 
 import (
@@ -64,8 +76,10 @@ func main() {
 		csvPath   = flag.String("csv", "", "also write the table as CSV to this file")
 		jsonPath  = flag.String("json", "", "write bench-mode measurements as JSON to this file")
 		engName   = flag.String("engine", "epp-batch", "P_sensitized engine timed by bench mode")
+		compare   = flag.String("compare", "epp-batch,epp-scalar,monte-carlo", "engines compared by accuracy mode")
+		frames    = flag.Int("frames", 1, "clock cycles for multi-cycle detection (bench and accuracy modes)")
 		quick     = flag.Bool("quick", false, "small vector counts for a fast smoke run")
-		mode      = flag.String("mode", "table2", "table2 | sp-ablation | exact-accuracy | bench")
+		mode      = flag.String("mode", "table2", "table2 | sp-ablation | exact-accuracy | accuracy | bench")
 	)
 	flag.Parse()
 	modeSet := false
@@ -118,8 +132,10 @@ func main() {
 		runSPAblation(names, cfg)
 	case "exact-accuracy":
 		runExactAccuracy(names, cfg)
+	case "accuracy":
+		runAccuracy(names, strings.Split(*compare, ","), *frames, cfg.Workers, cfg.MCVectors, cfg.Seed)
 	case "bench":
-		runBench(names, *engName, *jsonPath, cfg.Workers, cfg.MCVectors, cfg.Seed)
+		runBench(names, *engName, *jsonPath, *frames, cfg.Workers, cfg.MCVectors, cfg.Seed)
 	default:
 		fmt.Fprintf(os.Stderr, "serbench: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -139,6 +155,7 @@ type benchRow struct {
 	Engine            string  `json:"engine"`
 	Nodes             int     `json:"nodes"`
 	Gates             int     `json:"gates"`
+	Frames            int     `json:"frames,omitempty"` // only recorded for multi-cycle rows
 	NsPerOp           float64 `json:"ns_per_op"`
 	AllocsPerOp       int64   `json:"allocs_per_op"`
 	BytesPerOp        int64   `json:"bytes_per_op"`
@@ -163,13 +180,14 @@ func marshalBenchRows(rows []benchRow) ([]byte, error) {
 // row. workers bounds the sweep's parallelism (the -workers flag defaults
 // to 1 so BENCH_*.json rows track the kernel, not the machine's core
 // count); vectors/seed configure the sampling engines (0 = engine
-// default).
-func benchCircuit(eng engine.Engine, c *netlist.Circuit, workers, vectors int, seed uint64) (benchRow, error) {
+// default); frames > 1 times the multi-cycle detection analysis instead.
+func benchCircuit(eng engine.Engine, c *netlist.Circuit, frames, workers, vectors int, seed uint64) (benchRow, error) {
 	var stats engine.Stats
 	req := engine.Request{
 		Circuit: c,
 		SP:      sigprob.Topological(c, sigprob.Config{}),
 		Workers: workers,
+		Frames:  frames,
 		Vectors: vectors,
 		Seed:    seed,
 		Stats:   &stats,
@@ -190,7 +208,7 @@ func benchCircuit(eng engine.Engine, c *netlist.Circuit, workers, vectors int, s
 			}
 		}
 	})
-	return benchRow{
+	row := benchRow{
 		Circuit:           c.Name,
 		Engine:            eng.Name(),
 		Nodes:             c.N(),
@@ -200,7 +218,11 @@ func benchCircuit(eng engine.Engine, c *netlist.Circuit, workers, vectors int, s
 		BytesPerOp:        res.AllocedBytesPerOp(),
 		SweptNodesPerSite: stats.SweptNodesPerSite(),
 		GoodSimsPerWord:   stats.GoodSimsPerWord(),
-	}, nil
+	}
+	if frames > 1 {
+		row.Frames = frames
+	}
+	return row, nil
 }
 
 // runBench times the all-sites P_sensitized kernel of the selected engine
@@ -209,7 +231,7 @@ func benchCircuit(eng engine.Engine, c *netlist.Circuit, workers, vectors int, s
 // series of BENCH_*.json files. Work-counter ratios (swept nodes per site,
 // good sims per word) ride along so locality and good-sim-sharing wins show
 // up in the artifact trajectory, not just wall-clock.
-func runBench(names []string, engName, jsonPath string, workers, vectors int, seed uint64) {
+func runBench(names []string, engName, jsonPath string, frames, workers, vectors int, seed uint64) {
 	eng, err := engine.Lookup(engName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
@@ -218,8 +240,12 @@ func runBench(names []string, engName, jsonPath string, workers, vectors int, se
 	if names == nil {
 		names = gen.Names()
 	}
+	title := fmt.Sprintf("all-sites P_sensitized kernel (engine %s)", eng.Name())
+	if frames > 1 {
+		title = fmt.Sprintf("all-sites multi-cycle detection kernel (engine %s, %d frames)", eng.Name(), frames)
+	}
 	t := report.NewTable(
-		fmt.Sprintf("all-sites P_sensitized kernel (engine %s)", eng.Name()),
+		title,
 		"Circuit", "Nodes", "ns/op", "allocs/op", "B/op", "swept/site", "goodsims/word",
 	)
 	rows := make([]benchRow, 0, len(names))
@@ -229,7 +255,7 @@ func runBench(names []string, engName, jsonPath string, workers, vectors int, se
 			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 			os.Exit(1)
 		}
-		row, err := benchCircuit(eng, c, workers, vectors, seed)
+		row, err := benchCircuit(eng, c, frames, workers, vectors, seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serbench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -242,7 +268,7 @@ func runBench(names []string, engName, jsonPath string, workers, vectors int, se
 	}
 	t.AddNote("one op = P_sensitized for every node (default batch width %d)", core.DefaultBatchWidth)
 	t.AddNote("ops go through the stateless engine API and include per-call engine construction; BenchmarkEPPAllNodes times the warm core kernel")
-	t.AddNote("swept/site = union-cone nodes per site (batched EPP); goodsims/word = good sims per 64-vector word (sampling; the shared kernel pins it at 1)")
+	t.AddNote("swept/site = union-cone nodes per site (batched EPP); goodsims/word = good sims per 64-vector word (sampling; the shared kernels pin it at 1 per frame)")
 	if err := t.Render(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 		os.Exit(1)
@@ -258,6 +284,114 @@ func runBench(names []string, engName, jsonPath string, workers, vectors int, se
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// accRow is one (circuit, engine) accuracy measurement of the accuracy mode.
+type accRow struct {
+	Circuit string
+	Engine  string
+	Sites   int
+	MAE     float64 // mean |engine − reference| over all sites
+	Worst   float64
+}
+
+// accuracyCircuit compares the named engines' all-sites P_sensitized (or
+// multi-cycle detection, frames > 1) vectors against one shared Monte Carlo
+// reference pass on circuit c. The fix this function embodies: the
+// reference vector — a full shared-good-sim sampling sweep — is computed
+// exactly once per (circuit, vectors, seed, frames) and reused for every
+// engine under comparison, where the naive layout re-ran it once per
+// engine. The returned Stats covers the whole comparison, so its good-sim
+// counters prove the sharing: GoodSims == words × frames no matter how many
+// engines consumed the pass (the monte-carlo engine included — it hits the
+// same cache instead of re-sampling). The signal probability vector is
+// likewise computed once and shared by the analytic engines.
+func accuracyCircuit(c *netlist.Circuit, engines []string, frames, workers, vectors int, seed uint64) ([]accRow, *engine.Stats, error) {
+	stats := &engine.Stats{}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	cache := map[string][]float64{}
+	compute := func(name string) ([]float64, error) {
+		if out, ok := cache[name]; ok {
+			return out, nil
+		}
+		eng, err := engine.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		req := engine.Request{
+			Circuit: c,
+			SP:      sp,
+			Workers: workers,
+			Frames:  frames,
+			Vectors: vectors,
+			Seed:    seed,
+			Stats:   stats,
+		}
+		out := make([]float64, c.N())
+		if err := eng.PSensitizedAll(context.Background(), &req, out); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		cache[name] = out
+		return out, nil
+	}
+	ref, err := compute("monte-carlo")
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := make([]accRow, 0, len(engines))
+	for _, name := range engines {
+		out, err := compute(strings.TrimSpace(name))
+		if err != nil {
+			return nil, nil, err
+		}
+		row := accRow{Circuit: c.Name, Engine: strings.TrimSpace(name), Sites: c.N()}
+		for id := range out {
+			d := math.Abs(out[id] - ref[id])
+			row.MAE += d
+			if d > row.Worst {
+				row.Worst = d
+			}
+		}
+		row.MAE /= float64(c.N())
+		rows = append(rows, row)
+	}
+	return rows, stats, nil
+}
+
+// runAccuracy (the -mode accuracy table): per-engine accuracy against the
+// shared sampling reference on each circuit, with the good-sim counters
+// printed so the one-pass sharing is visible in the output.
+func runAccuracy(names, engines []string, frames, workers, vectors int, seed uint64) {
+	if names == nil {
+		names = gen.Names()
+	}
+	title := "engine accuracy vs shared Monte Carlo reference"
+	if frames > 1 {
+		title = fmt.Sprintf("%s (%d frames)", title, frames)
+	}
+	t := report.NewTable(title, "Circuit", "Engine", "Sites", "MAE", "Worst", "goodsims/word")
+	for _, name := range names {
+		c, err := gen.ByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+			os.Exit(1)
+		}
+		rows, stats, err := accuracyCircuit(c, engines, frames, workers, vectors, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, r := range rows {
+			t.AddRowf(r.Circuit, r.Engine, r.Sites, r.MAE, r.Worst, stats.GoodSimsPerWord())
+		}
+		fmt.Fprintf(os.Stderr, "done %-8s (%d engines, one reference pass)\n", name, len(engines))
+	}
+	t.AddNote("reference = monte-carlo engine at the same (vectors, seed, frames), computed once per circuit and shared across all compared engines")
+	t.AddNote("goodsims/word counts the whole comparison: the shared pass pins it at the frame count (1 good sim per word per frame), not engines x frames")
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+		os.Exit(1)
 	}
 }
 

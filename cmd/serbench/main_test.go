@@ -20,6 +20,7 @@ func TestBenchJSONGolden(t *testing.T) {
 		{Circuit: "s953", Engine: "epp-batch", Nodes: 440, Gates: 395, NsPerOp: 1.25e6, AllocsPerOp: 1, BytesPerOp: 2048, SweptNodesPerSite: 3.925},
 		{Circuit: "s1196", Engine: "epp-batch", Nodes: 561, Gates: 529, NsPerOp: 2.5e6, AllocsPerOp: 0, BytesPerOp: 0},
 		{Circuit: "s953", Engine: "monte-carlo", Nodes: 440, Gates: 395, NsPerOp: 9.5e6, AllocsPerOp: 12, BytesPerOp: 4096, SweptNodesPerSite: 52.5, GoodSimsPerWord: 1},
+		{Circuit: "s953", Engine: "monte-carlo", Nodes: 440, Gates: 395, Frames: 4, NsPerOp: 3.8e7, AllocsPerOp: 12, BytesPerOp: 4096, SweptNodesPerSite: 210.5, GoodSimsPerWord: 4},
 	}
 	got, err := marshalBenchRows(rows)
 	if err != nil {
@@ -47,7 +48,7 @@ func TestBenchCircuitRow(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := gen.SmallRandom(1)
-	row, err := benchCircuit(eng, c, 1, 0, 1)
+	row, err := benchCircuit(eng, c, 1, 1, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,5 +74,58 @@ func TestBenchCircuitRow(t *testing.T) {
 	}
 	if len(back) != 1 || back[0].Circuit != row.Circuit || back[0].Engine != row.Engine {
 		t.Errorf("round-trip = %+v", back)
+	}
+}
+
+// TestAccuracySharedGoodSim verifies the accuracy mode's one-pass fix with
+// the good-sim counters: comparing several engines — the monte-carlo engine
+// itself included, so both the reference and a compared engine want the
+// same sampling sweep — must cost exactly one good simulation per (word,
+// frame) for the whole comparison, not one pass per engine.
+func TestAccuracySharedGoodSim(t *testing.T) {
+	c := gen.SmallRandomSequential(7)
+	const vectors, frames = 640, 3 // 10 words
+	engines := []string{"epp-batch", "epp-scalar", "monte-carlo"}
+	rows, stats, err := accuracyCircuit(c, engines, frames, 1, vectors, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(engines) {
+		t.Fatalf("%d rows for %d engines", len(rows), len(engines))
+	}
+	words := int64((vectors + 63) / 64)
+	if got := stats.Words.Load(); got != words {
+		t.Errorf("Words = %d, want %d (one reference pass, not one per engine)", got, words)
+	}
+	if got := stats.GoodSims.Load(); got != words*frames {
+		t.Errorf("GoodSims = %d, want %d (exactly one good sim per word per frame across the whole comparison)",
+			got, words*frames)
+	}
+	// The monte-carlo row must be the cached reference verbatim: zero diff.
+	for _, r := range rows {
+		if r.Engine == "monte-carlo" && (r.MAE != 0 || r.Worst != 0) {
+			t.Errorf("monte-carlo vs itself: MAE %v, worst %v — the reference pass was not shared", r.MAE, r.Worst)
+		}
+	}
+	// And the analytic rows must actually measure something.
+	for _, r := range rows {
+		if r.Sites != c.N() {
+			t.Errorf("%s: sites = %d, want %d", r.Engine, r.Sites, c.N())
+		}
+	}
+}
+
+// TestAccuracySingleCycleShared: same counter proof at frames == 1 (the
+// single-cycle MCBatch path).
+func TestAccuracySingleCycleShared(t *testing.T) {
+	c := gen.SmallRandom(3)
+	const vectors = 512 // 8 words
+	_, stats, err := accuracyCircuit(c, []string{"epp-batch", "monte-carlo"}, 1, 1, vectors, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := int64((vectors + 63) / 64)
+	if got := stats.GoodSims.Load(); got != words {
+		t.Errorf("GoodSims = %d, want %d", got, words)
 	}
 }

@@ -18,7 +18,7 @@
 //	-sp topological   signal probability source: topological | monte-carlo
 //	-vectors 10000    vectors for the monte-carlo estimators
 //	-seed 1           seed for randomized components
-//	-frames 1         clock cycles for multi-cycle P_sensitized (EPP only)
+//	-frames 1         clock cycles for multi-cycle detection (epp and monte-carlo engines)
 //	-workers 0        parallelism for the P_sensitized sweep (0 = all cores)
 //	-progress         report sweep progress on stderr
 //	-harden 0         evaluate protecting the top-k nodes (0 = skip)
@@ -56,7 +56,7 @@ func main() {
 		rules       = flag.String("rules", sersim.RulesClosedForm.String(), "EPP gate rules: closed-form | pairwise | no-polarity")
 		vectors     = flag.Int("vectors", 10000, "vectors for monte-carlo estimators")
 		seed        = flag.Uint64("seed", 1, "seed")
-		frames      = flag.Int("frames", 1, "clock cycles for multi-cycle P_sensitized (EPP only)")
+		frames      = flag.Int("frames", 1, "clock cycles for multi-cycle detection (epp and monte-carlo engines)")
 		workers     = flag.Int("workers", 0, "parallelism for the P_sensitized sweep (0 = all cores)")
 		progress    = flag.Bool("progress", false, "report sweep progress on stderr")
 		harden      = flag.Int("harden", 0, "evaluate protecting the top-k nodes")

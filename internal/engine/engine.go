@@ -86,8 +86,11 @@ type Request struct {
 	// clamped to [1, core.MaxBatchWidth]).
 	BatchWidth int
 	// Frames > 1 replaces the single-cycle P_sensitized with the
-	// multi-cycle detection probability within Frames clock cycles
-	// (analytic engines only; errors are followed through flip-flops).
+	// multi-cycle detection probability within Frames clock cycles: errors
+	// are followed through flip-flops and detection means a primary output
+	// differs in some frame. The analytic engines compose single-frame EPP
+	// sweeps (internal/seq); the monte-carlo engine runs the frame-unrolled
+	// batched kernel (simulate.MCSeqBatch). The exact engines reject it.
 	Frames int
 	// Vectors is the random-vector budget per site for the sampling
 	// engines (0 = simulate default).
@@ -115,8 +118,19 @@ type Request struct {
 	// The monte-carlo engine finalizes all sites together (its outer loop
 	// is over vector words, not sites), so its OnBatch calls all arrive
 	// once the sweep completes, tiling [0, N) in ascending node-ID order;
-	// cancellation is still honored per word.
+	// cancellation is still honored per word and incremental progress is
+	// reported through OnProgress instead.
 	OnBatch func(lo, hi int) error
+	// OnProgress, when non-nil, observes sweep progress: done out of total
+	// in node units, with done monotonically nondecreasing across calls
+	// (which never overlap) and reaching total exactly when the sweep
+	// completes.
+	// Unlike OnBatch it makes no claim that any result is final — the
+	// word-major monte-carlo engine reports each completed 64-vector word
+	// scaled to node units while every site finalizes together at the end;
+	// the site-major engines report after each finalized batch. This is
+	// the channel the public WithProgress option rides on.
+	OnProgress func(done, total int)
 	// OrderedSweep pins the batched EPP engine to ascending node-ID order,
 	// making every OnBatch range an ID range with out[lo:hi] final — the
 	// streaming API's contract. Without it the engine packs sites by cone

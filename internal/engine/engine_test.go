@@ -255,6 +255,163 @@ func TestFramesConformance(t *testing.T) {
 	}
 }
 
+// TestMCEngineFrames: the monte-carlo engine accepts multi-cycle requests
+// (the old "does not support multi-cycle frames" error path is gone), agrees
+// with the analytic multi-cycle engines within sampling noise, is
+// bit-identical across worker counts, and proves exactly one good simulation
+// per (word, frame) through the Stats counters.
+func TestMCEngineFrames(t *testing.T) {
+	c, err := gen.ByName("s1423") // FF-heavy profile
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	mc, err := Lookup("monte-carlo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames, vectors = 4, 1 << 11
+	var stats Stats
+	base := make([]float64, c.N())
+	req := &Request{Circuit: c, Frames: frames, Vectors: vectors, Seed: 11, Workers: 1, Stats: &stats}
+	if err := mc.PSensitizedAll(context.Background(), req, base); err != nil {
+		t.Fatalf("monte-carlo Frames=%d: %v", frames, err)
+	}
+
+	// Good-sim sharing: exactly one good simulation per (word, frame).
+	words := int64((vectors + 63) / 64)
+	if got := stats.Words.Load(); got != words {
+		t.Errorf("Words = %d, want %d", got, words)
+	}
+	if got := stats.GoodSims.Load(); got != words*frames {
+		t.Errorf("GoodSims = %d, want %d (one per word per frame)", got, words*frames)
+	}
+
+	// Worker invariance: integer detection counts, bit-identical results.
+	for _, workers := range []int{2, 0} {
+		out := make([]float64, c.N())
+		req := &Request{Circuit: c, Frames: frames, Vectors: vectors, Seed: 11, Workers: workers}
+		if err := mc.PSensitizedAll(context.Background(), req, out); err != nil {
+			t.Fatal(err)
+		}
+		for id := range out {
+			if out[id] != base[id] {
+				t.Fatalf("workers=%d: node %d differs: %v vs %v", workers, id, out[id], base[id])
+			}
+		}
+	}
+
+	// Statistical agreement with the analytic multi-cycle composition: the
+	// sampling estimate is unbiased, the analytic one carries the EPP
+	// independence error, so hold the mean |diff| to the documented bound
+	// rather than per-site noise.
+	epp, err := Lookup("epp-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float64, c.N())
+	if err := epp.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp, Frames: frames}, ref); err != nil {
+		t.Fatal(err)
+	}
+	sumAbs := 0.0
+	for id := range ref {
+		sumAbs += math.Abs(base[id] - ref[id])
+	}
+	if mean := sumAbs / float64(c.N()); mean > 0.08 {
+		t.Errorf("mean |monte-carlo - epp-batch| at Frames=%d: %v > 0.08", frames, mean)
+	}
+}
+
+// TestAnalyticFramesWorkers: the multi-cycle sweeps of both analytic
+// engines honor Request.Workers (epp-scalar used to hardcode a single
+// worker; epp-batch used to run the serial PDetectAllInto) and stay
+// bit-identical at any worker count — each worker's seq analyzer computes
+// the same deterministic composition over packing-invariant strike sweeps.
+func TestAnalyticFramesWorkers(t *testing.T) {
+	c, err := gen.ByName("s1423")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	for _, name := range []string{"epp-batch", "epp-scalar"} {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := make([]float64, c.N())
+		if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp, Frames: 3, Workers: 1}, base); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 0} {
+			out := make([]float64, c.N())
+			if err := e.PSensitizedAll(context.Background(), &Request{Circuit: c, SP: sp, Frames: 3, Workers: workers}, out); err != nil {
+				t.Fatal(err)
+			}
+			for id := range out {
+				if out[id] != base[id] {
+					t.Fatalf("%s workers=%d: node %d differs: %v vs %v", name, workers, id, out[id], base[id])
+				}
+			}
+		}
+	}
+}
+
+// TestOnProgress: every engine reports monotone OnProgress counts in node
+// units, ending exactly at (N, N) — including the word-major monte-carlo
+// engine, whose progress must tick incrementally (more than one call) even
+// though its per-site results finalize together, single- and multi-cycle.
+func TestOnProgress(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	cases := []struct {
+		name   string
+		frames int
+	}{
+		{"epp-batch", 1}, {"epp-batch", 3},
+		{"epp-scalar", 1}, {"epp-scalar", 3},
+		{"monte-carlo", 1}, {"monte-carlo", 3},
+	}
+	for _, tc := range cases {
+		e, err := Lookup(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The callback runs on sweep worker goroutines under the engines'
+		// progress mutex, so record the pairs and assert only after the
+		// sweep returns — a t.Fatalf from inside would strand the mutex.
+		var seen [][2]int
+		req := &Request{
+			Circuit: c, SP: sp, Frames: tc.frames, Vectors: 512, Workers: 1,
+			OnProgress: func(done, total int) {
+				seen = append(seen, [2]int{done, total})
+			},
+		}
+		out := make([]float64, c.N())
+		if err := e.PSensitizedAll(context.Background(), req, out); err != nil {
+			t.Fatalf("%s frames=%d: %v", tc.name, tc.frames, err)
+		}
+		last := 0
+		for i, s := range seen {
+			if s[1] != c.N() {
+				t.Fatalf("%s frames=%d: call %d total = %d, want %d", tc.name, tc.frames, i, s[1], c.N())
+			}
+			if s[0] < last {
+				t.Fatalf("%s frames=%d: progress went backwards: %d after %d", tc.name, tc.frames, s[0], last)
+			}
+			last = s[0]
+		}
+		if last != c.N() {
+			t.Errorf("%s frames=%d: final progress %d, want %d", tc.name, tc.frames, last, c.N())
+		}
+		if len(seen) < 2 {
+			t.Errorf("%s frames=%d: OnProgress fired %d times, want incremental reporting", tc.name, tc.frames, len(seen))
+		}
+	}
+}
+
 // TestEngineErrors: unsupported configurations fail descriptively.
 func TestEngineErrors(t *testing.T) {
 	c := circuitFile(t, "c17.bench")
@@ -263,7 +420,6 @@ func TestEngineErrors(t *testing.T) {
 		name string
 		req  Request
 	}{
-		{"monte-carlo", Request{Circuit: c, Frames: 2}},
 		{"enum", Request{Circuit: c, Frames: 2}},
 		{"enum", Request{Circuit: c, Bias: bias}},
 		{"bdd", Request{Circuit: c, Frames: 2}},

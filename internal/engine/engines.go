@@ -37,9 +37,11 @@ func resolveWorkers(w int) int {
 // do closure from newWorker. Because the partitioning depends only on chunk,
 // every engine built on it produces bit-identical results at any worker
 // count. Cancellation is checked before each claim; onBatch errors abort all
-// workers. With workers == 1 the sweep is strictly ordered, which is what
-// the streaming API relies on.
-func parallelSweep(ctx context.Context, n, chunk, workers int, onBatch func(lo, hi int) error, newWorker func() (func(lo, hi int) error, error)) error {
+// workers. onProgress, when non-nil, observes the accumulated finished-site
+// count after each batch, serialized under the same mutex as onBatch. With
+// workers == 1 the sweep is strictly ordered, which is what the streaming
+// API relies on.
+func parallelSweep(ctx context.Context, n, chunk, workers int, onBatch func(lo, hi int) error, onProgress func(done, total int), newWorker func() (func(lo, hi int) error, error)) error {
 	if workers > (n+chunk-1)/chunk {
 		workers = (n + chunk - 1) / chunk
 	}
@@ -52,6 +54,7 @@ func parallelSweep(ctx context.Context, n, chunk, workers int, onBatch func(lo, 
 		mu     sync.Mutex
 		abort  atomic.Bool
 		first  error
+		done   int
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -90,11 +93,15 @@ func parallelSweep(ctx context.Context, n, chunk, workers int, onBatch func(lo, 
 					fail(err)
 					return
 				}
-				if onBatch != nil {
+				if onBatch != nil || onProgress != nil {
 					mu.Lock()
 					err := first
-					if err == nil {
+					if err == nil && onBatch != nil {
 						err = onBatch(lo, hi)
+					}
+					if err == nil && onProgress != nil {
+						done += hi - lo
+						onProgress(done, n)
 					}
 					mu.Unlock()
 					if err != nil {
@@ -126,11 +133,53 @@ func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float
 		if req.Rules != core.RulesClosedForm {
 			return fmt.Errorf("engine: Rules %v requires a single-frame analysis", req.Rules)
 		}
-		sa, err := seq.New(c, sp)
+		// Batched multi-cycle composition distributed like the single-frame
+		// sweep: each worker owns a seq analyzer (per-analyzer lookahead
+		// memo; not safe for concurrent use) and claims batch-width chunks.
+		// PDetectBatch is packing-invariant and the composition is
+		// deterministic arithmetic, so results are bit-identical at any
+		// worker count; the first worker reuses the prototype (newWorker is
+		// called serially before the goroutines start).
+		proto, err := seq.New(c, sp)
 		if err != nil {
 			return err
 		}
-		return sa.PDetectAllInto(ctx, req.Frames, out, req.OrderedSweep, req.OnBatch)
+		chunk := proto.BatchWidth()
+		var order []netlist.ID
+		if !req.OrderedSweep {
+			order = proto.Schedule().Order
+		}
+		protoUsed := false
+		return parallelSweep(ctx, c.N(), chunk, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
+			func() (func(lo, hi int) error, error) {
+				sa := proto
+				if protoUsed {
+					var err error
+					if sa, err = seq.New(c, sp); err != nil {
+						return nil, err
+					}
+				}
+				protoUsed = true
+				sites := make([]netlist.ID, 0, chunk)
+				tmp := make([]float64, chunk)
+				return func(lo, hi int) error {
+					batch := order
+					if batch != nil {
+						batch = order[lo:hi]
+					} else {
+						sites = sites[:0]
+						for id := lo; id < hi; id++ {
+							sites = append(sites, netlist.ID(id))
+						}
+						batch = sites
+					}
+					sa.PDetectBatch(batch, req.Frames, tmp[:hi-lo])
+					for i, site := range batch {
+						out[site] = tmp[i]
+					}
+					return nil
+				}, nil
+			})
 	}
 	proto, err := core.New(c, sp, core.Options{Rules: req.Rules, BatchWidth: req.BatchWidth})
 	if err != nil {
@@ -146,7 +195,7 @@ func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float
 	if !req.OrderedSweep {
 		order = proto.Schedule().Order
 	}
-	return parallelSweep(ctx, c.N(), chunk, resolveWorkers(req.Workers), req.OnBatch,
+	return parallelSweep(ctx, c.N(), chunk, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
 		func() (func(lo, hi int) error, error) {
 			local := proto.Clone()
 			eng := local.Batch()
@@ -195,14 +244,17 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 		if req.Rules != core.RulesClosedForm {
 			return fmt.Errorf("engine: Rules %v requires a single-frame analysis", req.Rules)
 		}
-		// Per-site multi-cycle composition over scalar strike sweeps; the
-		// flip-flop lookahead vector is memoized inside the seq analyzer.
-		sa, err := seq.New(c, sp)
-		if err != nil {
-			return err
-		}
-		return parallelSweep(ctx, c.N(), 64, 1, req.OnBatch,
+		// Per-site multi-cycle composition over scalar strike sweeps. Each
+		// worker owns its own seq analyzer (the flip-flop lookahead vector
+		// is memoized per analyzer and the type is not safe for concurrent
+		// use); the composition is deterministic arithmetic, so results are
+		// identical at any worker count.
+		return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
 			func() (func(lo, hi int) error, error) {
+				sa, err := seq.New(c, sp)
+				if err != nil {
+					return nil, err
+				}
 				return func(lo, hi int) error {
 					for id := lo; id < hi; id++ {
 						out[id] = sa.PDetect(netlist.ID(id), req.Frames)
@@ -211,7 +263,7 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 				}, nil
 			})
 	}
-	return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch,
+	return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
 		func() (func(lo, hi int) error, error) {
 			an, err := core.New(c, sp, core.Options{Rules: req.Rules})
 			if err != nil {
@@ -227,15 +279,21 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 }
 
 // mcEngine is the random-vector fault-injection baseline, built on the
-// shared-good-sim batched kernel (simulate.MCBatch): the outer loop claims
-// 64-vector words from an atomic cursor, each word costs exactly one
-// full-circuit good simulation shared by every error site, and faulty
-// re-simulation runs over cone-locality site groups. Vectors follow the
+// shared-good-sim batched kernels: the outer loop claims 64-vector words
+// from an atomic cursor, each word costs exactly one full-circuit good
+// simulation per frame shared by every error site, and faulty re-simulation
+// runs over cone-locality site groups. A single-frame request runs
+// simulate.MCBatch (P_sensitized: flip-flop captures count as detections);
+// Frames > 1 runs the frame-unrolled simulate.MCSeqBatch (multi-cycle
+// detection probability: corrupted flip-flop state carries across clock
+// edges and only primary-output differences count — the same quantity the
+// analytic engines compute through internal/seq). Vectors follow the
 // shared-stream regime (word-indexed seeding), so results are identical at
-// any worker count; see MCOptions.SharedVectors for the reproducibility
-// contract. Because the sweep is word-major, per-site results all finalize
-// together: OnBatch calls arrive after the last word, tiling [0, N) in
-// order, while cancellation stays word-granular.
+// any worker count; see MCOptions.SharedVectors and SeqOptions.SharedVectors
+// for the reproducibility contracts. Because the sweep is word-major,
+// per-site results all finalize together: OnBatch calls arrive after the
+// last word, tiling [0, N) in order, while OnProgress ticks per completed
+// word and cancellation stays word-granular.
 type mcEngine struct{}
 
 func (mcEngine) Name() string { return "monte-carlo" }
@@ -245,20 +303,37 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 	if err := checkOut(req, out); err != nil {
 		return err
 	}
-	if req.Frames > 1 {
-		return fmt.Errorf("engine: monte-carlo does not support multi-cycle frames (use simulate.Sequential directly)")
-	}
 	c := req.Circuit
-	mb := simulate.NewMCBatch(c, req.mcOptions())
-	res, err := mb.EPPAll(ctx, resolveWorkers(req.Workers))
-	if err != nil {
-		return err
+	opt := req.mcOptions()
+	if req.OnProgress != nil {
+		// Word-granular progress, scaled to node units: after word k of W
+		// the sweep has done k/W of its total work on every site.
+		n := c.N()
+		opt.OnWord = func(done, total int) { req.OnProgress(n*done/total, n) }
 	}
-	for id := range res {
-		out[id] = res[id].PSensitized
+	var st simulate.MCStats
+	if req.Frames > 1 {
+		mb := simulate.NewMCSeqBatch(c, opt, req.Frames)
+		res, err := mb.PDetectAll(ctx, resolveWorkers(req.Workers))
+		if err != nil {
+			return err
+		}
+		for id := range res {
+			out[id] = res[id].PDetect
+		}
+		st = mb.Stats()
+	} else {
+		mb := simulate.NewMCBatch(c, opt)
+		res, err := mb.EPPAll(ctx, resolveWorkers(req.Workers))
+		if err != nil {
+			return err
+		}
+		for id := range res {
+			out[id] = res[id].PSensitized
+		}
+		st = mb.Stats()
 	}
 	if req.Stats != nil {
-		st := mb.Stats()
 		req.Stats.GoodSims.Add(st.GoodSims)
 		req.Stats.Words.Add(st.Words)
 		req.Stats.SweptNodes.Add(st.SweptMembers)
@@ -297,7 +372,7 @@ func (enumEngine) PSensitizedAll(ctx context.Context, req *Request, out []float6
 		return fmt.Errorf("engine: enum supports only uniform sources (Bias must be nil; use the bdd engine for biased sources)")
 	}
 	c := req.Circuit
-	return parallelSweep(ctx, c.N(), 1, resolveWorkers(req.Workers), req.OnBatch,
+	return parallelSweep(ctx, c.N(), 1, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
 		func() (func(lo, hi int) error, error) {
 			return func(lo, hi int) error {
 				for id := lo; id < hi; id++ {
@@ -327,7 +402,7 @@ func (bddEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64
 		return fmt.Errorf("engine: bdd does not support multi-cycle frames")
 	}
 	c := req.Circuit
-	return parallelSweep(ctx, c.N(), 1, resolveWorkers(req.Workers), req.OnBatch,
+	return parallelSweep(ctx, c.N(), 1, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
 		func() (func(lo, hi int) error, error) {
 			return func(lo, hi int) error {
 				for id := lo; id < hi; id++ {

@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/sched"
 )
 
 // Analyzer computes multi-cycle detection probabilities over a fixed circuit
@@ -54,6 +55,9 @@ type Analyzer struct {
 	// site-independent, so an all-nodes multi-cycle analysis pays the R
 	// iteration once per frame budget instead of once per site.
 	rCache map[int][]float64
+	// batchScratch holds the batched strike-sweep results reused across
+	// PDetectBatch calls.
+	batchScratch []core.Result
 }
 
 // frameSweep is the one-frame propagation profile of an error source.
@@ -223,6 +227,54 @@ func (a *Analyzer) compose(strike *frameSweep, r []float64) float64 {
 	return 1 - miss
 }
 
+// BatchWidth returns the lane count of the analyzer's batched strike-sweep
+// engine — the natural chunk size for PDetectBatch.
+func (a *Analyzer) BatchWidth() int { return a.epp.Batch().Width() }
+
+// Schedule returns the underlying cone-locality site schedule, so all-sites
+// callers can pack PDetectBatch chunks the way the single-cycle sweeps do.
+func (a *Analyzer) Schedule() *sched.Schedule { return a.epp.Schedule() }
+
+// PDetectBatch computes PDetect(sites[i], frames) into out[i] for one batch
+// of at most BatchWidth sites: one batched union-cone strike sweep serves
+// the whole batch, and the per-FF lookahead vector is memoized across
+// calls. Results are bit-identical under any batch composition (the strike
+// sweeps are packing-invariant and the composition is per-site arithmetic),
+// which is what lets all-sites callers distribute batches over workers.
+// len(out) must equal len(sites).
+func (a *Analyzer) PDetectBatch(sites []netlist.ID, frames int, out []float64) {
+	if frames < 1 {
+		panic(fmt.Sprintf("seq: PDetectBatch with frames = %d", frames))
+	}
+	if len(sites) != len(out) {
+		panic(fmt.Sprintf("seq: PDetectBatch with %d sites and %d outputs", len(sites), len(out)))
+	}
+	var r []float64
+	if frames > 1 {
+		r = a.rVector(frames - 1)
+	}
+	eng := a.epp.Batch()
+	if cap(a.batchScratch) < eng.Width() {
+		a.batchScratch = make([]core.Result, eng.Width())
+	}
+	for lo := 0; lo < len(sites); lo += eng.Width() {
+		hi := lo + eng.Width()
+		if hi > len(sites) {
+			hi = len(sites)
+		}
+		results := a.batchScratch[:hi-lo]
+		eng.EPPBatch(sites[lo:hi], results)
+		for i := range results {
+			strike := a.profileFromResult(&results[i])
+			if frames == 1 {
+				out[lo+i] = strike.pPO
+			} else {
+				out[lo+i] = a.compose(strike, r)
+			}
+		}
+	}
+}
+
 // PDetectAll returns PDetect(site, frames) for every node of the circuit in
 // one batched pass: the strike-frame sweeps run on the batched EPP engine
 // (as the all-sites single-cycle analysis does) and the per-FF lookahead
@@ -253,15 +305,15 @@ func (a *Analyzer) PDetectAllInto(ctx context.Context, frames int, out []float64
 	if len(out) != n {
 		return fmt.Errorf("seq: output slice has %d entries for %d nodes", len(out), n)
 	}
-	var r []float64
 	if frames > 1 {
+		// Warm the lookahead memo before the sweep so cancellation is
+		// checked ahead of the one-off R iteration.
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		r = a.rVector(frames - 1)
+		a.rVector(frames - 1)
 	}
-	eng := a.epp.Batch()
-	w := eng.Width()
+	w := a.BatchWidth()
 	// Unless ordered emission is required, pack batches from the
 	// cone-locality schedule like the single-cycle AllSites sweeps; the
 	// batched kernel is packing-invariant and per-lane Outputs are emitted
@@ -269,10 +321,10 @@ func (a *Analyzer) PDetectAllInto(ctx context.Context, frames int, out []float64
 	// either way.
 	var order []netlist.ID
 	if !ordered {
-		order = a.epp.Schedule().Order
+		order = a.Schedule().Order
 	}
 	sites := make([]netlist.ID, 0, w)
-	results := make([]core.Result, w)
+	tmp := make([]float64, w)
 	for lo := 0; lo < n; lo += w {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -291,14 +343,9 @@ func (a *Analyzer) PDetectAllInto(ctx context.Context, frames int, out []float64
 			}
 			batch = sites
 		}
-		eng.EPPBatch(batch, results[:hi-lo])
+		a.PDetectBatch(batch, frames, tmp[:hi-lo])
 		for i, site := range batch {
-			strike := a.profileFromResult(&results[i])
-			if frames == 1 {
-				out[site] = strike.pPO
-			} else {
-				out[site] = a.compose(strike, r)
-			}
+			out[site] = tmp[i]
 		}
 		if onBatch != nil {
 			if err := onBatch(lo, hi); err != nil {

@@ -126,7 +126,10 @@ type Config struct {
 	// Frames, when > 1, replaces the single-cycle P_sensitized with the
 	// multi-cycle detection probability within Frames clock cycles
 	// (primary-output observation only; errors are followed through
-	// flip-flops — the sequential extension, MethodEPP only).
+	// flip-flops — the sequential extension). Supported by the analytic
+	// engines (the internal/seq composition) and the monte-carlo engine
+	// (the frame-unrolled simulate.MCSeqBatch kernel); the exact engines
+	// reject it.
 	Frames int
 	// BatchWidth sets the batched EPP engine's lane count (0 = default).
 	BatchWidth int
@@ -139,9 +142,13 @@ type Config struct {
 	Rules core.RuleSet
 	// BDDBudget bounds the bdd engine's node count (0 = default).
 	BDDBudget int
-	// Progress, when non-nil, is called after each completed batch with the
-	// number of nodes finished so far and the total. Calls never overlap
-	// but may be out of ID order when Workers allows parallelism.
+	// Progress, when non-nil, is called with the number of node units of
+	// work finished so far and the total. Site-major engines report after
+	// each completed batch; the word-major monte-carlo engine reports after
+	// each completed 64-vector word, scaled to node units (its per-site
+	// results all finalize together at the last word). done is
+	// monotonically nondecreasing, reaches total exactly at completion, and
+	// calls never overlap.
 	Progress func(done, total int)
 }
 
@@ -201,8 +208,8 @@ func (cfg *Config) Validate(c *netlist.Circuit) error {
 	if cfg.Method == MethodMonteCarlo && eng.Class() != engine.ClassSampling {
 		return fmt.Errorf("ser: engine %q contradicts MethodMonteCarlo (drop the method or pick the monte-carlo engine)", eng.Name())
 	}
-	if cfg.Frames > 1 && eng.Class() != engine.ClassAnalytic {
-		return fmt.Errorf("ser: Frames = %d requires an EPP engine; %q cannot follow errors through flip-flops", cfg.Frames, eng.Name())
+	if cfg.Frames > 1 && eng.Class() == engine.ClassExact {
+		return fmt.Errorf("ser: Frames = %d requires an engine that can follow errors through flip-flops (EPP or monte-carlo); %q cannot", cfg.Frames, eng.Name())
 	}
 	if cfg.Rules != core.RulesClosedForm {
 		if eng.Class() != engine.ClassAnalytic {
@@ -341,14 +348,10 @@ func Run(ctx context.Context, c *netlist.Circuit, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	n := c.N()
-	if cfg.Progress != nil {
-		done := 0
-		p.req.OnBatch = func(lo, hi int) error {
-			done += hi - lo
-			cfg.Progress(done, n)
-			return nil
-		}
-	}
+	// Progress rides the engine's OnProgress channel: site-major engines
+	// report per finalized batch, the word-major monte-carlo engine per
+	// completed vector word (its sites all finalize together at the end).
+	p.req.OnProgress = cfg.Progress
 	psens := make([]float64, n)
 	if err := p.eng.PSensitizedAll(ctx, &p.req, psens); err != nil {
 		return nil, err
@@ -396,6 +399,7 @@ func Stream(ctx context.Context, c *netlist.Circuit, cfg Config) iter.Seq2[NodeS
 		if p.eng.Class() != engine.ClassSampling {
 			p.req.Workers = 1
 		}
+		p.req.OnProgress = cfg.Progress
 		stopped := false
 		p.req.OnBatch = func(lo, hi int) error {
 			for id := lo; id < hi; id++ {
@@ -403,9 +407,6 @@ func Stream(ctx context.Context, c *netlist.Circuit, cfg Config) iter.Seq2[NodeS
 					stopped = true
 					return errStreamStopped
 				}
-			}
-			if cfg.Progress != nil {
-				cfg.Progress(hi, n)
 			}
 			return nil
 		}

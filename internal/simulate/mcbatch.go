@@ -89,7 +89,15 @@ type mcGroup struct {
 func NewMCBatch(c *netlist.Circuit, opt MCOptions) *MCBatch {
 	opt.setDefaults()
 	m := &MCBatch{c: c, opt: opt}
+	m.groups, m.maxMembers, m.skipped = buildMCGroups(c)
+	return m
+}
 
+// buildMCGroups schedules all observable sites by cone locality and extracts
+// one strike-frame union cone per 64-site group — the shared front half of
+// NewMCBatch and NewMCSeqBatch. Cones stop at flip-flop boundaries; skipped
+// counts the sites excluded because no observation point is reachable.
+func buildMCGroups(c *netlist.Circuit) (groups []mcGroup, maxMembers, skipped int) {
 	// Observable sites only, in cone-locality order: a site whose signature
 	// is zero reaches no observation point, so no vector can ever detect it.
 	sig := c.ObsSignatures()
@@ -100,7 +108,7 @@ func NewMCBatch(c *netlist.Circuit, opt MCOptions) *MCBatch {
 			sites = append(sites, id)
 		}
 	}
-	m.skipped = c.N() - len(sites)
+	skipped = c.N() - len(sites)
 
 	n := c.N()
 	stamp := make([]int32, n)
@@ -121,7 +129,7 @@ func NewMCBatch(c *netlist.Circuit, opt MCOptions) *MCBatch {
 		if hi > len(sites) {
 			hi = len(sites)
 		}
-		gi := int32(len(m.groups))
+		gi := int32(len(groups))
 		gsites := sites[lo:hi]
 
 		// Union-cone DFS from every lane's site, accumulating lane masks.
@@ -210,12 +218,12 @@ func NewMCBatch(c *netlist.Circuit, opt MCOptions) *MCBatch {
 			}
 			g.mask[i] = mk
 		}
-		if len(g.members) > m.maxMembers {
-			m.maxMembers = len(g.members)
+		if len(g.members) > maxMembers {
+			maxMembers = len(g.members)
 		}
-		m.groups = append(m.groups, g)
+		groups = append(groups, g)
 	}
-	return m
+	return groups, maxMembers, skipped
 }
 
 // Circuit returns the simulated circuit.
@@ -224,36 +232,59 @@ func (m *MCBatch) Circuit() *netlist.Circuit { return m.c }
 // Stats returns the work counters of the most recent EPPAll call.
 func (m *MCBatch) Stats() MCStats { return m.stats }
 
-// EPPAll estimates P_sensitized for every node of the circuit (indexed by
-// node ID) across workers goroutines (0 = GOMAXPROCS). Each 64-vector word
-// costs exactly one good simulation shared by all sites. Cancellation of
-// ctx is honored between word claims; on cancellation the partial estimate
-// is discarded and ctx.Err() returned. Results are identical at any worker
-// count.
-func (m *MCBatch) EPPAll(ctx context.Context, workers int) ([]MCResult, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	words := (m.opt.Vectors + 63) / 64
-	if workers > words {
-		workers = words
-	}
-	n := m.c.N()
+// wordWorker is the per-goroutine state of a word-major sweep, shared by the
+// MCBatch and MCSeqBatch drivers: runWord processes one claimed 64-vector
+// word; merge folds the worker's detection counts and work counters into
+// the sweep totals (called under the driver's mutex at worker exit).
+type wordWorker interface {
+	runWord(w int64)
+	merge(detected []int64, stats *MCStats)
+}
 
+// mcCounters is the per-worker tally embedded by both kernels' workers: the
+// per-site detection counts and the MCStats work counters, merged into the
+// sweep totals under the driver's mutex.
+type mcCounters struct {
+	detected []int64
+
+	words, goodSims, laneSims, sweptMembers int64
+}
+
+func (c *mcCounters) merge(detected []int64, stats *MCStats) {
+	for id, d := range c.detected {
+		detected[id] += d
+	}
+	stats.Words += c.words
+	stats.GoodSims += c.goodSims
+	stats.LaneSims += c.laneSims
+	stats.SweptMembers += c.sweptMembers
+}
+
+// runWordSweep is the shared driver of the batched Monte Carlo kernels: it
+// claims 64-vector words from an atomic cursor across workers goroutines
+// (each with its own worker from newWorker), reports per-word OnWord
+// progress under the merge mutex (so done counts are strictly increasing
+// and calls never overlap), honors ctx between word claims, and merges
+// per-worker detection counts (length n) and counters at exit. On
+// cancellation the partial result is discarded and ctx.Err() returned.
+// Detection counts are integers summed per site, so the result is identical
+// at any worker count.
+func runWordSweep(ctx context.Context, workers, words, n int, onWord func(done, total int), newWorker func() wordWorker) ([]int64, MCStats, error) {
 	var (
-		cursor   atomic.Int64
-		abort    atomic.Bool
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		detected = make([]int64, n)
-		stats    MCStats
+		cursor    atomic.Int64
+		abort     atomic.Bool
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		firstErr  error
+		detected  = make([]int64, n)
+		stats     MCStats
+		wordsDone int
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wk := newMCWorker(m)
+			wk := newWorker()
 			for {
 				if abort.Load() {
 					break
@@ -272,21 +303,44 @@ func (m *MCBatch) EPPAll(ctx context.Context, workers int) ([]MCResult, error) {
 					break
 				}
 				wk.runWord(word)
+				if onWord != nil {
+					mu.Lock()
+					wordsDone++
+					onWord(wordsDone, words)
+					mu.Unlock()
+				}
 			}
 			mu.Lock()
-			for id, d := range wk.detected {
-				detected[id] += d
-			}
-			stats.Words += wk.words
-			stats.GoodSims += wk.goodSims
-			stats.LaneSims += wk.laneSims
-			stats.SweptMembers += wk.sweptMembers
+			wk.merge(detected, &stats)
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, MCStats{}, firstErr
+	}
+	return detected, stats, nil
+}
+
+// EPPAll estimates P_sensitized for every node of the circuit (indexed by
+// node ID) across workers goroutines (0 = GOMAXPROCS). Each 64-vector word
+// costs exactly one good simulation shared by all sites. Cancellation of
+// ctx is honored between word claims; on cancellation the partial estimate
+// is discarded and ctx.Err() returned. Results are identical at any worker
+// count.
+func (m *MCBatch) EPPAll(ctx context.Context, workers int) ([]MCResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	words := (m.opt.Vectors + 63) / 64
+	if workers > words {
+		workers = words
+	}
+	n := m.c.N()
+	detected, stats, err := runWordSweep(ctx, workers, words, n, m.opt.OnWord,
+		func() wordWorker { return newMCWorker(m) })
+	if err != nil {
+		return nil, err
 	}
 	stats.Sites = int64(n)
 	stats.Unobservable = int64(m.skipped)
@@ -311,27 +365,25 @@ func (m *MCBatch) EPPAll(ctx context.Context, workers int) ([]MCResult, error) {
 // engine for the shared good simulation, the lane-value scratch for faulty
 // re-simulation, and local counters merged under the mutex at exit.
 type mcWorker struct {
+	mcCounters
 	m        *MCBatch
 	eng      *Engine
 	lanes    []uint64 // faulty lane values, member-major: lanes[i*64+lane]
-	pos      []int32 // member index of node, valid where stamp == current
-	stamp    []int64 // int64: one epoch per (word, group), never wraps in practice
+	pos      []int32  // member index of node, valid where stamp == current
+	stamp    []int64  // int64: one epoch per (word, group), never wraps in practice
 	stampVal int64
 	ins      []uint64
-	detected []int64
-
-	words, goodSims, laneSims, sweptMembers int64
 }
 
 func newMCWorker(m *MCBatch) *mcWorker {
 	return &mcWorker{
-		m:        m,
-		eng:      NewEngine(m.c),
-		lanes:    make([]uint64, m.maxMembers*mcLanes),
-		pos:      make([]int32, m.c.N()),
-		stamp:    make([]int64, m.c.N()),
-		ins:      make([]uint64, 0, 8),
-		detected: make([]int64, m.c.N()),
+		mcCounters: mcCounters{detected: make([]int64, m.c.N())},
+		m:          m,
+		eng:        NewEngine(m.c),
+		lanes:      make([]uint64, m.maxMembers*mcLanes),
+		pos:        make([]int32, m.c.N()),
+		stamp:      make([]int64, m.c.N()),
+		ins:        make([]uint64, 0, 8),
 	}
 }
 

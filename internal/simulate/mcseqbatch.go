@@ -1,0 +1,454 @@
+package simulate
+
+import (
+	"context"
+	"math"
+	"math/bits"
+	"runtime"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// MCSeqBatch is the frame-unrolled batched Monte Carlo estimator of the
+// multi-cycle detection probability: the same two-machine fault-injection
+// semantics as Sequential (an SEU complements the error site during the
+// strike cycle; corrupted flip-flop state carries the error into subsequent
+// cycles; detection means a primary output differed in any frame), with the
+// good-machine work shared across all error sites exactly as MCBatch shares
+// it for the single-cycle estimate.
+//
+// The per-site Sequential estimator re-runs the full good trajectory once
+// per site per word — O(sites × words × frames) full-circuit simulations
+// where O(words × frames) suffices, because the good machine depends only on
+// the vectors. MCSeqBatch inverts the loops: the outer loop claims 64-vector
+// words from an atomic cursor, each word costs exactly one full-circuit good
+// simulation per frame (the whole good trajectory is recorded), and the
+// inner loop re-simulates every site group's divergence against it:
+//
+//   - Frame 0 (the strike cycle) sweeps the group's combinational strike
+//     cone with the site flips, exactly as MCBatch — but detection counts
+//     primary outputs only, since flip-flop captures are carried state here,
+//     not detections.
+//
+//   - At each clock edge the carried divergence is captured: for every
+//     flip-flop the group's error can ever reach, the faulty D-input word is
+//     latched per lane (equal to the good D value wherever the lane did not
+//     diverge), mirroring Sequential's atomic edge.
+//
+//   - Frames >= 1 sweep the combinational forward cone of the carried
+//     flip-flops (a per-group precomputed superset of the actual per-frame
+//     divergence, with per-member lane masks), re-evaluating faulty values
+//     against that frame's good values and accumulating primary-output
+//     differences.
+//
+// Faulty evaluation per lane is bitwise identical to the two-machine
+// simulation over the full circuit (values outside the swept cone equal the
+// good machine's by construction), so per-site detection counts — and
+// therefore every SeqResult — are independent of the grouping, identical at
+// any worker count, and bit-exact against a per-site Sequential run in the
+// shared-vector regime (SeqOptions.SharedVectors).
+//
+// Vectors follow the multi-cycle shared-stream contract: one stream per
+// 64-vector word, seeded by (Seed, word index) via wordSeed, drawing first
+// the initial flip-flop state words (in Circuit.FFs order) and then each
+// frame's primary-input words (in Circuit.PIs order). Sites that reach no
+// observation point (ObsSignatures == 0) are excluded from the lane groups
+// entirely: a site that cannot even reach a flip-flop D input can never be
+// detected in any frame.
+//
+// An MCSeqBatch may be reused for repeated PDetectAll calls but is not safe
+// for concurrent use.
+type MCSeqBatch struct {
+	c      *netlist.Circuit
+	opt    MCOptions
+	frames int
+
+	groups     []mcSeqGroup
+	maxMembers int // largest member list over groups and frame kinds
+	maxFFs     int // largest carried-FF set, sizes the per-lane state scratch
+	skipped    int // sites excluded as unobservable
+	isPO       []bool
+
+	stats MCStats
+}
+
+// mcSeqGroup extends the strike-frame group with the sequential structures:
+// the flip-flops that can ever carry the group's divergence (with per-FF
+// lane masks and D inputs) and the combinational forward cone of those
+// flip-flops, swept in frames >= 1.
+type mcSeqGroup struct {
+	mcGroup // frame 0: sites, strike-cone members, lane masks, site lanes
+
+	ffIDs  []netlist.ID // flip-flops reachable by the group's divergence
+	ffMask []uint64     // per ffIDs entry: lanes whose divergence can reach it
+	ffD    []netlist.ID // D input (fanin[0]) of each carried flip-flop
+
+	seqMembers []netlist.ID // comb forward cone of ffIDs, topological order
+	seqMask    []uint64     // per-member lane masks for frames >= 1
+	seqFFPos   []int32      // index into ffIDs for FF members, -1 for gates
+}
+
+// NewMCSeqBatch builds the frame-unrolled batched estimator for circuit c
+// with the given frame budget (clamped to >= 1). The precomputed structures
+// are shared read-only by all PDetectAll workers.
+func NewMCSeqBatch(c *netlist.Circuit, opt MCOptions, frames int) *MCSeqBatch {
+	opt.setDefaults()
+	if frames < 1 {
+		frames = 1
+	}
+	m := &MCSeqBatch{c: c, opt: opt, frames: frames}
+	base, maxMembers, skipped := buildMCGroups(c)
+	m.maxMembers = maxMembers
+	m.skipped = skipped
+	m.isPO = make([]bool, c.N())
+	for _, po := range c.POs {
+		m.isPO[po] = true
+	}
+
+	m.groups = make([]mcSeqGroup, len(base))
+	for gi := range base {
+		m.groups[gi].mcGroup = base[gi]
+	}
+	if frames == 1 {
+		// A single-frame budget never runs the capture or frames>=1 sweeps,
+		// so the sequential closure structures would be dead weight —
+		// construction then costs the same as MCBatch's.
+		return m
+	}
+
+	n := c.N()
+	mask := make([]uint64, n)   // sequential lane-closure fixpoint
+	smask := make([]uint64, n)  // frame>=1 on-path lane masks
+	ffLocal := make([]int32, n) // FF id -> index into the group's ffIDs
+	topo := c.Topo()
+	kinds := c.Kinds()
+	fiIdx, fiArr := c.FaninCSR()
+
+	for gi := range m.groups {
+		g := &m.groups[gi]
+
+		// Lane closure over the sequential graph: mask[id] bit l set iff
+		// lane l's divergence can reach id within the frame budget. One
+		// combinational topological pass per iteration, then a clock-edge
+		// step that pushes each flip-flop's D-input mask onto its output.
+		// Divergence crosses at most frames−1 clock edges (captures run
+		// after frames 0..frames−2), so the iteration is exact for the
+		// budget at frames−1 edge steps; it also stops early once no
+		// flip-flop gains a lane (bits only accumulate).
+		for i := range mask {
+			mask[i] = 0
+		}
+		for lane, site := range g.sites {
+			mask[site] |= 1 << uint(lane)
+		}
+		for edge := 1; edge < frames; edge++ {
+			for _, id := range topo {
+				if kinds[id].IsGate() {
+					mk := mask[id]
+					for _, f := range fiArr[fiIdx[id]:fiIdx[id+1]] {
+						mk |= mask[f]
+					}
+					mask[id] = mk
+				}
+			}
+			changed := false
+			for _, ff := range c.FFs {
+				d := fiArr[fiIdx[ff]]
+				if add := mask[d] &^ mask[ff]; add != 0 {
+					mask[ff] |= add
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+
+		// Carried flip-flops, then the combinational cone they drive: the
+		// member set swept in frames >= 1. Filtering the circuit topological
+		// order keeps it a valid evaluation order.
+		for i := range smask {
+			smask[i] = 0
+		}
+		for _, ff := range c.FFs {
+			if mask[ff] != 0 {
+				ffLocal[ff] = int32(len(g.ffIDs))
+				g.ffIDs = append(g.ffIDs, ff)
+				g.ffMask = append(g.ffMask, mask[ff])
+				g.ffD = append(g.ffD, fiArr[fiIdx[ff]])
+				smask[ff] = mask[ff]
+			}
+		}
+		for _, id := range topo {
+			if kinds[id].IsGate() {
+				mk := smask[id]
+				for _, f := range fiArr[fiIdx[id]:fiIdx[id+1]] {
+					mk |= smask[f]
+				}
+				smask[id] = mk
+			}
+			if smask[id] != 0 {
+				fp := int32(-1)
+				if kinds[id] == logic.DFF {
+					fp = ffLocal[id]
+				}
+				g.seqMembers = append(g.seqMembers, id)
+				g.seqMask = append(g.seqMask, smask[id])
+				g.seqFFPos = append(g.seqFFPos, fp)
+			}
+		}
+		if len(g.seqMembers) > m.maxMembers {
+			m.maxMembers = len(g.seqMembers)
+		}
+		if len(g.ffIDs) > m.maxFFs {
+			m.maxFFs = len(g.ffIDs)
+		}
+	}
+	return m
+}
+
+// Circuit returns the simulated circuit.
+func (m *MCSeqBatch) Circuit() *netlist.Circuit { return m.c }
+
+// Frames returns the frame budget.
+func (m *MCSeqBatch) Frames() int { return m.frames }
+
+// Stats returns the work counters of the most recent PDetectAll call. The
+// kernel's defining invariant is GoodSims == Words × Frames: exactly one
+// full-circuit good simulation per (64-vector word, frame), shared by all
+// sites.
+func (m *MCSeqBatch) Stats() MCStats { return m.stats }
+
+// PDetectAll estimates the multi-cycle detection probability for every node
+// of the circuit (indexed by node ID) across workers goroutines (0 =
+// GOMAXPROCS). Each 64-vector word costs exactly one good simulation per
+// frame shared by all sites. Cancellation of ctx is honored between word
+// claims; on cancellation the partial estimate is discarded and ctx.Err()
+// returned. Results are identical at any worker count.
+func (m *MCSeqBatch) PDetectAll(ctx context.Context, workers int) ([]SeqResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	words := (m.opt.Vectors + 63) / 64
+	if workers > words {
+		workers = words
+	}
+	n := m.c.N()
+	detected, stats, err := runWordSweep(ctx, workers, words, n, m.opt.OnWord,
+		func() wordWorker { return newMCSeqWorker(m) })
+	if err != nil {
+		return nil, err
+	}
+	stats.Sites = int64(n)
+	stats.Unobservable = int64(m.skipped)
+	m.stats = stats
+
+	trials := words * 64
+	out := make([]SeqResult, n)
+	for id := 0; id < n; id++ {
+		p := float64(detected[id]) / float64(trials)
+		out[id] = SeqResult{
+			Site:    netlist.ID(id),
+			Frames:  m.frames,
+			PDetect: p,
+			StdErr:  math.Sqrt(p * (1 - p) / float64(trials)),
+			Trials:  trials,
+		}
+	}
+	return out, nil
+}
+
+// mcSeqWorker is the per-goroutine state of one PDetectAll sweep: a
+// bit-parallel engine for the shared good trajectory, the per-frame good
+// value snapshots, the lane-value scratch for faulty re-simulation, and the
+// per-lane carried flip-flop state.
+type mcSeqWorker struct {
+	mcCounters
+	m        *MCSeqBatch
+	eng      *Engine
+	goodBuf  []uint64 // frames × N good values, frame-major
+	lanes    []uint64 // faulty lane values, member-major: lanes[i*64+lane]
+	faultyFF []uint64 // carried faulty FF state: faultyFF[ffLocal*64+lane]
+	pos      []int32
+	stamp    []int64
+	stampVal int64
+	ins      []uint64
+}
+
+func newMCSeqWorker(m *MCSeqBatch) *mcSeqWorker {
+	return &mcSeqWorker{
+		mcCounters: mcCounters{detected: make([]int64, m.c.N())},
+		m:          m,
+		eng:        NewEngine(m.c),
+		goodBuf:    make([]uint64, m.frames*m.c.N()),
+		lanes:      make([]uint64, m.maxMembers*mcLanes),
+		faultyFF:   make([]uint64, m.maxFFs*mcLanes),
+		pos:        make([]int32, m.c.N()),
+		stamp:      make([]int64, m.c.N()),
+		ins:        make([]uint64, 0, 8),
+	}
+}
+
+// runWord applies word w's shared vectors: the full good trajectory (one
+// good simulation per frame), then per site group the frame-unrolled faulty
+// sweep with flip-flop state carried across clock edges.
+func (wk *mcSeqWorker) runWord(w int64) {
+	m := wk.m
+	c := m.c
+	n := c.N()
+	eng := wk.eng
+	fiIdx, fiArr := eng.fiIdx, eng.fiArr
+	kinds := eng.kinds
+
+	// Good trajectory under the multi-cycle seeding contract: one stream per
+	// word, initial flip-flop state first, then each frame's primary inputs.
+	src := NewVectorSource(wordSeed(m.opt.Seed, w), m.opt.SourceProb)
+	for _, ff := range c.FFs {
+		eng.values[ff] = src.Word(ff)
+	}
+	for f := 0; f < m.frames; f++ {
+		for _, pi := range c.PIs {
+			eng.values[pi] = src.Word(pi)
+		}
+		eng.Run()
+		copy(wk.goodBuf[f*n:(f+1)*n], eng.values)
+		wk.goodSims++
+		if f+1 < m.frames {
+			// Clock edge: the snapshot makes the capture atomic, so FF-to-FF
+			// chains shift by exactly one stage per cycle.
+			good := wk.goodBuf[f*n : (f+1)*n]
+			for _, ff := range c.FFs {
+				eng.values[ff] = good[fiArr[fiIdx[ff]]]
+			}
+		}
+	}
+	wk.words++
+
+	for gi := range m.groups {
+		g := &m.groups[gi]
+		var det [mcLanes]uint64
+
+		// Frame 0: strike-cone sweep with the site flips, against the frame-0
+		// good values. Identical arithmetic to MCBatch, but detection counts
+		// primary outputs only — flip-flop captures are carried, not counted.
+		good := wk.goodBuf[:n]
+		wk.stampVal++
+		for i, id := range g.members {
+			wk.stamp[id] = wk.stampVal
+			wk.pos[id] = int32(i)
+		}
+		for i, id := range g.members {
+			mk := g.mask[i]
+			base := i * mcLanes
+			for mm := mk; mm != 0; mm &= mm - 1 {
+				l := bits.TrailingZeros64(mm)
+				var v uint64
+				if g.siteIdx[l] == int32(i) {
+					// Lane l's error site: the SEU forces the complement of
+					// the good value in all 64 patterns of the strike cycle.
+					v = ^good[id]
+				} else {
+					wk.ins = wk.ins[:0]
+					for _, f := range fiArr[fiIdx[id]:fiIdx[id+1]] {
+						if wk.stamp[f] == wk.stampVal && g.mask[wk.pos[f]]>>uint(l)&1 == 1 {
+							wk.ins = append(wk.ins, wk.lanes[int(wk.pos[f])*mcLanes+l])
+						} else {
+							wk.ins = append(wk.ins, good[f])
+						}
+					}
+					v = logic.EvalWord(kinds[id], wk.ins)
+				}
+				wk.lanes[base+l] = v
+				if m.isPO[id] {
+					det[l] |= v ^ good[id]
+				}
+			}
+			wk.laneSims += int64(bits.OnesCount64(mk))
+		}
+		wk.sweptMembers += int64(len(g.members))
+		if m.frames > 1 {
+			wk.capture(g, g.mask, good)
+		}
+
+		// Frames >= 1: sweep the carried flip-flops' combinational cone
+		// against that frame's good values, divergence entering only through
+		// the captured state.
+		for f := 1; f < m.frames; f++ {
+			good := wk.goodBuf[f*n : (f+1)*n]
+			wk.stampVal++
+			for i, id := range g.seqMembers {
+				wk.stamp[id] = wk.stampVal
+				wk.pos[id] = int32(i)
+			}
+			for i, id := range g.seqMembers {
+				mk := g.seqMask[i]
+				base := i * mcLanes
+				if fp := g.seqFFPos[i]; fp >= 0 {
+					fb := int(fp) * mcLanes
+					for mm := mk; mm != 0; mm &= mm - 1 {
+						l := bits.TrailingZeros64(mm)
+						v := wk.faultyFF[fb+l]
+						wk.lanes[base+l] = v
+						if m.isPO[id] {
+							det[l] |= v ^ good[id]
+						}
+					}
+				} else {
+					for mm := mk; mm != 0; mm &= mm - 1 {
+						l := bits.TrailingZeros64(mm)
+						wk.ins = wk.ins[:0]
+						for _, fin := range fiArr[fiIdx[id]:fiIdx[id+1]] {
+							if wk.stamp[fin] == wk.stampVal && g.seqMask[wk.pos[fin]]>>uint(l)&1 == 1 {
+								wk.ins = append(wk.ins, wk.lanes[int(wk.pos[fin])*mcLanes+l])
+							} else {
+								wk.ins = append(wk.ins, good[fin])
+							}
+						}
+						v := logic.EvalWord(kinds[id], wk.ins)
+						wk.lanes[base+l] = v
+						if m.isPO[id] {
+							det[l] |= v ^ good[id]
+						}
+					}
+				}
+				wk.laneSims += int64(bits.OnesCount64(mk))
+			}
+			wk.sweptMembers += int64(len(g.seqMembers))
+			if f+1 < m.frames {
+				wk.capture(g, g.seqMask, good)
+			}
+		}
+
+		for l, site := range g.sites {
+			wk.detected[site] += int64(bits.OnesCount64(det[l]))
+		}
+	}
+}
+
+// capture latches the carried divergence at a clock edge: for every carried
+// flip-flop, the faulty D-input word per lane — the lane value where the D
+// input was on-path in the frame just swept (memberMask is that frame's
+// per-member mask array), the good value otherwise. Reads only lanes and
+// good, writes only faultyFF, so the edge is atomic like Sequential's.
+func (wk *mcSeqWorker) capture(g *mcSeqGroup, memberMask []uint64, good []uint64) {
+	for j, d := range g.ffD {
+		gv := good[d]
+		base := j * mcLanes
+		var dmask uint64
+		dbase := 0
+		if wk.stamp[d] == wk.stampVal {
+			p := int(wk.pos[d])
+			dmask = memberMask[p]
+			dbase = p * mcLanes
+		}
+		for mm := g.ffMask[j]; mm != 0; mm &= mm - 1 {
+			l := bits.TrailingZeros64(mm)
+			v := gv
+			if dmask>>uint(l)&1 == 1 {
+				v = wk.lanes[dbase+l]
+			}
+			wk.faultyFF[base+l] = v
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package simulate_test
+
+// The analytical cross-check lives in an external test package: it needs
+// sigprob for the seq analyzer's signal probabilities, and sigprob itself
+// imports simulate.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/seq"
+	"repro/internal/sigprob"
+	"repro/internal/simulate"
+)
+
+// TestMCSeqBatchVsAnalyticalSeq cross-checks the frame-unrolled Monte Carlo
+// kernel against the analytical multi-cycle extension (package seq): mean
+// |diff| over all sites and several frame budgets must stay within the same
+// bound the analytical model is held to against Sequential — the two
+// multi-cycle paths must tell one story.
+func TestMCSeqBatchVsAnalyticalSeq(t *testing.T) {
+	sumAbs, n := 0.0, 0
+	for seed := uint64(0); seed < 3; seed++ {
+		c := gen.SmallRandomSequential(seed + 80)
+		a, err := seq.New(c, sigprob.Topological(c, sigprob.Config{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, frames := range []int{2, 4} {
+			mb := simulate.NewMCSeqBatch(c, simulate.MCOptions{Vectors: 1 << 12, Seed: seed + 9}, frames)
+			got, err := mb.PDetectAll(context.Background(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for id := 0; id < c.N(); id++ {
+				sumAbs += math.Abs(got[id].PDetect - a.PDetect(netlist.ID(id), frames))
+				n++
+			}
+		}
+	}
+	mean := sumAbs / float64(n)
+	t.Logf("mean |MCSeqBatch - seq analytical| over %d (site, frames) pairs: %v", n, mean)
+	if mean > 0.08 {
+		t.Errorf("mean difference %v exceeds 0.08", mean)
+	}
+}

@@ -1,0 +1,285 @@
+package simulate
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+)
+
+// TestMCSeqBatchMatchesSequentialShared is the kernel's conformance suite:
+// for every site of random sequential circuits and several frame budgets,
+// the batched multi-cycle estimate must equal a per-site Sequential run in
+// the shared-vector regime BIT-EXACTLY — same detection counts, same
+// trajectory, same standard error. Faulty lane evaluation is two-machine
+// simulation arithmetic over the same good trajectory, so any divergence is
+// a grouping or state-carry bug, not noise.
+func TestMCSeqBatchMatchesSequentialShared(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		c := gen.SmallRandomSequential(seed + 50)
+		for _, frames := range []int{1, 2, 4} {
+			opt := MCOptions{Vectors: 256, Seed: seed + 1}
+			mb := NewMCSeqBatch(c, opt, frames)
+			got, err := mb.PDetectAll(context.Background(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != c.N() {
+				t.Fatalf("seed %d: %d results for %d nodes", seed, len(got), c.N())
+			}
+			ps := NewSequential(c, SeqOptions{
+				Frames: frames, Trials: 256, Seed: seed + 1, SharedVectors: true,
+			})
+			for id := 0; id < c.N(); id++ {
+				want := ps.PDetect(netlist.ID(id))
+				g := got[id]
+				if g.Site != want.Site || g.Frames != want.Frames ||
+					g.Trials != want.Trials || g.PDetect != want.PDetect ||
+					g.StdErr != want.StdErr {
+					t.Fatalf("seed %d frames %d site %d: batched %+v, per-site shared %+v",
+						seed, frames, id, g, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMCSeqBatchStatisticalVsSequential: against the historical per-site
+// regime (independent streams) the batched kernel must agree within the
+// binomial noise of both estimators — the statistical half of the
+// conformance story, on the combinational testdata circuits (where every
+// frame is an independent trial) and a flip-flop-bearing random circuit.
+func TestMCSeqBatchStatisticalVsSequential(t *testing.T) {
+	circuits := map[string]*netlist.Circuit{
+		"small-seq": gen.SmallRandomSequential(77),
+	}
+	for _, file := range []string{"c17.bench", "majority.bench"} {
+		c, err := bench.ParseFile("../../testdata/" + file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits[file] = c
+	}
+	for name, c := range circuits {
+		mb := NewMCSeqBatch(c, MCOptions{Vectors: 1 << 13, Seed: 5}, 3)
+		got, err := mb.PDetectAll(context.Background(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := NewSequential(c, SeqOptions{Frames: 3, Trials: 1 << 13, Seed: 99})
+		for id := 0; id < c.N(); id++ {
+			ref := sim.PDetect(netlist.ID(id))
+			tol := 5*(got[id].StdErr+ref.StdErr) + 1e-9
+			if d := math.Abs(got[id].PDetect - ref.PDetect); d > tol {
+				t.Errorf("%s site %d: batched %v, per-site %v (|diff| %v > %v)",
+					name, id, got[id].PDetect, ref.PDetect, d, tol)
+			}
+		}
+	}
+}
+
+// TestMCSeqBatchShiftRegister: deterministic pipeline — the flip delivered at
+// frame 0 reaches the PO exactly at frame 4, with probability 1, through
+// three flip-flop stages.
+func TestMCSeqBatchShiftRegister(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(z)
+d0 = BUFF(a)
+q0 = DFF(d0)
+q1 = DFF(q0)
+q2 = DFF(q1)
+z  = BUFF(q2)
+`)
+	site := c.ByName("d0")
+	for frames, want := range map[int]float64{1: 0, 2: 0, 3: 0, 4: 1, 5: 1} {
+		mb := NewMCSeqBatch(c, MCOptions{Vectors: 256, Seed: 1}, frames)
+		got, err := mb.PDetectAll(context.Background(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[site].PDetect != want {
+			t.Errorf("frames=%d: PDetect = %v, want %v", frames, got[site].PDetect, want)
+		}
+	}
+}
+
+// TestMCSeqBatchMonotoneFrames: under the shared regime every word's stream
+// is re-seeded by (Seed, w) and the frame-k draws are a prefix of the
+// frame-(k+1) draws, so the per-trial detection indicator — and hence every
+// site's estimate — is exactly monotone in the frame budget, at any word
+// count.
+func TestMCSeqBatchMonotoneFrames(t *testing.T) {
+	c := gen.SmallRandomSequential(31)
+	prev := make([]float64, c.N())
+	for i := range prev {
+		prev[i] = -1
+	}
+	for frames := 1; frames <= 4; frames++ {
+		mb := NewMCSeqBatch(c, MCOptions{Vectors: 512, Seed: 7}, frames)
+		got, err := mb.PDetectAll(context.Background(), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < c.N(); id++ {
+			if got[id].PDetect < prev[id] {
+				t.Fatalf("site %d: PDetect dropped from %v to %v at frames=%d",
+					id, prev[id], got[id].PDetect, frames)
+			}
+			prev[id] = got[id].PDetect
+		}
+	}
+}
+
+// TestMCSeqBatchWorkerInvariance: detection counts are summed integers, so
+// the result is identical at any worker count.
+func TestMCSeqBatchWorkerInvariance(t *testing.T) {
+	c := gen.SmallRandomSequential(61)
+	mb := NewMCSeqBatch(c, MCOptions{Vectors: 512, Seed: 7}, 3)
+	base, err := mb.PDetectAll(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		got, err := mb.PDetectAll(context.Background(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := range got {
+			if got[id] != base[id] {
+				t.Fatalf("workers=%d site %d: %+v != %+v", workers, id, got[id], base[id])
+			}
+		}
+	}
+}
+
+// TestMCSeqBatchGoodSimInvariant: exactly one good simulation per (64-vector
+// word, frame), regardless of site count — the defining counter of the
+// frame-unrolled kernel. The per-site Sequential estimator pays
+// words × frames × sites.
+func TestMCSeqBatchGoodSimInvariant(t *testing.T) {
+	c := gen.SmallRandomSequential(42)
+	vectors, frames := 1000, 3 // rounds up to 16 words
+	mb := NewMCSeqBatch(c, MCOptions{Vectors: vectors, Seed: 1}, frames)
+	if _, err := mb.PDetectAll(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	st := mb.Stats()
+	words := int64((vectors + 63) / 64)
+	if st.Words != words || st.GoodSims != words*int64(frames) {
+		t.Fatalf("stats = %+v, want Words == %d, GoodSims == %d (one per word per frame)",
+			st, words, words*int64(frames))
+	}
+	if st.Sites != int64(c.N()) {
+		t.Fatalf("Sites = %d, want %d", st.Sites, c.N())
+	}
+	if perSite := words * int64(frames) * int64(c.N()); perSite < 5*st.GoodSims {
+		t.Fatalf("good-sim saving %d/%d < 5x", perSite, st.GoodSims)
+	}
+	if st.LaneSims <= 0 || st.SweptMembers <= 0 {
+		t.Fatalf("work counters not recorded: %+v", st)
+	}
+}
+
+// TestMCSeqBatchUnobservableSites: sites with no reachable observation point
+// are excluded from the lane groups and report P = 0 with full trial
+// accounting in every frame budget.
+func TestMCSeqBatchUnobservableSites(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+dead = AND(a, b)
+y = OR(a, b)
+`)
+	mb := NewMCSeqBatch(c, MCOptions{Vectors: 128, Seed: 3}, 2)
+	out, err := mb.PDetectAll(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := c.ByName("dead")
+	if out[dead].PDetect != 0 {
+		t.Fatalf("dead node: %+v, want P = 0", out[dead])
+	}
+	if out[dead].Trials != 128 || out[dead].Frames != 2 {
+		t.Fatalf("dead node accounting = %+v, want 128 trials over 2 frames", out[dead])
+	}
+	if got := mb.Stats().Unobservable; got != 1 {
+		t.Fatalf("Stats().Unobservable = %d, want 1 (just the dead gate)", got)
+	}
+}
+
+// TestMCSeqBatchCancellation: a pre-cancelled context aborts before (or
+// promptly after) the first word and surfaces ctx.Err() — cancellation is
+// word-granular, never waiting for the sweep to drain.
+func TestMCSeqBatchCancellation(t *testing.T) {
+	c := gen.SmallRandomSequential(13)
+	mb := NewMCSeqBatch(c, MCOptions{Vectors: 1 << 14, Seed: 5}, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := mb.PDetectAll(ctx, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMCSeqBatchOnWord: the word-granular progress hook fires once per
+// completed word with strictly increasing done counts ending at the total —
+// what the engine layer's streaming progress builds on. MCBatch shares the
+// hook and contract.
+func TestMCSeqBatchOnWord(t *testing.T) {
+	c := gen.SmallRandomSequential(21)
+	wantWords := (520 + 63) / 64
+	for _, kernel := range []string{"seq", "single"} {
+		// The hook runs on sweep worker goroutines under the driver's mutex,
+		// so record the (done, total) pairs and assert only after the sweep
+		// returns — a t.Fatalf from inside would strand the mutex.
+		var seen [][2]int
+		opt := MCOptions{Vectors: 520, Seed: 2, OnWord: func(done, total int) {
+			seen = append(seen, [2]int{done, total})
+		}}
+		var err error
+		if kernel == "seq" {
+			_, err = NewMCSeqBatch(c, opt, 2).PDetectAll(context.Background(), 3)
+		} else {
+			_, err = NewMCBatch(c, opt).EPPAll(context.Background(), 3)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seen) != wantWords {
+			t.Fatalf("%s: OnWord fired %d times, want %d", kernel, len(seen), wantWords)
+		}
+		for i, s := range seen {
+			if s[0] != i+1 || s[1] != wantWords {
+				t.Fatalf("%s: call %d was OnWord(%d, %d), want (%d, %d)", kernel, i, s[0], s[1], i+1, wantWords)
+			}
+		}
+	}
+}
+
+// TestMCSeqBatchSeedGolden pins the shared-regime multi-cycle stream for a
+// fixed seed: the per-site Sequential value in the shared regime and the
+// batched kernel must keep reproducing it verbatim. If the value changes, a
+// seeding or state-carry change has silently broken reproducibility.
+func TestMCSeqBatchSeedGolden(t *testing.T) {
+	c := gen.SmallRandomSequential(1)
+	site := netlist.ID(2) // mid-probability site: 0.1 < P < 0.9
+	shared := NewSequential(c, SeqOptions{Frames: 3, Trials: 1024, Seed: 1, SharedVectors: true}).PDetect(site)
+	t.Logf("shared: %+v", shared)
+	const wantDetected = 130
+	if got := int(shared.PDetect * float64(shared.Trials)); got != wantDetected {
+		t.Errorf("shared regime: detected = %d/%d, want %d (multi-cycle word stream changed!)",
+			got, shared.Trials, wantDetected)
+	}
+	batched, err := NewMCSeqBatch(c, MCOptions{Vectors: 1024, Seed: 1}, 3).PDetectAll(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched[site].PDetect != shared.PDetect {
+		t.Errorf("MCSeqBatch PDetect = %v, want shared-regime %v", batched[site].PDetect, shared.PDetect)
+	}
+}

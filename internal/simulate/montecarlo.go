@@ -35,6 +35,14 @@ type MCOptions struct {
 	// the historical regime, kept so existing per-site results stay
 	// reproducible (both regimes are pinned by TestMonteCarloSeedGolden).
 	SharedVectors bool
+	// OnWord, when non-nil, is invoked by the batched kernels (MCBatch,
+	// MCSeqBatch) after each completed 64-vector word with the number of
+	// words finished so far and the total. Calls are serialized under a
+	// mutex, so done is strictly increasing and calls never overlap — the
+	// word-granular progress signal the word-major sweeps can honestly
+	// report (per-site results all finalize together at the last word). The
+	// per-site estimators ignore it.
+	OnWord func(done, total int)
 }
 
 func (o *MCOptions) setDefaults() {

@@ -21,6 +21,20 @@ type SeqOptions struct {
 	// SourceProb optionally biases primary inputs and the initial flip-flop
 	// state (indexed by node ID); nil means 0.5.
 	SourceProb []float64
+	// SharedVectors selects the shared-stream regime of the multi-cycle
+	// seeding contract: the trials of 64-trial word w are drawn from a
+	// stream seeded by (Seed, w) via wordSeed, first the initial flip-flop
+	// state words (in Circuit.FFs order), then each frame's primary-input
+	// words (in Circuit.PIs order) — so every error site sees the same
+	// initial state and input sequence. This is the regime MCSeqBatch is
+	// built on (sharing the good trajectory across sites requires the sites
+	// to share the word's vectors), and setting it on a per-site Sequential
+	// reproduces MCSeqBatch's per-site results bit-exactly (see
+	// TestMCSeqBatchMatchesSequentialShared).
+	//
+	// Default false: each site draws one continuous stream seeded by
+	// (Seed, site), the historical regime.
+	SharedVectors bool
 }
 
 func (o *SeqOptions) setDefaults() {
@@ -78,10 +92,19 @@ func NewSequential(c *netlist.Circuit, opt SeqOptions) *Sequential {
 // PDetect runs the estimation for one error site.
 func (s *Sequential) PDetect(site netlist.ID) SeqResult {
 	c := s.c
-	src := NewVectorSource(s.opt.Seed^(uint64(site)*0xa0761d6478bd642f+13), s.opt.SourceProb)
+	// Only the vector source differs between the regimes: per-site keeps one
+	// decorrelated stream seeded by (Seed, site); shared re-seeds per word by
+	// (Seed, w) — identical draws for every site, the MCSeqBatch contract.
+	var src *VectorSource
+	if !s.opt.SharedVectors {
+		src = NewVectorSource(s.opt.Seed^(uint64(site)*0xa0761d6478bd642f+13), s.opt.SourceProb)
+	}
 	words := (s.opt.Trials + 63) / 64
 	detected := 0
 	for w := 0; w < words; w++ {
+		if s.opt.SharedVectors {
+			src = NewVectorSource(wordSeed(s.opt.Seed, int64(w)), s.opt.SourceProb)
+		}
 		var detWord uint64
 		// Identical initial flip-flop state in both machines.
 		for _, ff := range c.FFs {

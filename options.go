@@ -87,8 +87,13 @@ func WithEngine(name string) Option {
 
 // WithFrames extends the analysis across clock cycles: an error captured by
 // flip-flops in the strike cycle keeps propagating for up to frames cycles
-// (the sequential extension). frames <= 1 is the paper's single-cycle
-// analysis. Requires an EPP engine.
+// (the sequential extension), and detection means a primary output differs
+// in some frame. frames <= 1 is the paper's single-cycle analysis. The
+// analytic engines compose single-frame EPP sweeps; the monte-carlo engine
+// runs the frame-unrolled batched fault-injection kernel — so WithFrames
+// composes with WithEngine("monte-carlo") and with
+// WithMethod(MethodMonteCarlo). Only the exact engines (enum, bdd) reject
+// it; see the package documentation for the engine support matrix.
 func WithFrames(frames int) Option {
 	return func(rc *runConfig) error {
 		rc.cfg.Frames = frames
@@ -195,9 +200,13 @@ func WithLatchModel(m LatchModel) Option {
 	}
 }
 
-// WithProgress registers a callback invoked after each completed batch with
-// the number of nodes finished so far and the total. Calls never overlap
-// but may arrive out of ID order when the sweep is parallel.
+// WithProgress registers a callback observing sweep progress: done node
+// units of work finished out of total. Site-major engines report after each
+// completed batch; the word-major monte-carlo engine reports after each
+// completed 64-vector word, scaled to node units, so long sampling sweeps
+// show incremental completion even though their per-site results all
+// finalize at the last word. done never decreases, reaches total exactly at
+// completion, and calls never overlap.
 func WithProgress(fn func(done, total int)) Option {
 	return func(rc *runConfig) error {
 		rc.cfg.Progress = fn
@@ -226,8 +235,16 @@ func Run(ctx context.Context, c *Circuit, opts ...Option) (*Report, error) {
 // not hold a full Report in memory. The sequence yields exactly the NodeSER
 // values Run would report. On failure or cancellation the final yield
 // carries the error with a zero NodeSER; breaking out of the loop stops the
-// sweep after the current batch. The sweep runs serially so emission order
-// is deterministic — use Run for multi-core sweeps.
+// sweep after the current batch. The analytic and exact engines sweep
+// serially so emission order is deterministic — use Run for multi-core
+// sweeps.
+//
+// The monte-carlo engine is word-major: sharing one good simulation per
+// 64-vector word across all sites (its defining invariant) means every
+// site's estimate finalizes together at the last word, so its yields
+// arrive as ordered batches once the sweep completes. Incremental
+// observation during the sweep comes through WithProgress, which ticks per
+// completed word; cancellation stays word-granular throughout.
 func RunStream(ctx context.Context, c *Circuit, opts ...Option) iter.Seq2[NodeSER, error] {
 	rc, err := buildConfig(opts)
 	if err != nil {

@@ -51,6 +51,7 @@ func TestRunStreamMatchesRun(t *testing.T) {
 		{"parallel", []Option{WithWorkers(4)}},
 		{"monte-carlo", []Option{WithMethod(MethodMonteCarlo), WithVectors(256), WithSeed(9)}},
 		{"frames", []Option{WithFrames(3)}},
+		{"frames+mc", []Option{WithEngine("monte-carlo"), WithFrames(3), WithVectors(256), WithSeed(9)}},
 		{"scalar-engine", []Option{WithEngine("epp-scalar")}},
 	}
 	for _, tc := range cases {
@@ -156,7 +157,6 @@ y = NOT(a)
 		opts []Option
 		want string
 	}{
-		{"frames+mc", []Option{WithMethod(MethodMonteCarlo), WithFrames(4)}, "Frames"},
 		{"negative-workers", []Option{WithWorkers(-2)}, "Workers"},
 		{"negative-frames", []Option{WithFrames(-1)}, "Frames"},
 		{"negative-vectors", []Option{WithMethod(MethodMonteCarlo), WithVectors(-5)}, "Vectors"},
@@ -186,6 +186,56 @@ y = NOT(a)
 				t.Fatalf("stream err = %v, run err = %v", streamErr, err)
 			}
 		})
+	}
+}
+
+// TestMultiCycleMonteCarlo is the acceptance test for the multi-cycle Monte
+// Carlo engine at the public surface: WithFrames composes with
+// WithEngine("monte-carlo"), the per-node probabilities agree with the
+// ground-truth sequential simulator within statistical tolerance, and
+// results are bit-identical across worker counts.
+func TestMultiCycleMonteCarlo(t *testing.T) {
+	c, err := ParseBenchString(`
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(z)
+g1 = AND(a, b)
+g2 = XOR(g1, c)
+q1 = DFF(g2)
+q2 = DFF(q1)
+g3 = OR(q2, g1)
+z = NAND(g3, q1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const frames, vectors = 4, 1 << 13
+	rep, err := Run(ctx, c, WithEngine("monte-carlo"), WithFrames(frames),
+		WithVectors(vectors), WithSeed(5), WithWorkers(1))
+	if err != nil {
+		t.Fatalf("Run(monte-carlo, frames=%d): %v", frames, err)
+	}
+	sim := NewSequentialMC(c, SeqOptions{Frames: frames, Trials: vectors, Seed: 42})
+	for id := range rep.Nodes {
+		ref := sim.PDetect(ID(id))
+		got := rep.Nodes[id].PSensitized
+		tol := 10*ref.StdErr + 0.02
+		if d := got - ref.PDetect; d > tol || d < -tol {
+			t.Errorf("node %d: monte-carlo frames=%d %v, sequential sim %v (|diff| > %v)",
+				id, frames, got, ref.PDetect, tol)
+		}
+	}
+	par, err := Run(ctx, c, WithEngine("monte-carlo"), WithFrames(frames),
+		WithVectors(vectors), WithSeed(5), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range rep.Nodes {
+		if par.Nodes[id] != rep.Nodes[id] {
+			t.Fatalf("node %d: workers=4 %+v != workers=1 %+v", id, par.Nodes[id], rep.Nodes[id])
+		}
 	}
 }
 

@@ -42,6 +42,24 @@
 // Contradictory option combinations are rejected up front with descriptive
 // errors.
 //
+// # Multi-cycle support by engine
+//
+// WithFrames(n) for n > 1 replaces the single-cycle P_sensitized (where a
+// flip-flop capture counts as a detection) with the multi-cycle detection
+// probability: the error is followed through flip-flops for up to n clock
+// cycles and only primary-output differences count.
+//
+//	epp-batch    ✓  analytic frame composition (internal/seq), batched sweeps
+//	epp-scalar   ✓  analytic frame composition, one scalar sweep per site
+//	monte-carlo  ✓  frame-unrolled batched fault injection (one shared good
+//	                simulation per 64-vector word per frame)
+//	enum         ✗  rejected (cannot follow errors through flip-flops)
+//	bdd          ✗  rejected (cannot follow errors through flip-flops)
+//
+// The two analytic engines agree to float tolerance; the monte-carlo engine
+// agrees with them statistically and with the ground-truth two-machine
+// simulator (SequentialMC) bit-exactly under its shared-vector regime.
+//
 // # Migration from the pre-Run API
 //
 // The original entry points remain as thin wrappers and low-level access
