@@ -32,6 +32,12 @@
 // implies -mode bench. -frames N > 1 times (or compares) the multi-cycle
 // detection analysis instead of the single-cycle P_sensitized, for every
 // engine that supports it (epp-batch, epp-scalar, monte-carlo).
+// -latch "clock=1000,pulse=150,window=30,atten=0.95" (or -latch default)
+// additionally couples the latching-window model into the multi-cycle
+// composition — bench and accuracy modes then run the latch-window-weighted
+// detection probability; keys may be omitted to keep the documented
+// defaults. The flag requires -frames N > 1 and one of those two modes;
+// combinations that would silently ignore it are rejected.
 //
 // Accuracy mode compares the engines named by -compare (default
 // epp-batch,epp-scalar,monte-carlo) against one shared Monte Carlo
@@ -50,6 +56,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -58,6 +65,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/gen"
+	"repro/internal/latch"
 	"repro/internal/netlist"
 	"repro/internal/report"
 	"repro/internal/sigprob"
@@ -78,6 +86,7 @@ func main() {
 		engName   = flag.String("engine", "epp-batch", "P_sensitized engine timed by bench mode")
 		compare   = flag.String("compare", "epp-batch,epp-scalar,monte-carlo", "engines compared by accuracy mode")
 		frames    = flag.Int("frames", 1, "clock cycles for multi-cycle detection (bench and accuracy modes)")
+		latchSpec = flag.String("latch", "", `latch-window coupling for multi-cycle runs: "default" or "clock=…,pulse=…,window=…,atten=…" (empty = uncoupled)`)
 		quick     = flag.Bool("quick", false, "small vector counts for a fast smoke run")
 		mode      = flag.String("mode", "table2", "table2 | sp-ablation | exact-accuracy | accuracy | bench")
 	)
@@ -125,6 +134,25 @@ func main() {
 		names = strings.Split(*circuits, ",")
 	}
 
+	lm, err := parseLatch(*latchSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+		os.Exit(2)
+	}
+	if lm != nil {
+		// Reject rather than silently ignore: only the multi-cycle bench and
+		// accuracy paths consume the latch-window coupling (the engines
+		// ignore Request.Latch for single-frame requests).
+		if *mode != "bench" && *mode != "accuracy" {
+			fmt.Fprintf(os.Stderr, "serbench: -latch is only consumed by -mode bench and -mode accuracy\n")
+			os.Exit(2)
+		}
+		if *frames <= 1 {
+			fmt.Fprintf(os.Stderr, "serbench: -latch weights the multi-cycle composition; pass -frames N > 1\n")
+			os.Exit(2)
+		}
+	}
+
 	switch *mode {
 	case "table2":
 		runTable2(names, cfg, *csvPath)
@@ -133,13 +161,52 @@ func main() {
 	case "exact-accuracy":
 		runExactAccuracy(names, cfg)
 	case "accuracy":
-		runAccuracy(names, strings.Split(*compare, ","), *frames, cfg.Workers, cfg.MCVectors, cfg.Seed)
+		runAccuracy(names, strings.Split(*compare, ","), *frames, cfg.Workers, cfg.MCVectors, cfg.Seed, lm)
 	case "bench":
-		runBench(names, *engName, *jsonPath, *frames, cfg.Workers, cfg.MCVectors, cfg.Seed)
+		runBench(names, *engName, *jsonPath, *frames, cfg.Workers, cfg.MCVectors, cfg.Seed, lm)
 	default:
 		fmt.Fprintf(os.Stderr, "serbench: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// parseLatch parses the -latch flag: "" disables the latch-window coupling,
+// "default" selects the documented default model, and a comma-separated
+// "key=value" list over clock, pulse, window (ps) and atten overrides
+// individual parameters of the default model.
+func parseLatch(spec string) (*latch.Model, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	m := latch.Default()
+	if spec != "default" {
+		for _, kv := range strings.Split(spec, ",") {
+			key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("-latch entry %q is not key=value", kv)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-latch %s: %v", key, err)
+			}
+			switch key {
+			case "clock":
+				m.ClockPeriodPs = f
+			case "pulse":
+				m.PulseWidthPs = f
+			case "window":
+				m.WindowPs = f
+			case "atten":
+				m.AttenuationPerLevel = f
+			default:
+				return nil, fmt.Errorf("-latch key %q (want clock, pulse, window or atten)", key)
+			}
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
 }
 
 // benchRow is one circuit's kernel measurement, serialized by -json. The
@@ -180,14 +247,16 @@ func marshalBenchRows(rows []benchRow) ([]byte, error) {
 // row. workers bounds the sweep's parallelism (the -workers flag defaults
 // to 1 so BENCH_*.json rows track the kernel, not the machine's core
 // count); vectors/seed configure the sampling engines (0 = engine
-// default); frames > 1 times the multi-cycle detection analysis instead.
-func benchCircuit(eng engine.Engine, c *netlist.Circuit, frames, workers, vectors int, seed uint64) (benchRow, error) {
+// default); frames > 1 times the multi-cycle detection analysis instead,
+// latch-window weighted when lm is non-nil (-latch).
+func benchCircuit(eng engine.Engine, c *netlist.Circuit, frames, workers, vectors int, seed uint64, lm *latch.Model) (benchRow, error) {
 	var stats engine.Stats
 	req := engine.Request{
 		Circuit: c,
 		SP:      sigprob.Topological(c, sigprob.Config{}),
 		Workers: workers,
 		Frames:  frames,
+		Latch:   lm,
 		Vectors: vectors,
 		Seed:    seed,
 		Stats:   &stats,
@@ -231,7 +300,7 @@ func benchCircuit(eng engine.Engine, c *netlist.Circuit, frames, workers, vector
 // series of BENCH_*.json files. Work-counter ratios (swept nodes per site,
 // good sims per word) ride along so locality and good-sim-sharing wins show
 // up in the artifact trajectory, not just wall-clock.
-func runBench(names []string, engName, jsonPath string, frames, workers, vectors int, seed uint64) {
+func runBench(names []string, engName, jsonPath string, frames, workers, vectors int, seed uint64, lm *latch.Model) {
 	eng, err := engine.Lookup(engName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
@@ -243,6 +312,9 @@ func runBench(names []string, engName, jsonPath string, frames, workers, vectors
 	title := fmt.Sprintf("all-sites P_sensitized kernel (engine %s)", eng.Name())
 	if frames > 1 {
 		title = fmt.Sprintf("all-sites multi-cycle detection kernel (engine %s, %d frames)", eng.Name(), frames)
+		if lm != nil {
+			title += ", latch-window weighted"
+		}
 	}
 	t := report.NewTable(
 		title,
@@ -255,7 +327,7 @@ func runBench(names []string, engName, jsonPath string, frames, workers, vectors
 			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 			os.Exit(1)
 		}
-		row, err := benchCircuit(eng, c, frames, workers, vectors, seed)
+		row, err := benchCircuit(eng, c, frames, workers, vectors, seed, lm)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serbench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -307,7 +379,7 @@ type accRow struct {
 // engines consumed the pass (the monte-carlo engine included — it hits the
 // same cache instead of re-sampling). The signal probability vector is
 // likewise computed once and shared by the analytic engines.
-func accuracyCircuit(c *netlist.Circuit, engines []string, frames, workers, vectors int, seed uint64) ([]accRow, *engine.Stats, error) {
+func accuracyCircuit(c *netlist.Circuit, engines []string, frames, workers, vectors int, seed uint64, lm *latch.Model) ([]accRow, *engine.Stats, error) {
 	stats := &engine.Stats{}
 	sp := sigprob.Topological(c, sigprob.Config{})
 	cache := map[string][]float64{}
@@ -324,6 +396,7 @@ func accuracyCircuit(c *netlist.Circuit, engines []string, frames, workers, vect
 			SP:      sp,
 			Workers: workers,
 			Frames:  frames,
+			Latch:   lm,
 			Vectors: vectors,
 			Seed:    seed,
 			Stats:   stats,
@@ -362,13 +435,16 @@ func accuracyCircuit(c *netlist.Circuit, engines []string, frames, workers, vect
 // runAccuracy (the -mode accuracy table): per-engine accuracy against the
 // shared sampling reference on each circuit, with the good-sim counters
 // printed so the one-pass sharing is visible in the output.
-func runAccuracy(names, engines []string, frames, workers, vectors int, seed uint64) {
+func runAccuracy(names, engines []string, frames, workers, vectors int, seed uint64, lm *latch.Model) {
 	if names == nil {
 		names = gen.Names()
 	}
 	title := "engine accuracy vs shared Monte Carlo reference"
 	if frames > 1 {
 		title = fmt.Sprintf("%s (%d frames)", title, frames)
+		if lm != nil {
+			title += " latch-window weighted"
+		}
 	}
 	t := report.NewTable(title, "Circuit", "Engine", "Sites", "MAE", "Worst", "goodsims/word")
 	for _, name := range names {
@@ -377,7 +453,7 @@ func runAccuracy(names, engines []string, frames, workers, vectors int, seed uin
 			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
 			os.Exit(1)
 		}
-		rows, stats, err := accuracyCircuit(c, engines, frames, workers, vectors, seed)
+		rows, stats, err := accuracyCircuit(c, engines, frames, workers, vectors, seed, lm)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serbench: %s: %v\n", name, err)
 			os.Exit(1)

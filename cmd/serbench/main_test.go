@@ -48,7 +48,7 @@ func TestBenchCircuitRow(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := gen.SmallRandom(1)
-	row, err := benchCircuit(eng, c, 1, 1, 0, 1)
+	row, err := benchCircuit(eng, c, 1, 1, 0, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestAccuracySharedGoodSim(t *testing.T) {
 	c := gen.SmallRandomSequential(7)
 	const vectors, frames = 640, 3 // 10 words
 	engines := []string{"epp-batch", "epp-scalar", "monte-carlo"}
-	rows, stats, err := accuracyCircuit(c, engines, frames, 1, vectors, 9)
+	rows, stats, err := accuracyCircuit(c, engines, frames, 1, vectors, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestAccuracySharedGoodSim(t *testing.T) {
 func TestAccuracySingleCycleShared(t *testing.T) {
 	c := gen.SmallRandom(3)
 	const vectors = 512 // 8 words
-	_, stats, err := accuracyCircuit(c, []string{"epp-batch", "monte-carlo"}, 1, 1, vectors, 2)
+	_, stats, err := accuracyCircuit(c, []string{"epp-batch", "monte-carlo"}, 1, 1, vectors, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

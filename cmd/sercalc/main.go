@@ -19,11 +19,21 @@
 //	-vectors 10000    vectors for the monte-carlo estimators
 //	-seed 1           seed for randomized components
 //	-frames 1         clock cycles for multi-cycle detection (epp and monte-carlo engines)
+//	-clock 1000       latch model clock period, ps
+//	-pulse 150        latch model SEU transient width, ps
+//	-window 30        latch model flip-flop setup+hold window, ps
+//	-atten 0.95       latch model per-level electrical attenuation
 //	-workers 0        parallelism for the P_sensitized sweep (0 = all cores)
 //	-progress         report sweep progress on stderr
 //	-harden 0         evaluate protecting the top-k nodes (0 = skip)
 //	-residual 0.1     remaining SEU fraction on hardened nodes
 //	-csv out.csv      write the full per-node table as CSV
+//
+// Setting any of the latch flags (-clock, -pulse, -window, -atten) replaces
+// the default latching-window model; combined with -frames N > 1 that also
+// opts the run into the latch-window-weighted multi-cycle composition,
+// where only full-cycle re-launched detections count in full and the
+// strike-cycle transient is derated by its capture-window probability.
 //
 // The run is cancellable: an interrupt (Ctrl-C) stops the sweep between
 // batches and exits cleanly.
@@ -57,6 +67,10 @@ func main() {
 		vectors     = flag.Int("vectors", 10000, "vectors for monte-carlo estimators")
 		seed        = flag.Uint64("seed", 1, "seed")
 		frames      = flag.Int("frames", 1, "clock cycles for multi-cycle detection (epp and monte-carlo engines)")
+		clock       = flag.Float64("clock", sersim.DefaultLatchModel().ClockPeriodPs, "latch model clock period in ps")
+		pulse       = flag.Float64("pulse", sersim.DefaultLatchModel().PulseWidthPs, "latch model SEU transient width in ps")
+		window      = flag.Float64("window", sersim.DefaultLatchModel().WindowPs, "latch model setup+hold window in ps")
+		atten       = flag.Float64("atten", sersim.DefaultLatchModel().AttenuationPerLevel, "latch model per-level electrical attenuation")
 		workers     = flag.Int("workers", 0, "parallelism for the P_sensitized sweep (0 = all cores)")
 		progress    = flag.Bool("progress", false, "report sweep progress on stderr")
 		harden      = flag.Int("harden", 0, "evaluate protecting the top-k nodes")
@@ -103,6 +117,17 @@ func main() {
 		// rejects contradictions (e.g. -rules pairwise -method monte-carlo)
 		// with a descriptive error before any work starts.
 		opts = append(opts, sersim.WithRules(rs))
+	}
+	// An explicit latch model is more than a parameter tweak: with -frames
+	// it also opts into the latch-window-weighted multi-cycle composition,
+	// so pass it only when the user actually touched a latch flag.
+	if flagWasSet("clock") || flagWasSet("pulse") || flagWasSet("window") || flagWasSet("atten") {
+		opts = append(opts, sersim.WithLatchModel(sersim.LatchModel{
+			ClockPeriodPs:       *clock,
+			PulseWidthPs:        *pulse,
+			WindowPs:            *window,
+			AttenuationPerLevel: *atten,
+		}))
 	}
 	// WithMethod and WithEngine cross-check each other; pass the method only
 	// when the user actually chose one so an -engine override alone never

@@ -65,6 +65,78 @@ y = NOT(g)
 	// y: P_sensitized = 1.00
 }
 
+// ExampleWithFrames follows an error through flip-flops across clock
+// cycles: on a three-stage shift register the strike needs exactly four
+// frames to reach the primary output, and the frame-unrolled monte-carlo
+// engine (WithFrames composed with WithEngine) reports the deterministic
+// latency.
+func ExampleWithFrames() {
+	c, err := sersim.ParseBenchString(`
+INPUT(a)
+OUTPUT(z)
+d0 = BUFF(a)
+q0 = DFF(d0)
+q1 = DFF(q0)
+q2 = DFF(q1)
+z  = BUFF(q2)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, frames := range []int{2, 4} {
+		rep, err := sersim.Run(context.Background(), c,
+			sersim.WithEngine("monte-carlo"),
+			sersim.WithFrames(frames),
+			sersim.WithVectors(256),
+			sersim.WithSeed(1),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("P_detect(d0) within %d cycles = %.2f\n",
+			frames, rep.Nodes[c.ByName("d0")].PSensitized)
+	}
+	// Output:
+	// P_detect(d0) within 2 cycles = 0.00
+	// P_detect(d0) within 4 cycles = 1.00
+}
+
+// ExampleWithLatchModel couples the latching window into a multi-cycle run:
+// an error observed only during the strike cycle is a narrow transient that
+// must overlap the capture window (the frame-0 weight), so its detection
+// contribution is derated, while re-launched flip-flop values would count
+// in full.
+func ExampleWithLatchModel() {
+	c, err := sersim.ParseBenchString(`
+INPUT(a)
+OUTPUT(y)
+g = NOT(a)
+y = BUFF(g)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lm := sersim.DefaultLatchModel()
+	fmt.Printf("strike-frame capture weight = %.2f\n", lm.FrameWeight(0))
+
+	ctx := context.Background()
+	plain, err := sersim.Run(ctx, c, sersim.WithFrames(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	weighted, err := sersim.Run(ctx, c, sersim.WithFrames(2), sersim.WithLatchModel(lm))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := c.ByName("g")
+	fmt.Printf("uncoupled     P_detect(g) = %.2f\n", plain.Nodes[g].PSensitized)
+	fmt.Printf("latch-weighted P_detect(g) = %.2f\n", weighted.Nodes[g].PSensitized)
+	// Output:
+	// strike-frame capture weight = 0.18
+	// uncoupled     P_detect(g) = 1.00
+	// latch-weighted P_detect(g) = 0.18
+}
+
 // ExampleRun_options shows engine and model selection through functional
 // options: the Monte Carlo baseline with a fixed seed and budget.
 func ExampleRun_options() {

@@ -1,3 +1,6 @@
+// .bench serialization: Write emits a Circuit in the ISCAS'85/'89 netlist
+// format accepted by Parse, so circuits round-trip through the parser.
+
 package bench
 
 import (

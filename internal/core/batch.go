@@ -1,3 +1,7 @@
+// Batched all-sites EPP kernel: core.BatchAnalyzer sweeps up to 64 error
+// sites per union-cone pass with struct-of-arrays Prob4 lanes — the
+// production path behind AllSites, PSensitizedAll and the epp-batch engine.
+
 package core
 
 import (

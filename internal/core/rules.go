@@ -1,3 +1,8 @@
+// Gate propagation rules: the paper's closed-form Table 1 formulas, the
+// exhaustive pairwise symbol-table fold (an executable specification with
+// identical results), and the no-polarity ablation — selected by
+// Options.Rules and shared by the scalar and batched analyzers.
+
 package core
 
 import (

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/latch"
 	"repro/internal/netlist"
 	"repro/internal/sigprob"
 	"repro/internal/simulate"
@@ -91,7 +92,23 @@ type Request struct {
 	// differs in some frame. The analytic engines compose single-frame EPP
 	// sweeps (internal/seq); the monte-carlo engine runs the frame-unrolled
 	// batched kernel (simulate.MCSeqBatch). The exact engines reject it.
+	// See Latch for the latching-window coupling of the composition.
 	Frames int
+	// Latch, when non-nil, couples the latching-window model into the
+	// multi-cycle composition (Frames > 1): each frame's primary-output
+	// detection contribution is weighted by Latch.FrameWeight(frame) — the
+	// strike frame's transient races the capturing register's window
+	// (FrameWeight(0)), while frames >= 1 re-launch full-cycle flip-flop
+	// values whose weight is identically 1, so only the strike term is
+	// derated. The analytic engines scale the strike term of the seq
+	// composition; the monte-carlo engine composes the same quantity from
+	// MCSeqBatch's integer frame counters (SeqResult.PDetectWeighted), so
+	// worker invariance and the bit-exact kernel conformance are preserved
+	// under weighting. Single-frame requests ignore the field — the
+	// per-node static P_latched factor of the SER decomposition lives
+	// outside the engines — as do the exact engines (which reject
+	// Frames > 1 anyway).
+	Latch *latch.Model
 	// Vectors is the random-vector budget per site for the sampling
 	// engines (0 = simulate default).
 	Vectors int
@@ -186,6 +203,15 @@ func (r *Request) sp() []float64 {
 		return r.SP
 	}
 	return sigprob.Topological(r.Circuit, sigprob.Config{SourceProb: r.Bias})
+}
+
+// strikeWeight resolves the multi-cycle strike-frame capture weight: 1 (no
+// derating) without a latch model, Latch.FrameWeight(0) with one.
+func (r *Request) strikeWeight() float64 {
+	if r.Latch == nil {
+		return 1
+	}
+	return r.Latch.FrameWeight(0)
 }
 
 // mcOptions assembles the sampling engines' options from the request. The

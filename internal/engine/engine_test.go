@@ -11,6 +11,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/latch"
 	"repro/internal/netlist"
 	"repro/internal/sigprob"
 )
@@ -601,6 +602,79 @@ func TestRulesWiring(t *testing.T) {
 			&Request{Circuit: c, SP: sp, Frames: 3, Rules: core.RulesPairwise}, out)
 		if err == nil {
 			t.Errorf("%s: Frames+Rules accepted", name)
+		}
+	}
+}
+
+// TestLatchWeightedConformance is the latch-window acceptance suite: with a
+// latch model coupled into the multi-cycle request, the two analytic engines
+// stay bit-compatible with each other, the monte-carlo engine tracks them
+// within the documented mean |diff| <= 0.08 on c17, majority and a random
+// sequential circuit at frames 1, 2 and 4, the weighted estimate never
+// exceeds the unweighted one, and results stay bit-identical across worker
+// counts.
+func TestLatchWeightedConformance(t *testing.T) {
+	lm := latch.Default()
+	circuits := map[string]*netlist.Circuit{
+		"c17":       circuitFile(t, "c17.bench"),
+		"majority":  circuitFile(t, "majority.bench"),
+		"small-seq": gen.SmallRandomSequential(77),
+	}
+	for name, c := range circuits {
+		sp := sigprob.Topological(c, sigprob.Config{})
+		for _, frames := range []int{1, 2, 4} {
+			run := func(engName string, workers int, withLatch bool) []float64 {
+				t.Helper()
+				e, err := Lookup(engName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				req := &Request{Circuit: c, SP: sp, Frames: frames, Vectors: 1 << 13, Seed: 9, Workers: workers}
+				if withLatch {
+					req.Latch = &lm
+				}
+				out := make([]float64, c.N())
+				if err := e.PSensitizedAll(context.Background(), req, out); err != nil {
+					t.Fatalf("%s %s frames=%d: %v", name, engName, frames, err)
+				}
+				return out
+			}
+			batch := run("epp-batch", 1, true)
+			scalar := run("epp-scalar", 1, true)
+			mc := run("monte-carlo", 1, true)
+			plainBatch := run("epp-batch", 1, false)
+			plainMC := run("monte-carlo", 1, false)
+
+			sum := 0.0
+			for id := range batch {
+				if d := math.Abs(batch[id] - scalar[id]); d > 1e-9 {
+					t.Fatalf("%s frames=%d node %d: epp-batch %v vs epp-scalar %v", name, frames, id, batch[id], scalar[id])
+				}
+				if batch[id] > plainBatch[id]+1e-15 {
+					t.Fatalf("%s frames=%d node %d: weighted %v exceeds unweighted %v", name, frames, id, batch[id], plainBatch[id])
+				}
+				if mc[id] > plainMC[id]+1e-15 {
+					t.Fatalf("%s frames=%d node %d: weighted MC %v exceeds unweighted %v", name, frames, id, mc[id], plainMC[id])
+				}
+				sum += math.Abs(batch[id] - mc[id])
+			}
+			if mean := sum / float64(c.N()); mean > 0.08 {
+				t.Errorf("%s frames=%d: mean |epp-batch − monte-carlo| = %v > 0.08 (latch-weighted)", name, frames, mean)
+			}
+
+			// Worker invariance under weighting, all three engines.
+			for _, engName := range []string{"epp-batch", "epp-scalar", "monte-carlo"} {
+				base := run(engName, 1, true)
+				for _, workers := range []int{2, 0} {
+					got := run(engName, workers, true)
+					for id := range got {
+						if got[id] != base[id] {
+							t.Fatalf("%s %s frames=%d workers=%d node %d: %v != %v",
+								name, engName, frames, workers, id, got[id], base[id])
+						}
+					}
+				}
+			}
 		}
 	}
 }

@@ -1,3 +1,7 @@
+// The five built-in Engine implementations (epp-batch, epp-scalar,
+// monte-carlo, enum, bdd) and the shared atomic-cursor parallelSweep they
+// distribute batches with.
+
 package engine
 
 import (
@@ -136,10 +140,12 @@ func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float
 		// Batched multi-cycle composition distributed like the single-frame
 		// sweep: each worker owns a seq analyzer (per-analyzer lookahead
 		// memo; not safe for concurrent use) and claims batch-width chunks.
-		// PDetectBatch is packing-invariant and the composition is
-		// deterministic arithmetic, so results are bit-identical at any
-		// worker count; the first worker reuses the prototype (newWorker is
-		// called serially before the goroutines start).
+		// PDetectBatchWeighted is packing-invariant and the composition —
+		// including the latch-window strike weight — is deterministic
+		// arithmetic, so results are bit-identical at any worker count; the
+		// first worker reuses the prototype (newWorker is called serially
+		// before the goroutines start).
+		w0 := req.strikeWeight()
 		proto, err := seq.New(c, sp)
 		if err != nil {
 			return err
@@ -173,7 +179,7 @@ func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float
 						}
 						batch = sites
 					}
-					sa.PDetectBatch(batch, req.Frames, tmp[:hi-lo])
+					sa.PDetectBatchWeighted(batch, req.Frames, w0, tmp[:hi-lo])
 					for i, site := range batch {
 						out[site] = tmp[i]
 					}
@@ -247,8 +253,10 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 		// Per-site multi-cycle composition over scalar strike sweeps. Each
 		// worker owns its own seq analyzer (the flip-flop lookahead vector
 		// is memoized per analyzer and the type is not safe for concurrent
-		// use); the composition is deterministic arithmetic, so results are
-		// identical at any worker count.
+		// use); the composition — including the latch-window strike weight
+		// — is deterministic arithmetic, so results are identical at any
+		// worker count.
+		w0 := req.strikeWeight()
 		return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
 			func() (func(lo, hi int) error, error) {
 				sa, err := seq.New(c, sp)
@@ -257,7 +265,7 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 				}
 				return func(lo, hi int) error {
 					for id := lo; id < hi; id++ {
-						out[id] = sa.PDetect(netlist.ID(id), req.Frames)
+						out[id] = sa.PDetectWeighted(netlist.ID(id), req.Frames, w0)
 					}
 					return nil
 				}, nil
@@ -318,8 +326,18 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 		if err != nil {
 			return err
 		}
-		for id := range res {
-			out[id] = res[id].PDetect
+		if req.Latch != nil {
+			// Latch-window weighting, composed from the kernel's integer
+			// frame counters — the same quantity the analytic engines
+			// compute by scaling the strike term of the seq composition.
+			w0 := req.strikeWeight()
+			for id := range res {
+				out[id] = res[id].PDetectWeighted(w0)
+			}
+		} else {
+			for id := range res {
+				out[id] = res[id].PDetect
+			}
 		}
 		st = mb.Stats()
 	} else {

@@ -1,3 +1,7 @@
+// The eleven ISCAS'89 benchmark profiles (s953 … s38417): per-circuit
+// statistics from the published netlists, from which ByName generates the
+// deterministic synthetic stand-ins.
+
 package gen
 
 import (

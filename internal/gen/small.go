@@ -1,3 +1,6 @@
+// Small deterministic random circuits for tests and ablations whose input
+// support must stay within exhaustive-enumeration reach.
+
 package gen
 
 import (

@@ -9,10 +9,19 @@
 // (W + T_w) / T_clk, clamped to [0, 1]. Electrical masking attenuates the
 // pulse as it propagates, modeled as a per-level retention factor applied
 // over the node's shortest structural distance to an observation point.
+//
+// The model is consumed in two places. Probabilities is the per-node static
+// factor of the paper's decomposition (the strike transient's attenuated
+// capture probability). FrameWeight is the multi-cycle coupling: in a
+// frame-unrolled analysis the strike-cycle detection events are still narrow
+// transients racing the latching window, while events in later frames are
+// re-launched from flip-flop outputs as full-cycle levels — FrameWeight
+// derates each frame's detection contribution accordingly.
 package latch
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -47,6 +56,19 @@ func Default() Model {
 
 // Validate reports whether the parameters are physically meaningful.
 func (m Model) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"clock period", m.ClockPeriodPs},
+		{"pulse width", m.PulseWidthPs},
+		{"window", m.WindowPs},
+		{"attenuation per level", m.AttenuationPerLevel},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("latch: %s %v is not finite", f.name, f.v)
+		}
+	}
 	if m.ClockPeriodPs <= 0 {
 		return fmt.Errorf("latch: clock period %v ps must be positive", m.ClockPeriodPs)
 	}
@@ -57,6 +79,43 @@ func (m Model) Validate() error {
 		return fmt.Errorf("latch: attenuation per level %v outside (0,1]", m.AttenuationPerLevel)
 	}
 	return nil
+}
+
+// FrameWeight returns the capture weight of detection events in frame
+// `frame` of a multi-cycle (frame-unrolled) analysis: the probability that
+// an erroneous value observed at a primary output during that frame is
+// actually registered by the capturing element, under the same
+// latching-window argument as Probabilities.
+//
+// Frame 0 is the strike cycle — the observed value is the raw SEU transient
+// of width PulseWidthPs, so the weight is (PulseWidthPs + WindowPs) /
+// ClockPeriodPs, clamped to [0, 1]. The weight is deliberately
+// un-attenuated: per-node electrical masking stays in the per-node factor
+// of the SER decomposition. To keep the timing window counted exactly once
+// per path, a latch-window-weighted composition must pair FrameWeight with
+// ResidualProbabilities (window-free electrical masking) as the per-node
+// factor, not with Probabilities (which already contains the window).
+//
+// Frames >= 1 are re-launched from flip-flop outputs: the erroneous value is
+// a full-swing level held for the whole clock period, so the effective pulse
+// equals ClockPeriodPs and (ClockPeriodPs + WindowPs) / ClockPeriodPs clamps
+// to exactly 1 — a stable wrong value always overlaps the window. The
+// weights are therefore nondecreasing in the frame index, and the weighted
+// multi-cycle composition (internal/seq, the monte-carlo engine) needs only
+// FrameWeight(0): later frames are never derated.
+func (m Model) FrameWeight(frame int) float64 {
+	width := m.PulseWidthPs
+	if frame > 0 {
+		width = m.ClockPeriodPs
+	}
+	p := (width + m.WindowPs) / m.ClockPeriodPs
+	if p > 1 {
+		return 1
+	}
+	if p < 0 || math.IsNaN(p) {
+		return 0
+	}
+	return p
 }
 
 // Probabilities returns P_latched for every node, indexed by node ID.
@@ -73,6 +132,45 @@ func (m Model) Probabilities(c *netlist.Circuit) []float64 {
 			width *= m.AttenuationPerLevel
 		}
 		p := (width + m.WindowPs) / m.ClockPeriodPs
+		if p > 1 {
+			p = 1
+		}
+		out[id] = p
+	}
+	return out
+}
+
+// ResidualProbabilities returns the electrical-masking residual of the
+// static factor, indexed by node ID: how much of the strike transient
+// survives the combinational path to the nearest observation point,
+// relative to an undegraded pulse — (W·a^d + T_w) / (W + T_w), clamped to
+// [0, 1], with d the node's distance to observation (0 for unobservable
+// nodes, as in Probabilities).
+//
+// This is the per-node factor of the latch-window-weighted multi-cycle
+// composition: there the timing window is applied per detection frame
+// (FrameWeight), so the static factor must carry only the attenuation or
+// the strike frame's window would be counted twice. For an unattenuated
+// node the residual is exactly 1, and Probabilities factors (up to
+// clamping) as ResidualProbabilities × FrameWeight(0).
+func (m Model) ResidualProbabilities(c *netlist.Circuit) []float64 {
+	dist := distanceToObserved(c)
+	out := make([]float64, c.N())
+	denom := m.PulseWidthPs + m.WindowPs
+	for id := 0; id < c.N(); id++ {
+		if dist[id] < 0 {
+			continue // unobservable
+		}
+		if denom <= 0 {
+			// Degenerate model (no pulse, no window): nothing to attenuate.
+			out[id] = 1
+			continue
+		}
+		width := m.PulseWidthPs
+		for l := 0; l < dist[id]; l++ {
+			width *= m.AttenuationPerLevel
+		}
+		p := (width + m.WindowPs) / denom
 		if p > 1 {
 			p = 1
 		}

@@ -1,7 +1,9 @@
 package latch
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/bench"
@@ -81,20 +83,117 @@ func TestNoAttenuationMode(t *testing.T) {
 }
 
 func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"zero-clock", func(m *Model) { m.ClockPeriodPs = 0 }},
+		{"negative-clock", func(m *Model) { m.ClockPeriodPs = -100 }},
+		{"attenuation-above-one", func(m *Model) { m.AttenuationPerLevel = 1.5 }},
+		{"zero-attenuation", func(m *Model) { m.AttenuationPerLevel = 0 }},
+		{"negative-pulse", func(m *Model) { m.PulseWidthPs = -1 }},
+		{"negative-window", func(m *Model) { m.WindowPs = -5 }},
+		{"nan-clock", func(m *Model) { m.ClockPeriodPs = math.NaN() }},
+		{"nan-pulse", func(m *Model) { m.PulseWidthPs = math.NaN() }},
+		{"inf-window", func(m *Model) { m.WindowPs = math.Inf(1) }},
+		{"inf-attenuation", func(m *Model) { m.AttenuationPerLevel = math.Inf(-1) }},
+	}
+	for _, tc := range cases {
+		m := Default()
+		tc.mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, m)
+		}
+	}
+}
+
+// TestFrameWeight pins the per-frame capture weights: the strike frame pays
+// the transient-vs-window probability, every later frame is a re-launched
+// full-cycle value and weighs exactly 1.
+func TestFrameWeight(t *testing.T) {
 	m := Default()
-	m.ClockPeriodPs = 0
-	if err := m.Validate(); err == nil {
-		t.Error("zero clock period accepted")
+	want0 := (m.PulseWidthPs + m.WindowPs) / m.ClockPeriodPs
+	if got := m.FrameWeight(0); math.Abs(got-want0) > 1e-15 {
+		t.Errorf("FrameWeight(0) = %v, want %v", got, want0)
+	}
+	for k := 1; k <= 8; k++ {
+		if got := m.FrameWeight(k); got != 1 {
+			t.Errorf("FrameWeight(%d) = %v, want exactly 1 (full-cycle re-launch)", k, got)
+		}
+	}
+}
+
+// TestFrameWeightClamp: a transient wider than the clock period saturates
+// the strike weight at 1; a zero-width transient still pays the window.
+func TestFrameWeightClamp(t *testing.T) {
+	m := Default()
+	m.PulseWidthPs = 5 * m.ClockPeriodPs
+	if got := m.FrameWeight(0); got != 1 {
+		t.Errorf("wide pulse: FrameWeight(0) = %v, want clamp to 1", got)
 	}
 	m = Default()
-	m.AttenuationPerLevel = 1.5
-	if err := m.Validate(); err == nil {
-		t.Error("attenuation > 1 accepted")
+	m.PulseWidthPs = 0
+	want := m.WindowPs / m.ClockPeriodPs
+	if got := m.FrameWeight(0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("zero pulse: FrameWeight(0) = %v, want %v", got, want)
 	}
-	m = Default()
-	m.PulseWidthPs = -1
-	if err := m.Validate(); err == nil {
-		t.Error("negative pulse width accepted")
+	m.WindowPs = 0
+	if got := m.FrameWeight(0); got != 0 {
+		t.Errorf("zero pulse and window: FrameWeight(0) = %v, want 0", got)
+	}
+}
+
+// TestFrameWeightMonotone: weights never decrease with the frame index and
+// always lie in [0, 1], across a spread of physically odd but valid models.
+func TestFrameWeightMonotone(t *testing.T) {
+	models := []Model{
+		Default(),
+		{ClockPeriodPs: 100, PulseWidthPs: 1, WindowPs: 0, AttenuationPerLevel: 1},
+		{ClockPeriodPs: 50, PulseWidthPs: 500, WindowPs: 80, AttenuationPerLevel: 0.5},
+		{ClockPeriodPs: 1e6, PulseWidthPs: 0, WindowPs: 0, AttenuationPerLevel: 0.99},
+	}
+	for _, m := range models {
+		prev := -1.0
+		for k := 0; k < 6; k++ {
+			w := m.FrameWeight(k)
+			if w < 0 || w > 1 {
+				t.Fatalf("%+v: FrameWeight(%d) = %v outside [0,1]", m, k, w)
+			}
+			if w < prev {
+				t.Fatalf("%+v: FrameWeight(%d) = %v < FrameWeight(%d) = %v", m, k, w, k-1, prev)
+			}
+			prev = w
+		}
+	}
+}
+
+// TestDeepPathAttenuation: the static per-node factor keeps attenuating on
+// arbitrarily deep paths without going negative or rising.
+func TestDeepPathAttenuation(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("INPUT(a)\nOUTPUT(g40)\ng0 = NOT(a)\n")
+	for i := 1; i <= 40; i++ {
+		fmt.Fprintf(&sb, "g%d = NOT(g%d)\n", i, i-1)
+	}
+	c, err := bench.ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Default().Probabilities(c)
+	prev := -1.0
+	for i := 0; i <= 40; i++ { // g40 is the observed end; g0 the deepest
+		id := c.ByName(fmt.Sprintf("g%d", i))
+		if p[id] < 0 || p[id] > 1 {
+			t.Fatalf("g%d: probability %v outside [0,1]", i, p[id])
+		}
+		if p[id] < prev {
+			t.Fatalf("g%d: probability %v dropped below %v while approaching the output", i, p[id], prev)
+		}
+		prev = p[id]
+	}
+	// 40 levels of 0.95 attenuation leave well under half the window+pulse.
+	if head, tail := p[c.ByName("g0")], p[c.ByName("g40")]; head >= tail/2 {
+		t.Errorf("attenuation too weak on a deep path: g0 %v vs g40 %v", head, tail)
 	}
 }
 
@@ -116,5 +215,41 @@ z = NOT(q)
 	want := (m.PulseWidthPs + m.WindowPs) / m.ClockPeriodPs
 	if p[c.ByName("d")] != want {
 		t.Errorf("FF D input probability = %v, want %v", p[c.ByName("d")], want)
+	}
+}
+
+// TestResidualProbabilities: the residual is the static factor with the
+// endpoint timing window factored out — exactly 1 at an observation point,
+// monotone along the path, never below the full static factor, and 0 for
+// unobservable nodes.
+func TestResidualProbabilities(t *testing.T) {
+	c := chain(t)
+	m := Default()
+	static := m.Probabilities(c)
+	res := m.ResidualProbabilities(c)
+	if got := res[c.ByName("g2")]; got != 1 {
+		t.Errorf("observed node residual = %v, want exactly 1", got)
+	}
+	if res[c.ByName("dead")] != 0 {
+		t.Errorf("unobservable node residual = %v, want 0", res[c.ByName("dead")])
+	}
+	for _, name := range []string{"g0", "g1", "g2"} {
+		id := c.ByName(name)
+		if res[id] < static[id]-1e-15 || res[id] > 1 {
+			t.Errorf("%s: residual %v outside [static %v, 1]", name, res[id], static[id])
+		}
+	}
+	// One attenuation level: (W·a + Tw) / (W + Tw).
+	want := (m.PulseWidthPs*m.AttenuationPerLevel + m.WindowPs) / (m.PulseWidthPs + m.WindowPs)
+	if got := res[c.ByName("g1")]; math.Abs(got-want) > 1e-12 {
+		t.Errorf("g1 residual = %v, want %v", got, want)
+	}
+	// Degenerate model: no pulse and no window leaves nothing to attenuate.
+	z := Default()
+	z.PulseWidthPs, z.WindowPs = 0, 0
+	for _, name := range []string{"g0", "g2"} {
+		if got := z.ResidualProbabilities(c)[c.ByName(name)]; got != 1 {
+			t.Errorf("degenerate model: %s residual = %v, want 1", name, got)
+		}
 	}
 }

@@ -1,3 +1,7 @@
+// Bit-parallel gate evaluation: EvalWord folds one gate kind over 64-bit
+// pattern words, the primitive every simulator kernel in the repository
+// shares.
+
 package logic
 
 // This file provides n-ary Boolean evaluation of gate kinds over plain bools

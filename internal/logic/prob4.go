@@ -1,3 +1,6 @@
+// Prob4 is the paper's four-valued probability state (Pa, Pā, P0, P1):
+// the polarity-tracking error-propagation alphabet of the EPP method.
+
 package logic
 
 import (

@@ -1,3 +1,6 @@
+// Builder assembles immutable Circuits programmatically, with the same
+// validation the parsers apply.
+
 package netlist
 
 import (

@@ -1,3 +1,5 @@
+// Subcircuit extraction helpers used by the cone-bounded exact backends.
+
 package netlist
 
 import (

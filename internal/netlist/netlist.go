@@ -66,10 +66,10 @@ type Circuit struct {
 	byName map[string]ID
 
 	// Derived, computed once at Build time.
-	observed []ID   // nodes observable at a latching point (PO or FF D input)
-	obsMask  []bool // obsMask[id] == node id is an observation point
-	topo     []ID   // combinational topological order (sources first)
-	level    []int  // combinational level per node (sources at 0)
+	observed []ID         // nodes observable at a latching point (PO or FF D input)
+	obsMask  []bool       // obsMask[id] == node id is an observation point
+	topo     []ID         // combinational topological order (sources first)
+	level    []int        // combinational level per node (sources at 0)
 	kinds    []logic.Kind // kinds[id] == Nodes[id].Kind, densely packed
 
 	// CSR adjacency. Node id's fanins are faninArr[faninIdx[id]:faninIdx[id+1]]

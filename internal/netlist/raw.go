@@ -1,3 +1,6 @@
+// The raw mutable netlist representation shared by the parsers and
+// Builder before freezing into a Circuit.
+
 package netlist
 
 import "fmt"

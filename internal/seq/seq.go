@@ -25,8 +25,16 @@
 //
 // Flip-flop captures within one frame are treated as independent (the same
 // assumption the single-cycle method makes across reconvergent outputs), and
-// a captured error is assumed to be latched with certainty (combine with the
-// latch package for timing derating). Validation against the sequential
+// a captured error is assumed to be latched with certainty. The
+// latch-window coupling is the Weighted variants: the strike frame's
+// primary-output detection term is a narrow transient racing the capturing
+// register's latching window, so PDetectWeighted/PDetectBatchWeighted scale
+// it by a strike weight (latch.Model.FrameWeight(0)); detections in frames
+// >= 1 are full-cycle values re-launched from flip-flops, whose capture
+// weight is identically 1 (latch.Model.FrameWeight(k >= 1)), so the
+// lookahead recursion R is never derated and flip-flop captures carry the
+// error deterministically — exactly the semantics of the Monte Carlo
+// kernel's carried lane state. Validation against the sequential
 // fault-injection simulator (simulate.Sequential) is in the test suite.
 package seq
 
@@ -206,19 +214,44 @@ func (a *Analyzer) ensureFFProfiles() {
 // primary output within frames clock cycles; frames = 1 is the strike cycle
 // only. frames must be >= 1.
 func (a *Analyzer) PDetect(site netlist.ID, frames int) float64 {
-	if frames < 1 {
-		panic(fmt.Sprintf("seq: PDetect with frames = %d", frames))
-	}
-	strike := a.sweepFrom(site)
-	if frames == 1 {
-		return strike.pPO
-	}
-	return a.compose(strike, a.rVector(frames-1))
+	return a.PDetectWeighted(site, frames, 1)
 }
 
-// compose combines a strike-frame profile with the per-FF lookahead vector.
-func (a *Analyzer) compose(strike *frameSweep, r []float64) float64 {
-	miss := 1 - strike.pPO
+// PDetectWeighted is PDetect with the strike frame's primary-output
+// detection term scaled by strikeWeight — the latch-window coupling of the
+// multi-cycle composition (pass latch.Model.FrameWeight(0)). The model:
+// a detection event in frame k is captured by the observing register with
+// probability w(k), independent across frames; w(0) = strikeWeight (the
+// transient races the window) and w(k >= 1) = 1 (re-launched flip-flop
+// values are full-cycle levels), so only the strike term is derated —
+// flip-flop captures themselves carry the error deterministically and the
+// lookahead recursion is unchanged. strikeWeight must lie in [0, 1];
+// PDetectWeighted(site, frames, 1) == PDetect(site, frames) exactly.
+func (a *Analyzer) PDetectWeighted(site netlist.ID, frames int, strikeWeight float64) float64 {
+	if frames < 1 {
+		panic(fmt.Sprintf("seq: PDetectWeighted with frames = %d", frames))
+	}
+	checkStrikeWeight(strikeWeight)
+	strike := a.sweepFrom(site)
+	if frames == 1 {
+		return strikeWeight * strike.pPO
+	}
+	return a.compose(strike, a.rVector(frames-1), strikeWeight)
+}
+
+// checkStrikeWeight rejects out-of-range strike weights: a weight outside
+// [0, 1] is a programming error (latch.Model.FrameWeight clamps), not a
+// runtime condition.
+func checkStrikeWeight(w float64) {
+	if !(w >= 0 && w <= 1) { // also catches NaN
+		panic(fmt.Sprintf("seq: strike weight %v outside [0,1]", w))
+	}
+}
+
+// compose combines a strike-frame profile with the per-FF lookahead vector,
+// the strike term derated by w0 (1 = the unweighted composition).
+func (a *Analyzer) compose(strike *frameSweep, r []float64, w0 float64) float64 {
+	miss := 1 - w0*strike.pPO
 	for j, c := range strike.cap {
 		if c > 0 {
 			miss *= 1 - c*r[j]
@@ -243,11 +276,21 @@ func (a *Analyzer) Schedule() *sched.Schedule { return a.epp.Schedule() }
 // which is what lets all-sites callers distribute batches over workers.
 // len(out) must equal len(sites).
 func (a *Analyzer) PDetectBatch(sites []netlist.ID, frames int, out []float64) {
+	a.PDetectBatchWeighted(sites, frames, 1, out)
+}
+
+// PDetectBatchWeighted is PDetectBatch with the strike-frame detection term
+// scaled by strikeWeight (see PDetectWeighted for the model). The weighting
+// is per-site arithmetic applied after the packing-invariant strike sweeps,
+// so the batch-composition and worker-distribution guarantees of
+// PDetectBatch hold unchanged at every weight.
+func (a *Analyzer) PDetectBatchWeighted(sites []netlist.ID, frames int, strikeWeight float64, out []float64) {
 	if frames < 1 {
-		panic(fmt.Sprintf("seq: PDetectBatch with frames = %d", frames))
+		panic(fmt.Sprintf("seq: PDetectBatchWeighted with frames = %d", frames))
 	}
+	checkStrikeWeight(strikeWeight)
 	if len(sites) != len(out) {
-		panic(fmt.Sprintf("seq: PDetectBatch with %d sites and %d outputs", len(sites), len(out)))
+		panic(fmt.Sprintf("seq: PDetectBatchWeighted with %d sites and %d outputs", len(sites), len(out)))
 	}
 	var r []float64
 	if frames > 1 {
@@ -267,9 +310,9 @@ func (a *Analyzer) PDetectBatch(sites []netlist.ID, frames int, out []float64) {
 		for i := range results {
 			strike := a.profileFromResult(&results[i])
 			if frames == 1 {
-				out[lo+i] = strike.pPO
+				out[lo+i] = strikeWeight * strike.pPO
 			} else {
-				out[lo+i] = a.compose(strike, r)
+				out[lo+i] = a.compose(strike, r, strikeWeight)
 			}
 		}
 	}
@@ -366,7 +409,7 @@ func (a *Analyzer) PDetectCurve(site netlist.ID, frames int) []float64 {
 	strike := a.sweepFrom(site)
 	out[0] = strike.pPO
 	for k := 2; k <= frames; k++ {
-		out[k-1] = a.compose(strike, a.rVector(k-1))
+		out[k-1] = a.compose(strike, a.rVector(k-1), 1)
 	}
 	return out
 }

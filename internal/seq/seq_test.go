@@ -185,3 +185,84 @@ func TestPDetectPanicsOnZeroFrames(t *testing.T) {
 	}()
 	a.PDetect(c.ByName("a"), 0)
 }
+
+// TestWeightedCompositionIdentities pins the latch-window-weighted
+// composition's algebra on random sequential circuits: weight 1 reproduces
+// the unweighted analysis bit-exactly, weight 0 leaves only the
+// through-flip-flop (later-frame) detections, and the estimate is monotone
+// nondecreasing in the weight and bounded by the unweighted value.
+func TestWeightedCompositionIdentities(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		c := gen.SmallRandomSequential(seed + 140)
+		a := analyzer(t, c)
+		for _, frames := range []int{1, 2, 4} {
+			for id := 0; id < c.N(); id++ {
+				site := netlist.ID(id)
+				plain := a.PDetect(site, frames)
+				if w1 := a.PDetectWeighted(site, frames, 1); w1 != plain {
+					t.Fatalf("seed %d frames %d site %d: weight 1 %v != PDetect %v (must be bit-exact)",
+						seed, frames, id, w1, plain)
+				}
+				prev := -1.0
+				for _, w := range []float64{0, 0.18, 0.5, 0.97, 1} {
+					pw := a.PDetectWeighted(site, frames, w)
+					if pw < 0 || pw > plain+1e-15 {
+						t.Fatalf("seed %d frames %d site %d weight %v: %v outside [0, %v]",
+							seed, frames, id, w, pw, plain)
+					}
+					if pw < prev-1e-15 {
+						t.Fatalf("seed %d frames %d site %d: not monotone in weight (%v after %v)",
+							seed, frames, id, pw, prev)
+					}
+					prev = pw
+				}
+				if frames == 1 {
+					if z := a.PDetectWeighted(site, 1, 0); z != 0 {
+						t.Fatalf("seed %d site %d: frames=1 weight 0 gives %v, want 0 (strike-only analysis)",
+							seed, id, z)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedBatchMatchesScalar: the batched weighted sweep is the scalar
+// weighted composition, site for site, at every weight — the property the
+// parallel engine distribution relies on.
+func TestWeightedBatchMatchesScalar(t *testing.T) {
+	c := gen.SmallRandomSequential(17)
+	a := analyzer(t, c)
+	b := analyzer(t, c)
+	const frames = 3
+	for _, w := range []float64{0, 0.18, 1} {
+		sites := make([]netlist.ID, c.N())
+		for id := range sites {
+			sites[id] = netlist.ID(id)
+		}
+		out := make([]float64, c.N())
+		a.PDetectBatchWeighted(sites, frames, w, out)
+		for id := range sites {
+			if want := b.PDetectWeighted(netlist.ID(id), frames, w); out[id] != want {
+				t.Fatalf("weight %v site %d: batch %v != scalar %v", w, id, out[id], want)
+			}
+		}
+	}
+}
+
+// TestWeightedPanicsOnBadWeight: out-of-range weights are programming
+// errors, rejected loudly.
+func TestWeightedPanicsOnBadWeight(t *testing.T) {
+	c := gen.SmallRandomSequential(5)
+	a := analyzer(t, c)
+	for _, w := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weight %v accepted", w)
+				}
+			}()
+			a.PDetectWeighted(0, 2, w)
+		}()
+	}
+}

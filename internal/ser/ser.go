@@ -115,11 +115,28 @@ type Config struct {
 	Engine string
 	// SP configures signal probability computation (bias, vectors, seed).
 	SP sigprob.Config
-	// MC configures the Monte Carlo P_sensitized baseline (MethodMonteCarlo).
+	// MC configures the sampling engines (MethodMonteCarlo or an explicit
+	// sampling Engine): the pipeline consumes its Vectors, Seed and
+	// SourceProb fields. The kernel-level fields (SharedVectors, OnWord)
+	// are managed by the engine layer — the monte-carlo engine always runs
+	// the shared-vector batched kernels and reports progress through
+	// Progress — so values set here for them are ignored.
 	MC simulate.MCOptions
-	// Faults is the R_SEU model; zero value is replaced by faults.Default().
+	// Faults is the R_SEU model; nil is replaced by faults.Default().
 	Faults *faults.Model
 	// Latch is the P_latched model; nil is replaced by latch.Default().
+	//
+	// Setting it explicitly does more than swap the static per-node factor:
+	// together with Frames > 1 it couples the latching window into the
+	// multi-cycle composition (the engine weights each frame's detection
+	// contribution by Latch.FrameWeight — the strike-cycle transient races
+	// the capture window, re-launched flip-flop values are full-cycle levels
+	// with weight 1). The per-node P_latched factor then becomes the
+	// electrical-masking residual (latch.Model.ResidualProbabilities), so
+	// the timing window is counted exactly once per path — inside
+	// P_sensitized — rather than twice. With Latch nil the multi-cycle
+	// analysis keeps the uncoupled composition (every detection counted in
+	// full) under the default static factor, matching earlier releases.
 	Latch *latch.Model
 	// Workers bounds parallelism for the P_sensitized sweep (0 = all cores).
 	Workers int
@@ -129,7 +146,8 @@ type Config struct {
 	// flip-flops — the sequential extension). Supported by the analytic
 	// engines (the internal/seq composition) and the monte-carlo engine
 	// (the frame-unrolled simulate.MCSeqBatch kernel); the exact engines
-	// reject it.
+	// reject it. Combine with an explicit Latch model for the
+	// latch-window-weighted composition (see Latch).
 	Frames int
 	// BatchWidth sets the batched EPP engine's lane count (0 = default).
 	BatchWidth int
@@ -219,6 +237,20 @@ func (cfg *Config) Validate(c *netlist.Circuit) error {
 			return fmt.Errorf("ser: Rules %v requires a single-frame analysis (the multi-cycle composition is closed-form only)", cfg.Rules)
 		}
 	}
+	// Model cross-checks: an explicit model must be valid up front — for the
+	// latch model especially, because with Frames > 1 it also parameterizes
+	// the frame composition (the strike-frame capture weight), not just the
+	// static per-node factor.
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.Latch != nil {
+		if err := cfg.Latch.Validate(); err != nil {
+			return err
+		}
+	}
 	if err := validBias("SP.SourceProb", cfg.SP.SourceProb, c); err != nil {
 		return err
 	}
@@ -242,7 +274,12 @@ func validBias(field string, bias []float64, c *netlist.Circuit) error {
 	return nil
 }
 
-// NodeSER is the per-node soft error rate decomposition.
+// NodeSER is the per-node soft error rate decomposition. In the
+// latch-window-weighted multi-cycle mode (an explicit Latch model with
+// Frames > 1) the timing window moves inside PSensitized — weighted per
+// detection frame by the engine — and PLatched reports the
+// electrical-masking residual instead of the full static factor, keeping
+// SERFIT a single-window product either way.
 type NodeSER struct {
 	ID          netlist.ID
 	Name        string
@@ -319,10 +356,30 @@ func prepare(c *netlist.Circuit, cfg *Config) (*prepared, error) {
 		Seed:       cfg.MC.Seed,
 		BDDBudget:  cfg.BDDBudget,
 	}
+	if cfg.Latch != nil {
+		// An explicitly chosen latch model couples the latching window into
+		// the multi-cycle composition (the engines consult it only when
+		// Frames > 1); the default model keeps the uncoupled composition for
+		// compatibility. The static per-node factor always applies.
+		p.req.Latch = &p.latch
+	}
 	if eng.Class() == engine.ClassAnalytic {
 		p.req.SP = SignalProbabilities(c, *cfg)
 	}
 	return p, nil
+}
+
+// platchVector resolves the per-node P_latched factor: the static
+// window+attenuation probability normally; the electrical-masking residual
+// when the latching window is coupled into the multi-cycle composition —
+// the engines then apply the timing window per detection frame, and
+// multiplying the static window in again would count it twice on the
+// strike path (and wrongly derate full-cycle later-frame detections).
+func (p *prepared) platchVector(c *netlist.Circuit) []float64 {
+	if p.req.Latch != nil && p.req.Frames > 1 {
+		return p.latch.ResidualProbabilities(c)
+	}
+	return p.latch.Probabilities(c)
 }
 
 // nodeSER assembles one node's SER decomposition from the factor vectors.
@@ -357,7 +414,7 @@ func Run(ctx context.Context, c *netlist.Circuit, cfg Config) (*Report, error) {
 		return nil, err
 	}
 	rates := p.faults.RatesFIT(c)
-	platch := p.latch.Probabilities(c)
+	platch := p.platchVector(c)
 	rep := &Report{Circuit: c.Name, Method: cfg.Method, Engine: p.eng.Name(), Nodes: make([]NodeSER, n)}
 	for id := 0; id < n; id++ {
 		ns := nodeSER(c, netlist.ID(id), rates, platch, psens)
@@ -388,7 +445,7 @@ func Stream(ctx context.Context, c *netlist.Circuit, cfg Config) iter.Seq2[NodeS
 		}
 		n := c.N()
 		rates := p.faults.RatesFIT(c)
-		platch := p.latch.Probabilities(c)
+		platch := p.platchVector(c)
 		psens := make([]float64, n)
 		// Ordered emission needs OnBatch ranges to be final node-ID ranges.
 		// For the per-site engines that means a serial sweep; the sampling

@@ -1,3 +1,7 @@
+// Shared-good-sim batched Monte Carlo kernel for the single-cycle
+// P_sensitized estimate, plus the word-major sweep driver and counter
+// plumbing shared with the multi-cycle kernel.
+
 package simulate
 
 import (
@@ -238,26 +242,47 @@ func (m *MCBatch) Stats() MCStats { return m.stats }
 // the sweep totals (called under the driver's mutex at worker exit).
 type wordWorker interface {
 	runWord(w int64)
-	merge(detected []int64, stats *MCStats)
+	merge(tot *mcTotals)
+}
+
+// mcTotals accumulates the integer counters of one word-major sweep. The
+// detected slice is always present; the multi-cycle slices are non-nil only
+// for MCSeqBatch sweeps. Every counter is an integer summed per site (and
+// per frame), so the totals — and everything composed from them, including
+// the latch-window-weighted estimate — are identical at any worker count.
+type mcTotals struct {
+	detected []int64 // per site: trials detected in any frame
+	later    []int64 // per site: trials detected in a frame >= 1 (multi-cycle only)
+	frames   []int64 // frame-major frames×n: trials with a PO difference in that frame (multi-cycle only)
+	stats    MCStats
 }
 
 // mcCounters is the per-worker tally embedded by both kernels' workers: the
-// per-site detection counts and the MCStats work counters, merged into the
-// sweep totals under the driver's mutex.
+// per-site (and, for the multi-cycle kernel, per-frame) detection counts and
+// the MCStats work counters, merged into the sweep totals under the driver's
+// mutex.
 type mcCounters struct {
 	detected []int64
+	later    []int64 // nil for single-cycle workers
+	frames   []int64 // nil for single-cycle workers
 
 	words, goodSims, laneSims, sweptMembers int64
 }
 
-func (c *mcCounters) merge(detected []int64, stats *MCStats) {
+func (c *mcCounters) merge(tot *mcTotals) {
 	for id, d := range c.detected {
-		detected[id] += d
+		tot.detected[id] += d
 	}
-	stats.Words += c.words
-	stats.GoodSims += c.goodSims
-	stats.LaneSims += c.laneSims
-	stats.SweptMembers += c.sweptMembers
+	for id, d := range c.later {
+		tot.later[id] += d
+	}
+	for i, d := range c.frames {
+		tot.frames[i] += d
+	}
+	tot.stats.Words += c.words
+	tot.stats.GoodSims += c.goodSims
+	tot.stats.LaneSims += c.laneSims
+	tot.stats.SweptMembers += c.sweptMembers
 }
 
 // runWordSweep is the shared driver of the batched Monte Carlo kernels: it
@@ -265,19 +290,16 @@ func (c *mcCounters) merge(detected []int64, stats *MCStats) {
 // (each with its own worker from newWorker), reports per-word OnWord
 // progress under the merge mutex (so done counts are strictly increasing
 // and calls never overlap), honors ctx between word claims, and merges
-// per-worker detection counts (length n) and counters at exit. On
-// cancellation the partial result is discarded and ctx.Err() returned.
-// Detection counts are integers summed per site, so the result is identical
-// at any worker count.
-func runWordSweep(ctx context.Context, workers, words, n int, onWord func(done, total int), newWorker func() wordWorker) ([]int64, MCStats, error) {
+// per-worker counters into tot at exit. On cancellation the partial result
+// is discarded and ctx.Err() returned. All counters are integers summed per
+// site (and per frame), so the totals are identical at any worker count.
+func runWordSweep(ctx context.Context, workers, words int, tot *mcTotals, onWord func(done, total int), newWorker func() wordWorker) error {
 	var (
 		cursor    atomic.Int64
 		abort     atomic.Bool
 		wg        sync.WaitGroup
 		mu        sync.Mutex
 		firstErr  error
-		detected  = make([]int64, n)
-		stats     MCStats
 		wordsDone int
 	)
 	for w := 0; w < workers; w++ {
@@ -311,15 +333,12 @@ func runWordSweep(ctx context.Context, workers, words, n int, onWord func(done, 
 				}
 			}
 			mu.Lock()
-			wk.merge(detected, &stats)
+			wk.merge(tot)
 			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, MCStats{}, firstErr
-	}
-	return detected, stats, nil
+	return firstErr
 }
 
 // EPPAll estimates P_sensitized for every node of the circuit (indexed by
@@ -337,25 +356,25 @@ func (m *MCBatch) EPPAll(ctx context.Context, workers int) ([]MCResult, error) {
 		workers = words
 	}
 	n := m.c.N()
-	detected, stats, err := runWordSweep(ctx, workers, words, n, m.opt.OnWord,
-		func() wordWorker { return newMCWorker(m) })
-	if err != nil {
+	tot := &mcTotals{detected: make([]int64, n)}
+	if err := runWordSweep(ctx, workers, words, tot, m.opt.OnWord,
+		func() wordWorker { return newMCWorker(m) }); err != nil {
 		return nil, err
 	}
-	stats.Sites = int64(n)
-	stats.Unobservable = int64(m.skipped)
-	m.stats = stats
+	tot.stats.Sites = int64(n)
+	tot.stats.Unobservable = int64(m.skipped)
+	m.stats = tot.stats
 
 	nv := words * 64
 	out := make([]MCResult, n)
 	for id := 0; id < n; id++ {
-		p := float64(detected[id]) / float64(nv)
+		p := float64(tot.detected[id]) / float64(nv)
 		out[id] = MCResult{
 			Site:        netlist.ID(id),
 			PSensitized: p,
 			StdErr:      math.Sqrt(p * (1 - p) / float64(nv)),
 			Vectors:     nv,
-			Detected:    int(detected[id]),
+			Detected:    int(tot.detected[id]),
 		}
 	}
 	return out, nil

@@ -1,3 +1,7 @@
+// Frame-unrolled batched Monte Carlo kernel for the multi-cycle detection
+// probability, with per-frame exact sweep masks and per-frame detection
+// counters.
+
 package simulate
 
 import (
@@ -36,11 +40,20 @@ import (
 //     latched per lane (equal to the good D value wherever the lane did not
 //     diverge), mirroring Sequential's atomic edge.
 //
-//   - Frames >= 1 sweep the combinational forward cone of the carried
-//     flip-flops (a per-group precomputed superset of the actual per-frame
-//     divergence, with per-member lane masks), re-evaluating faulty values
-//     against that frame's good values and accumulating primary-output
-//     differences.
+//   - Frame k >= 1 sweeps its exact reachable cone: the combinational
+//     forward cone of the flip-flops a lane's divergence can reach within k
+//     clock edges, precomputed per (group, frame) with per-member lane
+//     masks. Early frames of deep flip-flop pipelines therefore sweep only
+//     the stages the error can actually have reached, not the full
+//     frame-budget superset; once the carried set stops growing the later
+//     frames share one sweep structure.
+//
+// Detection is counted per frame: detected trials (a primary output
+// differed in any frame) and later-frame detections (frames >= 1) are
+// folded per site into SeqResult.Detected / SeqResult.DetectedLater, and
+// FrameDetected exposes the per-frame counters — all integers summed in
+// canonical site/frame order, which is what lets the latch-window-weighted
+// composition (see SeqResult) stay bit-exact and worker-invariant.
 //
 // Faulty evaluation per lane is bitwise identical to the two-machine
 // simulation over the full circuit (values outside the swept cone equal the
@@ -65,28 +78,40 @@ type MCSeqBatch struct {
 	frames int
 
 	groups     []mcSeqGroup
-	maxMembers int // largest member list over groups and frame kinds
+	maxMembers int // largest member list over groups and frames
 	maxFFs     int // largest carried-FF set, sizes the per-lane state scratch
 	skipped    int // sites excluded as unobservable
 	isPO       []bool
 
-	stats MCStats
+	frameDet []int64 // per-frame detection counters of the last PDetectAll
+	stats    MCStats
 }
 
 // mcSeqGroup extends the strike-frame group with the sequential structures:
 // the flip-flops that can ever carry the group's divergence (with per-FF
-// lane masks and D inputs) and the combinational forward cone of those
-// flip-flops, swept in frames >= 1.
+// lane masks and D inputs) and, per frame >= 1, the exact combinational
+// sweep of the flip-flops reachable within that many clock edges.
 type mcSeqGroup struct {
 	mcGroup // frame 0: sites, strike-cone members, lane masks, site lanes
 
 	ffIDs  []netlist.ID // flip-flops reachable by the group's divergence
-	ffMask []uint64     // per ffIDs entry: lanes whose divergence can reach it
+	ffMask []uint64     // per ffIDs entry: lanes whose divergence can ever reach it
 	ffD    []netlist.ID // D input (fanin[0]) of each carried flip-flop
 
-	seqMembers []netlist.ID // comb forward cone of ffIDs, topological order
-	seqMask    []uint64     // per-member lane masks for frames >= 1
-	seqFFPos   []int32      // index into ffIDs for FF members, -1 for gates
+	// frames[k-1] is the sweep of frame k: the combinational forward cone
+	// of the flip-flops a lane can reach within k clock edges. Lane masks
+	// only grow with k, so later entries may alias earlier ones once the
+	// carried set reaches its fixpoint.
+	frames []mcSeqFrame
+}
+
+// mcSeqFrame is one frame's exact faulty sweep: members in combinational
+// topological order, per-member lane masks, and for flip-flop members the
+// index of their carried state in the group's ffIDs.
+type mcSeqFrame struct {
+	members []netlist.ID
+	mask    []uint64
+	ffPos   []int32
 }
 
 // NewMCSeqBatch builds the frame-unrolled batched estimator for circuit c
@@ -118,24 +143,32 @@ func NewMCSeqBatch(c *netlist.Circuit, opt MCOptions, frames int) *MCSeqBatch {
 	}
 
 	n := c.N()
-	mask := make([]uint64, n)   // sequential lane-closure fixpoint
-	smask := make([]uint64, n)  // frame>=1 on-path lane masks
+	mask := make([]uint64, n)  // sequential lane-closure state
+	smask := make([]uint64, n) // per-frame on-path lane masks (scratch)
+	dmask := make([]uint64, len(c.FFs))
 	ffLocal := make([]int32, n) // FF id -> index into the group's ffIDs
+	ffSeen := make([]int32, n)  // group stamp: FF already in the group's ffIDs
+	for i := range ffSeen {
+		ffSeen[i] = -1
+	}
 	topo := c.Topo()
 	kinds := c.Kinds()
 	fiIdx, fiArr := c.FaninCSR()
 
 	for gi := range m.groups {
 		g := &m.groups[gi]
+		g.frames = make([]mcSeqFrame, 0, frames-1)
 
-		// Lane closure over the sequential graph: mask[id] bit l set iff
-		// lane l's divergence can reach id within the frame budget. One
-		// combinational topological pass per iteration, then a clock-edge
-		// step that pushes each flip-flop's D-input mask onto its output.
-		// Divergence crosses at most frames−1 clock edges (captures run
-		// after frames 0..frames−2), so the iteration is exact for the
-		// budget at frames−1 edge steps; it also stops early once no
-		// flip-flop gains a lane (bits only accumulate).
+		// Lane closure over the sequential graph: after edge step k,
+		// mask[id] bit l is set iff lane l's divergence can reach id within
+		// k clock edges. One combinational topological pass per iteration,
+		// then a clock-edge step that pushes each flip-flop's D-input mask
+		// onto its output. The per-edge states are exactly the frame sweeps:
+		// frame k's faulty sweep covers the combinational cone of the
+		// flip-flops carrying lanes after k edges — the exact reachable set
+		// for that frame, not the frame-budget superset. Masks only
+		// accumulate, so once no flip-flop gains a lane the remaining frames
+		// share the last sweep structure.
 		for i := range mask {
 			mask[i] = 0
 		}
@@ -152,54 +185,79 @@ func NewMCSeqBatch(c *netlist.Circuit, opt MCOptions, frames int) *MCSeqBatch {
 					mask[id] = mk
 				}
 			}
+			// Atomic clock edge: read every D mask before writing any FF
+			// (mirroring the simulator's edge), so a lane crosses exactly
+			// one flip-flop stage per step and mask stays the exact
+			// <= edge reach — non-atomic updates would let lanes jump whole
+			// FF chains in one step and inflate the early frames' sweeps.
 			changed := false
-			for _, ff := range c.FFs {
+			for i, ff := range c.FFs {
+				dmask[i] = mask[fiArr[fiIdx[ff]]]
+			}
+			for i, ff := range c.FFs {
 				d := fiArr[fiIdx[ff]]
-				if add := mask[d] &^ mask[ff]; add != 0 {
+				if add := dmask[i] &^ mask[ff]; add != 0 {
+					// Membership needs its own stamp: an FF that is itself an
+					// error site has a nonzero seeded mask before it ever
+					// captures anything.
+					if ffSeen[ff] != int32(gi) {
+						ffSeen[ff] = int32(gi)
+						ffLocal[ff] = int32(len(g.ffIDs))
+						g.ffIDs = append(g.ffIDs, ff)
+						g.ffD = append(g.ffD, d)
+					}
 					mask[ff] |= add
 					changed = true
 				}
 			}
+
+			// Frame `edge` sweep: the combinational cone of the currently
+			// carried flip-flops. Filtering the circuit topological order
+			// keeps it a valid evaluation order.
+			var fr mcSeqFrame
+			for i := range smask {
+				smask[i] = 0
+			}
+			for _, ff := range g.ffIDs {
+				smask[ff] = mask[ff]
+			}
+			for _, id := range topo {
+				if kinds[id].IsGate() {
+					mk := smask[id]
+					for _, f := range fiArr[fiIdx[id]:fiIdx[id+1]] {
+						mk |= smask[f]
+					}
+					smask[id] = mk
+				}
+				if smask[id] != 0 {
+					fp := int32(-1)
+					if kinds[id] == logic.DFF {
+						fp = ffLocal[id]
+					}
+					fr.members = append(fr.members, id)
+					fr.mask = append(fr.mask, smask[id])
+					fr.ffPos = append(fr.ffPos, fp)
+				}
+			}
+			g.frames = append(g.frames, fr)
+			if len(fr.members) > m.maxMembers {
+				m.maxMembers = len(fr.members)
+			}
 			if !changed {
+				// Carried-lane fixpoint: every remaining frame sweeps the
+				// same cone with the same masks.
+				for len(g.frames) < frames-1 {
+					g.frames = append(g.frames, fr)
+				}
 				break
 			}
 		}
 
-		// Carried flip-flops, then the combinational cone they drive: the
-		// member set swept in frames >= 1. Filtering the circuit topological
-		// order keeps it a valid evaluation order.
-		for i := range smask {
-			smask[i] = 0
-		}
-		for _, ff := range c.FFs {
-			if mask[ff] != 0 {
-				ffLocal[ff] = int32(len(g.ffIDs))
-				g.ffIDs = append(g.ffIDs, ff)
-				g.ffMask = append(g.ffMask, mask[ff])
-				g.ffD = append(g.ffD, fiArr[fiIdx[ff]])
-				smask[ff] = mask[ff]
-			}
-		}
-		for _, id := range topo {
-			if kinds[id].IsGate() {
-				mk := smask[id]
-				for _, f := range fiArr[fiIdx[id]:fiIdx[id+1]] {
-					mk |= smask[f]
-				}
-				smask[id] = mk
-			}
-			if smask[id] != 0 {
-				fp := int32(-1)
-				if kinds[id] == logic.DFF {
-					fp = ffLocal[id]
-				}
-				g.seqMembers = append(g.seqMembers, id)
-				g.seqMask = append(g.seqMask, smask[id])
-				g.seqFFPos = append(g.seqFFPos, fp)
-			}
-		}
-		if len(g.seqMembers) > m.maxMembers {
-			m.maxMembers = len(g.seqMembers)
+		// Finalize the capture masks to the closure fixpoint: lanes whose
+		// divergence can ever reach each carried flip-flop.
+		g.ffMask = make([]uint64, len(g.ffIDs))
+		for j, ff := range g.ffIDs {
+			g.ffMask[j] = mask[ff]
 		}
 		if len(g.ffIDs) > m.maxFFs {
 			m.maxFFs = len(g.ffIDs)
@@ -220,6 +278,22 @@ func (m *MCSeqBatch) Frames() int { return m.frames }
 // sites.
 func (m *MCSeqBatch) Stats() MCStats { return m.stats }
 
+// FrameDetected returns the per-frame detection counters of the most recent
+// PDetectAll call: the returned slice, indexed by node ID, counts the trials
+// in which a primary output differed during frame `frame` (0 = the strike
+// cycle). A trial may be detected in several frames, so the per-frame counts
+// can sum to more than SeqResult.Detected; their union is Detected and the
+// union over frames >= 1 is DetectedLater. The counters are integers folded
+// in canonical (site, frame) order, identical at any worker count. The
+// returned slice aliases kernel state — treat it as read-only.
+func (m *MCSeqBatch) FrameDetected(frame int) []int64 {
+	if m.frameDet == nil || frame < 0 || frame >= m.frames {
+		return nil
+	}
+	n := m.c.N()
+	return m.frameDet[frame*n : (frame+1)*n]
+}
+
 // PDetectAll estimates the multi-cycle detection probability for every node
 // of the circuit (indexed by node ID) across workers goroutines (0 =
 // GOMAXPROCS). Each 64-vector word costs exactly one good simulation per
@@ -235,25 +309,32 @@ func (m *MCSeqBatch) PDetectAll(ctx context.Context, workers int) ([]SeqResult, 
 		workers = words
 	}
 	n := m.c.N()
-	detected, stats, err := runWordSweep(ctx, workers, words, n, m.opt.OnWord,
-		func() wordWorker { return newMCSeqWorker(m) })
-	if err != nil {
+	tot := &mcTotals{
+		detected: make([]int64, n),
+		later:    make([]int64, n),
+		frames:   make([]int64, m.frames*n),
+	}
+	if err := runWordSweep(ctx, workers, words, tot, m.opt.OnWord,
+		func() wordWorker { return newMCSeqWorker(m) }); err != nil {
 		return nil, err
 	}
-	stats.Sites = int64(n)
-	stats.Unobservable = int64(m.skipped)
-	m.stats = stats
+	tot.stats.Sites = int64(n)
+	tot.stats.Unobservable = int64(m.skipped)
+	m.stats = tot.stats
+	m.frameDet = tot.frames
 
 	trials := words * 64
 	out := make([]SeqResult, n)
 	for id := 0; id < n; id++ {
-		p := float64(detected[id]) / float64(trials)
+		p := float64(tot.detected[id]) / float64(trials)
 		out[id] = SeqResult{
-			Site:    netlist.ID(id),
-			Frames:  m.frames,
-			PDetect: p,
-			StdErr:  math.Sqrt(p * (1 - p) / float64(trials)),
-			Trials:  trials,
+			Site:          netlist.ID(id),
+			Frames:        m.frames,
+			PDetect:       p,
+			StdErr:        math.Sqrt(p * (1 - p) / float64(trials)),
+			Trials:        trials,
+			Detected:      int(tot.detected[id]),
+			DetectedLater: int(tot.later[id]),
 		}
 	}
 	return out, nil
@@ -277,16 +358,21 @@ type mcSeqWorker struct {
 }
 
 func newMCSeqWorker(m *MCSeqBatch) *mcSeqWorker {
+	n := m.c.N()
 	return &mcSeqWorker{
-		mcCounters: mcCounters{detected: make([]int64, m.c.N())},
-		m:          m,
-		eng:        NewEngine(m.c),
-		goodBuf:    make([]uint64, m.frames*m.c.N()),
-		lanes:      make([]uint64, m.maxMembers*mcLanes),
-		faultyFF:   make([]uint64, m.maxFFs*mcLanes),
-		pos:        make([]int32, m.c.N()),
-		stamp:      make([]int64, m.c.N()),
-		ins:        make([]uint64, 0, 8),
+		mcCounters: mcCounters{
+			detected: make([]int64, n),
+			later:    make([]int64, n),
+			frames:   make([]int64, m.frames*n),
+		},
+		m:        m,
+		eng:      NewEngine(m.c),
+		goodBuf:  make([]uint64, m.frames*n),
+		lanes:    make([]uint64, m.maxMembers*mcLanes),
+		faultyFF: make([]uint64, m.maxFFs*mcLanes),
+		pos:      make([]int32, n),
+		stamp:    make([]int64, n),
+		ins:      make([]uint64, 0, 8),
 	}
 }
 
@@ -327,7 +413,11 @@ func (wk *mcSeqWorker) runWord(w int64) {
 
 	for gi := range m.groups {
 		g := &m.groups[gi]
-		var det [mcLanes]uint64
+		// det unions the per-frame detection masks detF; detLater unions
+		// the frames >= 1 only. The three integer counter families folded
+		// from them (any-frame, later-frame, per-frame) are what the
+		// latch-window-weighted composition consumes.
+		var det, detLater, detF [mcLanes]uint64
 
 		// Frame 0: strike-cone sweep with the site flips, against the frame-0
 		// good values. Identical arithmetic to MCBatch, but detection counts
@@ -361,37 +451,46 @@ func (wk *mcSeqWorker) runWord(w int64) {
 				}
 				wk.lanes[base+l] = v
 				if m.isPO[id] {
-					det[l] |= v ^ good[id]
+					detF[l] |= v ^ good[id]
 				}
 			}
 			wk.laneSims += int64(bits.OnesCount64(mk))
 		}
 		wk.sweptMembers += int64(len(g.members))
+		for l, site := range g.sites {
+			det[l] |= detF[l]
+			wk.frames[site] += int64(bits.OnesCount64(detF[l]))
+		}
 		if m.frames > 1 {
 			wk.capture(g, g.mask, good)
 		}
 
-		// Frames >= 1: sweep the carried flip-flops' combinational cone
-		// against that frame's good values, divergence entering only through
-		// the captured state.
+		// Frame k >= 1: sweep the exact reachable cone of that frame — the
+		// combinational cone of the flip-flops a lane can reach within k
+		// clock edges — against the frame's good values, divergence entering
+		// only through the captured state.
 		for f := 1; f < m.frames; f++ {
+			fr := &g.frames[f-1]
 			good := wk.goodBuf[f*n : (f+1)*n]
 			wk.stampVal++
-			for i, id := range g.seqMembers {
+			for i, id := range fr.members {
 				wk.stamp[id] = wk.stampVal
 				wk.pos[id] = int32(i)
 			}
-			for i, id := range g.seqMembers {
-				mk := g.seqMask[i]
+			for l := range detF {
+				detF[l] = 0
+			}
+			for i, id := range fr.members {
+				mk := fr.mask[i]
 				base := i * mcLanes
-				if fp := g.seqFFPos[i]; fp >= 0 {
+				if fp := fr.ffPos[i]; fp >= 0 {
 					fb := int(fp) * mcLanes
 					for mm := mk; mm != 0; mm &= mm - 1 {
 						l := bits.TrailingZeros64(mm)
 						v := wk.faultyFF[fb+l]
 						wk.lanes[base+l] = v
 						if m.isPO[id] {
-							det[l] |= v ^ good[id]
+							detF[l] |= v ^ good[id]
 						}
 					}
 				} else {
@@ -399,7 +498,7 @@ func (wk *mcSeqWorker) runWord(w int64) {
 						l := bits.TrailingZeros64(mm)
 						wk.ins = wk.ins[:0]
 						for _, fin := range fiArr[fiIdx[id]:fiIdx[id+1]] {
-							if wk.stamp[fin] == wk.stampVal && g.seqMask[wk.pos[fin]]>>uint(l)&1 == 1 {
+							if wk.stamp[fin] == wk.stampVal && fr.mask[wk.pos[fin]]>>uint(l)&1 == 1 {
 								wk.ins = append(wk.ins, wk.lanes[int(wk.pos[fin])*mcLanes+l])
 							} else {
 								wk.ins = append(wk.ins, good[fin])
@@ -408,20 +507,26 @@ func (wk *mcSeqWorker) runWord(w int64) {
 						v := logic.EvalWord(kinds[id], wk.ins)
 						wk.lanes[base+l] = v
 						if m.isPO[id] {
-							det[l] |= v ^ good[id]
+							detF[l] |= v ^ good[id]
 						}
 					}
 				}
 				wk.laneSims += int64(bits.OnesCount64(mk))
 			}
-			wk.sweptMembers += int64(len(g.seqMembers))
+			wk.sweptMembers += int64(len(fr.members))
+			for l, site := range g.sites {
+				det[l] |= detF[l]
+				detLater[l] |= detF[l]
+				wk.frames[f*n+int(site)] += int64(bits.OnesCount64(detF[l]))
+			}
 			if f+1 < m.frames {
-				wk.capture(g, g.seqMask, good)
+				wk.capture(g, fr.mask, good)
 			}
 		}
 
 		for l, site := range g.sites {
 			wk.detected[site] += int64(bits.OnesCount64(det[l]))
+			wk.later[site] += int64(bits.OnesCount64(detLater[l]))
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"math/bits"
 	"testing"
 
 	"repro/internal/bench"
@@ -37,11 +38,17 @@ func TestMCSeqBatchMatchesSequentialShared(t *testing.T) {
 			for id := 0; id < c.N(); id++ {
 				want := ps.PDetect(netlist.ID(id))
 				g := got[id]
-				if g.Site != want.Site || g.Frames != want.Frames ||
-					g.Trials != want.Trials || g.PDetect != want.PDetect ||
-					g.StdErr != want.StdErr {
+				if g != want {
 					t.Fatalf("seed %d frames %d site %d: batched %+v, per-site shared %+v",
 						seed, frames, id, g, want)
+				}
+				// The weighted estimate is pure integer-counter arithmetic,
+				// so it inherits the bit-exact agreement at every weight.
+				for _, w := range []float64{0, 0.18, 1} {
+					if g.PDetectWeighted(w) != want.PDetectWeighted(w) {
+						t.Fatalf("seed %d frames %d site %d weight %v: batched %v != per-site %v",
+							seed, frames, id, w, g.PDetectWeighted(w), want.PDetectWeighted(w))
+					}
 				}
 			}
 		}
@@ -281,5 +288,188 @@ func TestMCSeqBatchSeedGolden(t *testing.T) {
 	}
 	if batched[site].PDetect != shared.PDetect {
 		t.Errorf("MCSeqBatch PDetect = %v, want shared-regime %v", batched[site].PDetect, shared.PDetect)
+	}
+}
+
+// TestMCSeqBatchFrameCounters: the per-frame detection counters are
+// consistent with the joint counts — the union over all frames is Detected,
+// the union over frames >= 1 is DetectedLater, each frame's count is
+// bounded by the union, and frame 0's count can never exceed Detected −
+// DetectedLater + DetectedLater (trivially) while a strike-only trial shows
+// up in frame 0 alone.
+func TestMCSeqBatchFrameCounters(t *testing.T) {
+	c := gen.SmallRandomSequential(23)
+	const frames = 4
+	mb := NewMCSeqBatch(c, MCOptions{Vectors: 512, Seed: 3}, frames)
+	got, err := mb.PDetectAll(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 0; f < frames; f++ {
+		if fd := mb.FrameDetected(f); len(fd) != c.N() {
+			t.Fatalf("FrameDetected(%d) has %d entries for %d nodes", f, len(fd), c.N())
+		}
+	}
+	if mb.FrameDetected(-1) != nil || mb.FrameDetected(frames) != nil {
+		t.Fatal("out-of-range FrameDetected returned a slice")
+	}
+	for id := 0; id < c.N(); id++ {
+		r := got[id]
+		if r.Detected < r.DetectedLater || r.DetectedLater < 0 {
+			t.Fatalf("site %d: Detected %d < DetectedLater %d", id, r.Detected, r.DetectedLater)
+		}
+		if want := float64(r.Detected) / float64(r.Trials); r.PDetect != want {
+			t.Fatalf("site %d: PDetect %v != Detected/Trials %v", id, r.PDetect, want)
+		}
+		var sumLater, maxAny int64
+		for f := 0; f < frames; f++ {
+			fd := mb.FrameDetected(f)[id]
+			if fd < 0 || fd > int64(r.Detected) {
+				t.Fatalf("site %d frame %d: count %d outside [0, Detected=%d]", id, f, fd, r.Detected)
+			}
+			if fd > maxAny {
+				maxAny = fd
+			}
+			if f >= 1 {
+				sumLater += fd
+			}
+		}
+		// Unions bound their members and are bounded by the sums.
+		if int64(r.DetectedLater) > sumLater {
+			t.Fatalf("site %d: DetectedLater %d exceeds per-frame sum %d", id, r.DetectedLater, sumLater)
+		}
+		if maxAny > int64(r.Detected) {
+			t.Fatalf("site %d: a single frame's count %d exceeds the union %d", id, maxAny, r.Detected)
+		}
+		// Frame 0 alone accounts for every strike-only trial.
+		if f0 := mb.FrameDetected(0)[id]; int64(r.Detected-r.DetectedLater) > f0 {
+			t.Fatalf("site %d: strike-only %d exceeds frame-0 count %d", id, r.Detected-r.DetectedLater, f0)
+		}
+	}
+}
+
+// TestMCSeqBatchFrameCountersWorkerInvariance: the per-frame counters are
+// folded integers, identical at any worker count.
+func TestMCSeqBatchFrameCountersWorkerInvariance(t *testing.T) {
+	c := gen.SmallRandomSequential(29)
+	const frames = 3
+	mb := NewMCSeqBatch(c, MCOptions{Vectors: 512, Seed: 11}, frames)
+	if _, err := mb.PDetectAll(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	base := make([][]int64, frames)
+	for f := range base {
+		base[f] = append([]int64(nil), mb.FrameDetected(f)...)
+	}
+	for _, workers := range []int{2, 0} {
+		if _, err := mb.PDetectAll(context.Background(), workers); err != nil {
+			t.Fatal(err)
+		}
+		for f := 0; f < frames; f++ {
+			got := mb.FrameDetected(f)
+			for id := range got {
+				if got[id] != base[f][id] {
+					t.Fatalf("workers=%d frame %d site %d: %d != %d", workers, f, id, got[id], base[f][id])
+				}
+			}
+		}
+	}
+}
+
+// TestMCSeqBatchPerFrameExactMasks: on a flip-flop pipeline, frame k's
+// faulty sweep covers exactly the stages the divergence can have reached
+// within k clock edges — not the frame-budget superset. White-box check of
+// the per-(group, frame) structures on a 3-stage shift register.
+func TestMCSeqBatchPerFrameExactMasks(t *testing.T) {
+	c := mustParse(t, `
+INPUT(a)
+OUTPUT(z)
+d0 = BUFF(a)
+q0 = DFF(d0)
+q1 = DFF(q0)
+q2 = DFF(q1)
+z  = BUFF(q2)
+`)
+	const frames = 4
+	mb := NewMCSeqBatch(c, MCOptions{Vectors: 128, Seed: 1}, frames)
+	want := [][]string{
+		{"q0"},                  // frame 1: one edge crossed
+		{"q0", "q1"},            // frame 2
+		{"q0", "q1", "q2", "z"}, // frame 3: the PO cone opens up
+	}
+	// All sites land in one group on a circuit this small.
+	if len(mb.groups) != 1 {
+		t.Fatalf("%d groups, want 1", len(mb.groups))
+	}
+	g := &mb.groups[0]
+	if len(g.frames) != frames-1 {
+		t.Fatalf("%d frame sweeps, want %d", len(g.frames), frames-1)
+	}
+	lane := -1
+	for l, s := range g.sites {
+		if s == c.ByName("d0") {
+			lane = l
+		}
+	}
+	if lane < 0 {
+		t.Fatal("site d0 not in the group")
+	}
+	for k, names := range want {
+		fr := &g.frames[k]
+		members := map[string]bool{}
+		for i, id := range fr.members {
+			if fr.mask[i]>>uint(lane)&1 == 1 {
+				members[c.NameOf(id)] = true
+			}
+		}
+		for _, n := range names {
+			if !members[n] {
+				t.Errorf("frame %d: %s missing from d0's sweep (got %v)", k+1, n, members)
+			}
+			delete(members, n)
+		}
+		for n := range members {
+			t.Errorf("frame %d: %s swept but unreachable within %d edges", k+1, n, k+1)
+		}
+	}
+	// And the exactness is visible in the lane-work counter: the old
+	// budget-superset design swept every later frame at the final cone
+	// size, so its per-word lane cost is a strict upper bound.
+	if _, err := mb.PDetectAll(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	exactLanes := mb.Stats().LaneSims
+	words := int64((128 + 63) / 64)
+	fin := &g.frames[frames-2]
+	var perWordSuperset int64
+	for i := range g.members {
+		perWordSuperset += int64(bits.OnesCount64(g.mask[i]))
+	}
+	for f := 1; f < frames; f++ {
+		for i := range fin.members {
+			perWordSuperset += int64(bits.OnesCount64(fin.mask[i]))
+		}
+	}
+	if exactLanes >= perWordSuperset*words {
+		t.Errorf("LaneSims = %d, want < superset bound %d (per-frame masks should cut work)",
+			exactLanes, perWordSuperset*words)
+	}
+}
+
+// TestSeqResultPDetectWeighted pins the weighted-composition algebra on the
+// integer counters.
+func TestSeqResultPDetectWeighted(t *testing.T) {
+	r := SeqResult{Trials: 200, Detected: 80, DetectedLater: 30}
+	if got := r.PDetectWeighted(1); got != float64(80)/200 {
+		t.Errorf("weight 1: %v, want Detected/Trials", got)
+	}
+	if got := r.PDetectWeighted(0); got != float64(30)/200 {
+		t.Errorf("weight 0: %v, want DetectedLater/Trials", got)
+	}
+	if got, want := r.PDetectWeighted(0.5), (30+0.5*50)/200; got != want {
+		t.Errorf("weight 0.5: %v, want %v", got, want)
+	}
+	if got := (SeqResult{}).PDetectWeighted(0.5); got != 0 {
+		t.Errorf("zero result: %v, want 0", got)
 	}
 }

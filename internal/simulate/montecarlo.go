@@ -1,3 +1,6 @@
+// Per-site Monte Carlo estimator of P_sensitized — the paper-era baseline
+// shape; see MCBatch for the production shared-good-sim form.
+
 package simulate
 
 import (
@@ -67,10 +70,15 @@ func (r MCResult) String() string {
 }
 
 // MonteCarlo estimates P_sensitized by random-vector fault injection: the
-// prior-art method the paper compares against. For each 64-pattern word it
-// runs a good simulation, injects a flip at the error site, re-simulates the
-// fault cone only, and counts patterns where any reachable observation point
-// differs.
+// prior-art method the paper compares against, kept in its per-site shape
+// (one vector stream and one good simulation per site per word — the cost
+// model Table 2's SimT column reports). For each 64-pattern word it runs a
+// good simulation, injects a flip at the error site, re-simulates the fault
+// cone only, and counts patterns where any reachable observation point
+// differs. Production all-sites sweeps should use MCBatch, which shares the
+// good simulations across sites; with MCOptions.SharedVectors set this
+// estimator reproduces MCBatch's per-site results bit-exactly, which is how
+// the two are conformance-tested against each other.
 type MonteCarlo struct {
 	eng    *Engine
 	walker *graph.Walker
@@ -122,9 +130,10 @@ func (m *MonteCarlo) EPP(site netlist.ID) MCResult {
 	}
 }
 
-// EPPAll estimates P_sensitized for every node ID in sites. It reuses one
-// engine; for parallel estimation create one MonteCarlo per goroutine with
-// distinct seeds only if independent streams are desired.
+// EPPAll estimates P_sensitized for every node ID in sites, serially on one
+// engine. It exists for baseline comparisons; the production all-sites path
+// is MCBatch.EPPAll, which shares each word's good simulation across all
+// sites and parallelizes over words.
 func (m *MonteCarlo) EPPAll(sites []netlist.ID) []MCResult {
 	out := make([]MCResult, len(sites))
 	for i, s := range sites {

@@ -1,3 +1,6 @@
+// The deliberately naive per-site baseline (full two-simulation per word,
+// no cone restriction) used to calibrate Table 2's SimT column.
+
 package simulate
 
 import (

@@ -1,3 +1,6 @@
+// VectorSource: the deterministic biased random-vector generator behind
+// every sampling estimator's seeding contract.
+
 package simulate
 
 import (

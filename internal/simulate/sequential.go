@@ -1,3 +1,6 @@
+// Per-site two-machine multi-cycle fault-injection simulator — the ground
+// truth MCSeqBatch is conformance-tested against.
+
 package simulate
 
 import (
@@ -47,12 +50,47 @@ func (o *SeqOptions) setDefaults() {
 }
 
 // SeqResult is the multi-cycle Monte Carlo estimate for one error site.
+//
+// Detected and DetectedLater expose the integer trial counts behind PDetect
+// so downstream compositions stay exact: Detected/Trials == PDetect, and the
+// difference Detected − DetectedLater counts the trials observed only as the
+// strike-cycle transient — the contribution the latch-window weighting
+// derates (a frame-0 detection is a narrow pulse racing the capture window,
+// while a detection in any later frame is a full-cycle value re-launched
+// from a flip-flop, captured with certainty; see latch.Model.FrameWeight).
+// The weighted detection probability is therefore
+//
+//	(DetectedLater + w0·(Detected − DetectedLater)) / Trials
+//
+// with w0 the strike-frame capture weight, computable from the integer
+// counters alone — no per-trial floats, so worker invariance and the
+// bit-exact Sequential/MCSeqBatch agreement extend to the weighted estimate.
 type SeqResult struct {
-	Site    netlist.ID
-	Frames  int
-	PDetect float64 // probability a primary output differed in any frame
-	StdErr  float64
-	Trials  int
+	Site          netlist.ID
+	Frames        int
+	PDetect       float64 // probability a primary output differed in any frame
+	StdErr        float64
+	Trials        int
+	Detected      int // trials in which a primary output differed in any frame
+	DetectedLater int // trials in which a primary output differed in a frame >= 1
+}
+
+// PDetectWeighted returns the latch-window-weighted detection probability:
+// later-frame detections count in full (a re-launched flip-flop value is a
+// stable full-cycle level, captured with certainty — latch.Model.FrameWeight
+// is identically 1 for frames >= 1), while trials observed only during the
+// strike cycle are derated by strikeWeight, the transient's capture-window
+// probability (latch.Model.FrameWeight(0)). Computed from the integer trial
+// counters, so the weighted estimate inherits every exactness property of
+// the counts: PDetectWeighted(1) == PDetect bit-exactly, and two estimators
+// with equal counters agree at every weight.
+func (r SeqResult) PDetectWeighted(strikeWeight float64) float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	later := float64(r.DetectedLater)
+	strikeOnly := float64(r.Detected - r.DetectedLater)
+	return (later + strikeWeight*strikeOnly) / float64(r.Trials)
 }
 
 // Sequential estimates the probability that an SEU at a node is observed at
@@ -100,12 +138,12 @@ func (s *Sequential) PDetect(site netlist.ID) SeqResult {
 		src = NewVectorSource(s.opt.Seed^(uint64(site)*0xa0761d6478bd642f+13), s.opt.SourceProb)
 	}
 	words := (s.opt.Trials + 63) / 64
-	detected := 0
+	detected, detectedLater := 0, 0
 	for w := 0; w < words; w++ {
 		if s.opt.SharedVectors {
 			src = NewVectorSource(wordSeed(s.opt.Seed, int64(w)), s.opt.SourceProb)
 		}
-		var detWord uint64
+		var detWord, detLaterWord uint64
 		// Identical initial flip-flop state in both machines.
 		for _, ff := range c.FFs {
 			v := src.Word(ff)
@@ -125,8 +163,13 @@ func (s *Sequential) PDetect(site netlist.ID) SeqResult {
 			}
 			s.eval(s.good, netlist.InvalidID)
 			s.eval(s.faulty, flip)
+			var frameWord uint64
 			for _, po := range c.POs {
-				detWord |= s.good[po] ^ s.faulty[po]
+				frameWord |= s.good[po] ^ s.faulty[po]
+			}
+			detWord |= frameWord
+			if frame > 0 {
+				detLaterWord |= frameWord
 			}
 			// Clock edge: capture all D values atomically (read every D
 			// before writing any FF, so FF-to-FF chains shift by exactly
@@ -142,15 +185,18 @@ func (s *Sequential) PDetect(site netlist.ID) SeqResult {
 			}
 		}
 		detected += bits.OnesCount64(detWord)
+		detectedLater += bits.OnesCount64(detLaterWord)
 	}
 	n := words * 64
 	p := float64(detected) / float64(n)
 	return SeqResult{
-		Site:    site,
-		Frames:  s.opt.Frames,
-		PDetect: p,
-		StdErr:  math.Sqrt(p * (1 - p) / float64(n)),
-		Trials:  n,
+		Site:          site,
+		Frames:        s.opt.Frames,
+		PDetect:       p,
+		StdErr:        math.Sqrt(p * (1 - p) / float64(n)),
+		Trials:        n,
+		Detected:      detected,
+		DetectedLater: detectedLater,
 	}
 }
 

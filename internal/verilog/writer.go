@@ -1,3 +1,6 @@
+// Structural Verilog serialization: Write emits a Circuit as a module
+// accepted by Parse.
+
 package verilog
 
 import (

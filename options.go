@@ -1,3 +1,6 @@
+// Functional options for Run and RunStream, and the option-combination
+// cross-checks applied before any work starts.
+
 package sersim
 
 import (
@@ -94,6 +97,8 @@ func WithEngine(name string) Option {
 // composes with WithEngine("monte-carlo") and with
 // WithMethod(MethodMonteCarlo). Only the exact engines (enum, bdd) reject
 // it; see the package documentation for the engine support matrix.
+// WithFrames also composes with WithLatchModel: supplying both runs the
+// latch-window-weighted multi-cycle mode (see WithLatchModel).
 func WithFrames(frames int) Option {
 	return func(rc *runConfig) error {
 		rc.cfg.Frames = frames
@@ -192,7 +197,23 @@ func WithFaultModel(m FaultModel) Option {
 	}
 }
 
-// WithLatchModel replaces the default P_latched model.
+// WithLatchModel replaces the default P_latched model (the static per-node
+// latching-window factor of the SER decomposition).
+//
+// Combined with WithFrames(n) for n > 1 it additionally couples the
+// latching window into the multi-cycle composition: each frame's detection
+// contribution is weighted by the model's per-frame capture weight
+// (LatchModel.FrameWeight) — the strike-cycle transient races the capturing
+// register's window, while detections in later frames are re-launched
+// flip-flop values held for a full cycle and count in full. The analytic
+// engines scale the strike term of the frame composition; the monte-carlo
+// engine composes the identical quantity from the kernel's integer
+// per-frame detection counters, so the two stay in statistical agreement
+// and all bit-exactness and worker-invariance guarantees are preserved.
+// Without WithLatchModel, a multi-cycle run keeps the uncoupled composition
+// (every detection counted in full) under the default static factor —
+// pass WithLatchModel(DefaultLatchModel()) to opt the default parameters
+// into the weighted mode.
 func WithLatchModel(m LatchModel) Option {
 	return func(rc *runConfig) error {
 		rc.cfg.Latch = &m

@@ -3,6 +3,7 @@ package sersim
 import (
 	"context"
 	"errors"
+	"math"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,9 @@ func TestRunStreamMatchesRun(t *testing.T) {
 		{"monte-carlo", []Option{WithMethod(MethodMonteCarlo), WithVectors(256), WithSeed(9)}},
 		{"frames", []Option{WithFrames(3)}},
 		{"frames+mc", []Option{WithEngine("monte-carlo"), WithFrames(3), WithVectors(256), WithSeed(9)}},
+		{"frames+latch", []Option{WithFrames(3), WithLatchModel(DefaultLatchModel())}},
+		{"frames+latch+mc", []Option{WithEngine("monte-carlo"), WithFrames(3),
+			WithLatchModel(DefaultLatchModel()), WithVectors(256), WithSeed(9)}},
 		{"scalar-engine", []Option{WithEngine("epp-scalar")}},
 	}
 	for _, tc := range cases {
@@ -397,5 +401,116 @@ func TestWithRules(t *testing.T) {
 	}
 	if _, err := ParseRuleSet("paper"); err == nil {
 		t.Error("ParseRuleSet accepted unknown name")
+	}
+}
+
+// TestWithLatchModelFramesCompose is the public acceptance test of the
+// latch-window-weighted multi-cycle mode: WithLatchModel composes with
+// WithFrames (supplying both weights the frame composition), the weighted
+// run never exceeds the uncoupled one, a model whose strike weight
+// saturates at 1 reproduces the uncoupled composition exactly, and invalid
+// models are rejected up front.
+func TestWithLatchModelFramesCompose(t *testing.T) {
+	c, err := GenerateProfile("s1423") // FF-heavy profile
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const frames = 3
+	plain, err := Run(ctx, c, WithFrames(frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Run(ctx, c, WithFrames(frames), WithLatchModel(DefaultLatchModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := false
+	for id := range plain.Nodes {
+		pw, pp := weighted.Nodes[id].PSensitized, plain.Nodes[id].PSensitized
+		if pw > pp+1e-15 {
+			t.Fatalf("node %d: weighted P %v exceeds uncoupled %v", id, pw, pp)
+		}
+		if pw < pp-1e-12 {
+			dropped = true
+		}
+		// The timing window moves inside P_sensitized, so the per-node
+		// factor becomes the window-free electrical-masking residual —
+		// never below the full static factor, and exactly 1 next to an
+		// observation point.
+		if weighted.Nodes[id].PLatched < plain.Nodes[id].PLatched-1e-15 {
+			t.Fatalf("node %d: residual P_latched %v below static %v",
+				id, weighted.Nodes[id].PLatched, plain.Nodes[id].PLatched)
+		}
+		if weighted.Nodes[id].PLatched > 1 {
+			t.Fatalf("node %d: residual P_latched %v above 1", id, weighted.Nodes[id].PLatched)
+		}
+	}
+	if !dropped {
+		t.Error("latch weighting changed nothing — coupling not wired through")
+	}
+	// The window is counted exactly once per path either way, so the two
+	// totals must stay on the same scale: the coupled mode only restores
+	// weight to through-flip-flop detections (uncoupled over-derates them
+	// with the transient window) and derates strike-only transients.
+	if weighted.TotalFIT > 8*plain.TotalFIT || plain.TotalFIT > 8*weighted.TotalFIT {
+		t.Errorf("totals diverged: weighted %v vs uncoupled %v", weighted.TotalFIT, plain.TotalFIT)
+	}
+
+	// A transient as wide as the clock saturates the strike weight at 1:
+	// the weighted composition then reproduces the uncoupled one exactly.
+	wide := DefaultLatchModel()
+	wide.PulseWidthPs = wide.ClockPeriodPs
+	saturated, err := Run(ctx, c, WithFrames(frames), WithLatchModel(wide))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range plain.Nodes {
+		if saturated.Nodes[id].PSensitized != plain.Nodes[id].PSensitized {
+			t.Fatalf("node %d: saturated weight P %v != uncoupled %v",
+				id, saturated.Nodes[id].PSensitized, plain.Nodes[id].PSensitized)
+		}
+	}
+
+	// Cross-checks: invalid latch models fail validation before any work.
+	bad := DefaultLatchModel()
+	bad.ClockPeriodPs = -5
+	if _, err := Run(ctx, c, WithFrames(frames), WithLatchModel(bad)); err == nil ||
+		!strings.Contains(err.Error(), "latch") {
+		t.Errorf("negative clock period: err = %v, want latch validation error", err)
+	}
+	nan := DefaultLatchModel()
+	nan.PulseWidthPs = math.NaN()
+	if _, err := Run(ctx, c, WithLatchModel(nan)); err == nil ||
+		!strings.Contains(err.Error(), "finite") {
+		t.Errorf("NaN pulse width: err = %v, want finiteness error", err)
+	}
+}
+
+// TestLatchWeightedAnalyticVsMonteCarlo: at the public surface the weighted
+// analytic and sampling runs agree within the documented mean tolerance.
+func TestLatchWeightedAnalyticVsMonteCarlo(t *testing.T) {
+	c, err := GenerateProfile("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const frames = 4
+	lm := DefaultLatchModel()
+	analytic, err := Run(ctx, c, WithFrames(frames), WithLatchModel(lm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Run(ctx, c, WithEngine("monte-carlo"), WithFrames(frames),
+		WithLatchModel(lm), WithVectors(1<<12), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for id := range analytic.Nodes {
+		sum += math.Abs(analytic.Nodes[id].PSensitized - sampled.Nodes[id].PSensitized)
+	}
+	if mean := sum / float64(len(analytic.Nodes)); mean > 0.08 {
+		t.Errorf("mean |analytic − monte-carlo| = %v > 0.08 (latch-weighted, frames=%d)", mean, frames)
 	}
 }

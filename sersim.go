@@ -60,6 +60,13 @@
 // agrees with them statistically and with the ground-truth two-machine
 // simulator (SequentialMC) bit-exactly under its shared-vector regime.
 //
+// Combining WithFrames with WithLatchModel runs the latch-window-weighted
+// multi-cycle mode on the same three engines: the strike cycle's detection
+// contribution — a narrow transient racing the capturing register's window —
+// is derated by the model's frame-0 capture weight, while detections in
+// later frames are full-cycle flip-flop values and count in full (see
+// LatchModel and the examples/latchwindow program).
+//
 // # Migration from the pre-Run API
 //
 // The original entry points remain as thin wrappers and low-level access
