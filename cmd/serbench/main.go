@@ -15,6 +15,7 @@
 //	-workers 1             EPP sweep parallelism (1 = paper-style single CPU)
 //	-csv out.csv           also write the table as CSV
 //	-quick                 small vector counts for a fast smoke run
+//	-timeout 0             overall wall-clock budget (0 = none)
 //
 // Modes beyond the main table:
 //
@@ -47,11 +48,19 @@
 // good simulation runs exactly once per circuit no matter how many engines
 // are compared. The goodsims/word column proves it: the shared kernels pin
 // it at 1 per frame even though every comparison consumed the pass.
+//
+// With -timeout set, the deadline is honored at circuit granularity: the
+// timed kernels run to completion (aborting mid-measurement would corrupt
+// the row), but no new circuit starts once the budget is spent.
+//
+// Exit codes: 0 success, 2 usage error, 3 deadline exceeded (partial
+// progress on stderr), 4 internal error.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -89,8 +98,15 @@ func main() {
 		latchSpec = flag.String("latch", "", `latch-window coupling for multi-cycle runs: "default" or "clock=…,pulse=…,window=…,atten=…" (empty = uncoupled)`)
 		quick     = flag.Bool("quick", false, "small vector counts for a fast smoke run")
 		mode      = flag.String("mode", "table2", "table2 | sp-ablation | exact-accuracy | accuracy | bench")
+		timeout   = flag.Duration("timeout", 0, "overall wall-clock budget, honored at circuit granularity (0 = none)")
 	)
 	flag.Parse()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	modeSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "mode" {
@@ -155,19 +171,36 @@ func main() {
 
 	switch *mode {
 	case "table2":
-		runTable2(names, cfg, *csvPath)
+		runTable2(ctx, names, cfg, *csvPath)
 	case "sp-ablation":
-		runSPAblation(names, cfg)
+		runSPAblation(ctx, names, cfg)
 	case "exact-accuracy":
-		runExactAccuracy(names, cfg)
+		runExactAccuracy(ctx, names, cfg)
 	case "accuracy":
-		runAccuracy(names, strings.Split(*compare, ","), *frames, cfg.Workers, cfg.MCVectors, cfg.Seed, lm)
+		runAccuracy(ctx, names, strings.Split(*compare, ","), *frames, cfg.Workers, cfg.MCVectors, cfg.Seed, lm)
 	case "bench":
-		runBench(names, *engName, *jsonPath, *frames, cfg.Workers, cfg.MCVectors, cfg.Seed, lm)
+		runBench(ctx, names, *engName, *jsonPath, *frames, cfg.Workers, cfg.MCVectors, cfg.Seed, lm)
 	default:
 		fmt.Fprintf(os.Stderr, "serbench: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// fatal reports a run error and exits with the documented code: 3 for a
+// missed deadline (with partial sweep progress when an engine surfaced it),
+// 4 for any other internal error.
+func fatal(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		msg := "deadline exceeded"
+		var perr *engine.PartialError
+		if errors.As(err, &perr) {
+			msg = fmt.Sprintf("deadline exceeded after %d/%d node units", perr.Done, perr.Total)
+		}
+		fmt.Fprintf(os.Stderr, "serbench: %s\n", msg)
+		os.Exit(3)
+	}
+	fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+	os.Exit(4)
 }
 
 // parseLatch parses the -latch flag: "" disables the latch-window coupling,
@@ -249,7 +282,7 @@ func marshalBenchRows(rows []benchRow) ([]byte, error) {
 // count); vectors/seed configure the sampling engines (0 = engine
 // default); frames > 1 times the multi-cycle detection analysis instead,
 // latch-window weighted when lm is non-nil (-latch).
-func benchCircuit(eng engine.Engine, c *netlist.Circuit, frames, workers, vectors int, seed uint64, lm *latch.Model) (benchRow, error) {
+func benchCircuit(ctx context.Context, eng engine.Engine, c *netlist.Circuit, frames, workers, vectors int, seed uint64, lm *latch.Model) (benchRow, error) {
 	var stats engine.Stats
 	req := engine.Request{
 		Circuit: c,
@@ -262,9 +295,13 @@ func benchCircuit(eng engine.Engine, c *netlist.Circuit, frames, workers, vector
 		Stats:   &stats,
 	}
 	out := make([]float64, c.N())
-	ctx := context.Background()
 	// Warm the engine's scratch, count the work, and surface config errors
-	// outside the timing loop.
+	// outside the timing loop. The deadline is checked here, not inside the
+	// timed loop: an aborted measurement would corrupt the row.
+	if err := ctx.Err(); err != nil {
+		return benchRow{}, err
+	}
+	ctx = context.WithoutCancel(ctx)
 	if err := eng.PSensitizedAll(ctx, &req, out); err != nil {
 		return benchRow{}, err
 	}
@@ -300,7 +337,7 @@ func benchCircuit(eng engine.Engine, c *netlist.Circuit, frames, workers, vector
 // series of BENCH_*.json files. Work-counter ratios (swept nodes per site,
 // good sims per word) ride along so locality and good-sim-sharing wins show
 // up in the artifact trajectory, not just wall-clock.
-func runBench(names []string, engName, jsonPath string, frames, workers, vectors int, seed uint64, lm *latch.Model) {
+func runBench(ctx context.Context, names []string, engName, jsonPath string, frames, workers, vectors int, seed uint64, lm *latch.Model) {
 	eng, err := engine.Lookup(engName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
@@ -324,13 +361,11 @@ func runBench(names []string, engName, jsonPath string, frames, workers, vectors
 	for _, name := range names {
 		c, err := gen.ByName(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		row, err := benchCircuit(eng, c, frames, workers, vectors, seed, lm)
+		row, err := benchCircuit(ctx, eng, c, frames, workers, vectors, seed, lm)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		rows = append(rows, row)
 		t.AddRowf(row.Circuit, row.Nodes, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp,
@@ -342,18 +377,15 @@ func runBench(names []string, engName, jsonPath string, frames, workers, vectors
 	t.AddNote("ops go through the stateless engine API and include per-call engine construction; BenchmarkEPPAllNodes times the warm core kernel")
 	t.AddNote("swept/site = union-cone nodes per site (batched EPP); goodsims/word = good sims per 64-vector word (sampling; the shared kernels pin it at 1 per frame)")
 	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if jsonPath != "" {
 		buf, err := marshalBenchRows(rows)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := os.WriteFile(jsonPath, buf, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", jsonPath)
 	}
@@ -379,7 +411,7 @@ type accRow struct {
 // engines consumed the pass (the monte-carlo engine included — it hits the
 // same cache instead of re-sampling). The signal probability vector is
 // likewise computed once and shared by the analytic engines.
-func accuracyCircuit(c *netlist.Circuit, engines []string, frames, workers, vectors int, seed uint64, lm *latch.Model) ([]accRow, *engine.Stats, error) {
+func accuracyCircuit(ctx context.Context, c *netlist.Circuit, engines []string, frames, workers, vectors int, seed uint64, lm *latch.Model) ([]accRow, *engine.Stats, error) {
 	stats := &engine.Stats{}
 	sp := sigprob.Topological(c, sigprob.Config{})
 	cache := map[string][]float64{}
@@ -402,7 +434,7 @@ func accuracyCircuit(c *netlist.Circuit, engines []string, frames, workers, vect
 			Stats:   stats,
 		}
 		out := make([]float64, c.N())
-		if err := eng.PSensitizedAll(context.Background(), &req, out); err != nil {
+		if err := eng.PSensitizedAll(ctx, &req, out); err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
 		cache[name] = out
@@ -435,7 +467,7 @@ func accuracyCircuit(c *netlist.Circuit, engines []string, frames, workers, vect
 // runAccuracy (the -mode accuracy table): per-engine accuracy against the
 // shared sampling reference on each circuit, with the good-sim counters
 // printed so the one-pass sharing is visible in the output.
-func runAccuracy(names, engines []string, frames, workers, vectors int, seed uint64, lm *latch.Model) {
+func runAccuracy(ctx context.Context, names, engines []string, frames, workers, vectors int, seed uint64, lm *latch.Model) {
 	if names == nil {
 		names = gen.Names()
 	}
@@ -450,13 +482,11 @@ func runAccuracy(names, engines []string, frames, workers, vectors int, seed uin
 	for _, name := range names {
 		c, err := gen.ByName(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		rows, stats, err := accuracyCircuit(c, engines, frames, workers, vectors, seed, lm)
+		rows, stats, err := accuracyCircuit(ctx, c, engines, frames, workers, vectors, seed, lm)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %s: %v\n", name, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		for _, r := range rows {
 			t.AddRowf(r.Circuit, r.Engine, r.Sites, r.MAE, r.Worst, stats.GoodSimsPerWord())
@@ -466,8 +496,7 @@ func runAccuracy(names, engines []string, frames, workers, vectors int, seed uin
 	t.AddNote("reference = monte-carlo engine at the same (vectors, seed, frames), computed once per circuit and shared across all compared engines")
 	t.AddNote("goodsims/word counts the whole comparison: the shared pass pins it at the frame count (1 good sim per word per frame), not engines x frames")
 	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 }
 
@@ -476,7 +505,7 @@ func runAccuracy(names, engines []string, frames, workers, vectors int, seed uin
 // statement the harness can make, free of both sampling noise and the
 // enumeration source limit. Circuits whose BDDs exceed the budget are
 // skipped with a note.
-func runExactAccuracy(names []string, cfg table2.Config) {
+func runExactAccuracy(ctx context.Context, names []string, cfg table2.Config) {
 	if names == nil {
 		names = gen.SmallNames()
 	}
@@ -486,10 +515,12 @@ func runExactAccuracy(names []string, cfg table2.Config) {
 		"Circuit", "Sites", "MAE", "Worst", "%Dif-style",
 	)
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		c, err := gen.ByName(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		sp, err := bddsp.SignalProb(c, nil, budget)
 		if err != nil {
@@ -527,40 +558,34 @@ func runExactAccuracy(names []string, cfg table2.Config) {
 	}
 	t.AddNote("truth = BDD good/faulty miter (no independence assumption, no sampling)")
 	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 }
 
-func runTable2(names []string, cfg table2.Config, csvPath string) {
-	rows, err := table2.RunProfiles(names, cfg, func(r table2.Row) {
+func runTable2(ctx context.Context, names []string, cfg table2.Config, csvPath string) {
+	rows, err := table2.RunProfiles(ctx, names, cfg, func(r table2.Row) {
 		fmt.Fprintf(os.Stderr, "done %-8s SysT=%.3fms SimT=%.1fs %%Dif=%.1f SPT=%.2fs ISP=%.0f ESP=%.0f\n",
 			r.Circuit, r.SysTms, r.SimTs, r.DifPct, r.SPTs, r.ISP, r.ESP)
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	t := table2.Render(rows)
 	t.AddNote("baseline engine: %v; %d vectors/site; %d sampled sites/circuit",
 		cfg.Baseline, cfg.MCVectors, cfg.SampleNodes)
 	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := t.WriteCSV(f); err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", csvPath)
 	}
@@ -572,7 +597,7 @@ func runTable2(names []string, cfg table2.Config, csvPath string) {
 // exhaustive enumeration limit (16+ primary inputs plus flip-flops), so this
 // ablation runs on generated small circuits whose support fits the limit —
 // the comparison is about the SP source, not the benchmark identity.
-func runSPAblation(names []string, cfg table2.Config) {
+func runSPAblation(ctx context.Context, names []string, cfg table2.Config) {
 	if names != nil {
 		fmt.Fprintln(os.Stderr, "serbench: -circuits is ignored in sp-ablation mode (exhaustive truth needs small circuits)")
 	}
@@ -581,6 +606,9 @@ func runSPAblation(names []string, cfg table2.Config) {
 		"Circuit", "Sites", "MAE(topo SP)", "MAE(MC SP)",
 	)
 	for seed := uint64(0); seed < 8; seed++ {
+		if err := ctx.Err(); err != nil {
+			fatal(err)
+		}
 		c := gen.SmallRandom(cfg.Seed*100 + seed)
 		spTopo := sigprob.Topological(c, sigprob.Config{})
 		spMC := sigprob.MonteCarlo(c, sigprob.Config{Vectors: cfg.SPVectors, Seed: cfg.Seed})
@@ -592,8 +620,7 @@ func runSPAblation(names []string, cfg table2.Config) {
 		for id := 0; id < c.N(); id++ {
 			truth, err := exact.PSensitized(c, netlist.ID(id))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			maeTopo += math.Abs(aTopo.EPP(netlist.ID(id)).PSensitized - truth)
 			maeMC += math.Abs(aMC.EPP(netlist.ID(id)).PSensitized - truth)
@@ -603,7 +630,6 @@ func runSPAblation(names []string, cfg table2.Config) {
 	}
 	t.AddNote("MAE = mean |EPP - exact| over all sites; exact = full input enumeration")
 	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 }

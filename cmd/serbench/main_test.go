@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -48,7 +49,7 @@ func TestBenchCircuitRow(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := gen.SmallRandom(1)
-	row, err := benchCircuit(eng, c, 1, 1, 0, 1, nil)
+	row, err := benchCircuit(context.Background(), eng, c, 1, 1, 0, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestAccuracySharedGoodSim(t *testing.T) {
 	c := gen.SmallRandomSequential(7)
 	const vectors, frames = 640, 3 // 10 words
 	engines := []string{"epp-batch", "epp-scalar", "monte-carlo"}
-	rows, stats, err := accuracyCircuit(c, engines, frames, 1, vectors, 9, nil)
+	rows, stats, err := accuracyCircuit(context.Background(), c, engines, frames, 1, vectors, 9, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestAccuracySharedGoodSim(t *testing.T) {
 func TestAccuracySingleCycleShared(t *testing.T) {
 	c := gen.SmallRandom(3)
 	const vectors = 512 // 8 words
-	_, stats, err := accuracyCircuit(c, []string{"epp-batch", "monte-carlo"}, 1, 1, vectors, 2, nil)
+	_, stats, err := accuracyCircuit(context.Background(), c, []string{"epp-batch", "monte-carlo"}, 1, 1, vectors, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,9 @@
 //	-harden 0         evaluate protecting the top-k nodes (0 = skip)
 //	-residual 0.1     remaining SEU fraction on hardened nodes
 //	-csv out.csv      write the full per-node table as CSV
+//	-timeout 0        bound the whole run (e.g. 30s); expiry exits with code 3
+//	-checkpoint ""    checkpoint file: commit sweep progress, resume completed work
+//	-checkpoint-interval 10s  minimum time between checkpoint writes (0 = every batch)
 //
 // Setting any of the latch flags (-clock, -pulse, -window, -atten) replaces
 // the default latching-window model; combined with -frames N > 1 that also
@@ -37,16 +40,27 @@
 //
 // The run is cancellable: an interrupt (Ctrl-C) stops the sweep between
 // batches and exits cleanly.
+//
+// With -checkpoint the sweep is also crash-safe: completed batches are
+// committed to the file (atomically) and an identical rerun against the same
+// file skips them, producing the same result as an uninterrupted run. A
+// -timeout that expires mid-sweep therefore composes with -checkpoint into
+// incremental runs that converge to completion.
+//
+// Exit codes: 0 success, 2 usage error, 3 deadline exceeded (partial
+// progress on stderr), 4 internal error.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	sersim "repro"
 	"repro/internal/report"
@@ -76,6 +90,9 @@ func main() {
 		harden      = flag.Int("harden", 0, "evaluate protecting the top-k nodes")
 		residual    = flag.Float64("residual", 0.1, "remaining SEU fraction on hardened nodes")
 		csvPath     = flag.String("csv", "", "write the full per-node table as CSV")
+		timeout     = flag.Duration("timeout", 0, "bound the whole run; expiry exits with code 3 (0 = no deadline)")
+		checkpoint  = flag.String("checkpoint", "", "checkpoint file: commit sweep progress, resume completed work")
+		ckInterval  = flag.Duration("checkpoint-interval", 10*time.Second, "minimum time between checkpoint writes (0 = every batch)")
 	)
 	flag.Parse()
 
@@ -86,6 +103,9 @@ func main() {
 
 	c, err := load(*benchPath, *vlogPath, *profile)
 	if err != nil {
+		if errors.Is(err, errUsage) {
+			fatalUsage(err)
+		}
 		fatal(err)
 	}
 
@@ -138,6 +158,12 @@ func main() {
 	if flagWasSet("method") {
 		opts = append(opts, sersim.WithMethod(m))
 	}
+	if *timeout > 0 {
+		opts = append(opts, sersim.WithTimeout(*timeout))
+	}
+	if *checkpoint != "" {
+		opts = append(opts, sersim.WithCheckpoint(*checkpoint, *ckInterval))
+	}
 	if *progress {
 		opts = append(opts, sersim.WithProgress(func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rP_sensitized %d/%d nodes", done, total)
@@ -152,7 +178,7 @@ func main() {
 
 	rep, err := sersim.Run(ctx, c, opts...)
 	if err != nil {
-		fatal(err)
+		exitRunErr(err, *checkpoint)
 	}
 
 	s := c.Stats()
@@ -198,12 +224,32 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "sercalc: %v\n", err)
-	os.Exit(1)
+	os.Exit(4)
 }
 
 func fatalUsage(err error) {
 	fmt.Fprintf(os.Stderr, "sercalc: %v\n", err)
 	os.Exit(2)
+}
+
+// exitRunErr maps a failed run to the documented exit codes: an expired
+// -timeout becomes a one-line partial-progress message and code 3 (a
+// scheduling condition, not a failure of the analysis); everything else is
+// an internal error, code 4.
+func exitRunErr(err error, checkpoint string) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		msg := "deadline exceeded"
+		var perr *sersim.PartialError
+		if errors.As(err, &perr) {
+			msg = fmt.Sprintf("deadline exceeded after %d/%d node units", perr.Done, perr.Total)
+		}
+		if checkpoint != "" {
+			msg += "; completed work is checkpointed — rerun the same command to resume"
+		}
+		fmt.Fprintf(os.Stderr, "sercalc: %s\n", msg)
+		os.Exit(3)
+	}
+	fatal(err)
 }
 
 // flagWasSet reports whether the named flag was explicitly provided.
@@ -217,6 +263,12 @@ func flagWasSet(name string) bool {
 	return set
 }
 
+// errUsage marks load errors caused by the flag selection itself (no input,
+// conflicting inputs) rather than by the named input's content — the former
+// exit with the usage code. Its own message is empty so wrapping adds no
+// prefix to the rendered error.
+var errUsage = errors.New("")
+
 func load(benchPath, vlogPath, profile string) (*sersim.Circuit, error) {
 	set := 0
 	for _, s := range []string{benchPath, vlogPath, profile} {
@@ -225,7 +277,7 @@ func load(benchPath, vlogPath, profile string) (*sersim.Circuit, error) {
 		}
 	}
 	if set > 1 {
-		return nil, fmt.Errorf("use exactly one of -bench, -verilog or -profile")
+		return nil, fmt.Errorf("%wuse exactly one of -bench, -verilog or -profile", errUsage)
 	}
 	switch {
 	case benchPath != "":
@@ -235,7 +287,7 @@ func load(benchPath, vlogPath, profile string) (*sersim.Circuit, error) {
 	case profile != "":
 		return sersim.GenerateProfile(profile)
 	default:
-		return nil, fmt.Errorf("one of -bench, -verilog or -profile is required")
+		return nil, fmt.Errorf("%wone of -bench, -verilog or -profile is required", errUsage)
 	}
 }
 

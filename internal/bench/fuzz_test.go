@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -19,6 +21,20 @@ func FuzzParse(f *testing.F) {
 		"y = AND(", "INPUT(", "OUTPUT()", "a = ", "= NOT(a)",
 		"INPUT(a)\ny=BUFF(a)\nOUTPUT(y)",
 		strings.Repeat("INPUT(x)\n", 3),
+	}
+	// Real benchmark fixtures give the mutator a full valid netlist to start
+	// from, reaching much deeper parser and writer states than the synthetic
+	// fragments above.
+	files, err := filepath.Glob("../../testdata/*.bench")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, string(data))
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/latch"
 	"repro/internal/netlist"
+	"repro/internal/resume"
 	"repro/internal/sigprob"
 	"repro/internal/simulate"
 )
@@ -158,8 +159,34 @@ type Request struct {
 	// (atomically, so one Stats may be shared across requests). The batched
 	// EPP engine records swept union-cone nodes and sites; the monte-carlo
 	// engine records good simulations and vector words — the ratios that
-	// quantify the cone-locality and shared-good-sim savings.
+	// quantify the cone-locality and shared-good-sim savings. Under a
+	// resumed checkpoint the sampling counters reflect the whole logical
+	// sweep (restored words included); the site-major counters reflect only
+	// the work actually performed by this call.
 	Stats *Stats
+	// Resume, when non-nil, makes the sweep crash-safe: completed units
+	// (site batches or 64-vector words) and their integer counters are
+	// committed to the checkpoint file at its cadence, and a sweep armed
+	// against an existing checkpoint of the same request skips the
+	// completed work and folds the saved results in, producing output
+	// bit-identical to an uninterrupted run. The checkpoint's fingerprint
+	// covers every result-affecting option (circuit content, engine,
+	// frames, vectors, seed, rules, bias, SP, latch parameters) but not the
+	// scheduling knobs (Workers, BatchWidth, OrderedSweep) — results are
+	// worker-invariant, so a checkpoint resumes across machine sizes.
+	// Arming against a checkpoint from a different request is an error.
+	// Site-major engines force ascending-ID sweep order under a checkpoint
+	// (committed ranges must be ID ranges); the kernels are
+	// packing-invariant, so results are unchanged.
+	Resume *resume.Checkpoint
+	// MaxSweepNodes, when > 0, bounds the node units of new work this call
+	// may perform (units already restored from a checkpoint are free).
+	// Site-major engines stop at the first batch boundary at or past the
+	// budget; the word-major monte-carlo engine maps it to a word budget of
+	// ceil(MaxSweepNodes × words / N) completed words. A budgeted stop
+	// returns a *PartialError wrapping ErrBudget; combined with Resume,
+	// repeated budgeted calls converge to completion.
+	MaxSweepNodes int
 }
 
 // Stats accumulates engine work counters. All fields are atomic so engines

@@ -1,20 +1,21 @@
 // The five built-in Engine implementations (epp-batch, epp-scalar,
-// monte-carlo, enum, bdd) and the shared atomic-cursor parallelSweep they
-// distribute batches with.
+// monte-carlo, enum, bdd), all running on the shared resilient sweep
+// drivers (see resilience.go): atomic-cursor span distribution, panic
+// isolation, checkpoint/resume, deadlines and node budgets.
 
 package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/bddsp"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/netlist"
+	"repro/internal/resume"
 	"repro/internal/seq"
 	"repro/internal/simulate"
 )
@@ -34,90 +35,6 @@ func resolveWorkers(w int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return w
-}
-
-// parallelSweep partitions [0, n) into fixed chunk-aligned batches claimed
-// from a lock-free atomic cursor by workers goroutines, each running its own
-// do closure from newWorker. Because the partitioning depends only on chunk,
-// every engine built on it produces bit-identical results at any worker
-// count. Cancellation is checked before each claim; onBatch errors abort all
-// workers. onProgress, when non-nil, observes the accumulated finished-site
-// count after each batch, serialized under the same mutex as onBatch. With
-// workers == 1 the sweep is strictly ordered, which is what the streaming
-// API relies on.
-func parallelSweep(ctx context.Context, n, chunk, workers int, onBatch func(lo, hi int) error, onProgress func(done, total int), newWorker func() (func(lo, hi int) error, error)) error {
-	if workers > (n+chunk-1)/chunk {
-		workers = (n + chunk - 1) / chunk
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		cursor atomic.Int64
-		wg     sync.WaitGroup
-		mu     sync.Mutex
-		abort  atomic.Bool
-		first  error
-		done   int
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if first == nil {
-			first = err
-		}
-		mu.Unlock()
-		abort.Store(true)
-	}
-	for w := 0; w < workers; w++ {
-		do, err := newWorker()
-		if err != nil {
-			fail(err)
-			break
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if abort.Load() {
-					return
-				}
-				if err := ctx.Err(); err != nil {
-					fail(err)
-					return
-				}
-				lo := int(cursor.Add(int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				if err := do(lo, hi); err != nil {
-					fail(err)
-					return
-				}
-				if onBatch != nil || onProgress != nil {
-					mu.Lock()
-					err := first
-					if err == nil && onBatch != nil {
-						err = onBatch(lo, hi)
-					}
-					if err == nil && onProgress != nil {
-						done += hi - lo
-						onProgress(done, n)
-					}
-					mu.Unlock()
-					if err != nil {
-						fail(err)
-						return
-					}
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return first
 }
 
 // batchEngine is the production EPP backend: core.BatchAnalyzer sweeping up
@@ -152,11 +69,11 @@ func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float
 		}
 		chunk := proto.BatchWidth()
 		var order []netlist.ID
-		if !req.OrderedSweep {
+		if !req.sweepOrdered() {
 			order = proto.Schedule().Order
 		}
 		protoUsed := false
-		return parallelSweep(ctx, c.N(), chunk, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
+		return siteSweep(ctx, req, "epp-batch", sp, chunk, out,
 			func() (func(lo, hi int) error, error) {
 				sa := proto
 				if protoUsed {
@@ -194,14 +111,15 @@ func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float
 	chunk := proto.Batch().Width()
 	// Sweep order: cone-locality schedule positions by default, so lanes in
 	// one batch share most of their union cone; ascending node IDs when the
-	// caller needs OnBatch's out[lo:hi] ranges to be ID ranges (streaming).
-	// The kernel is packing-invariant, so both orders produce bit-identical
+	// caller needs OnBatch's out[lo:hi] ranges to be ID ranges (streaming,
+	// and any checkpointed sweep — committed ranges must be ID ranges). The
+	// kernel is packing-invariant, so both orders produce bit-identical
 	// results.
 	var order []netlist.ID
-	if !req.OrderedSweep {
+	if !req.sweepOrdered() {
 		order = proto.Schedule().Order
 	}
-	return parallelSweep(ctx, c.N(), chunk, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
+	return siteSweep(ctx, req, "epp-batch", sp, chunk, out,
 		func() (func(lo, hi int) error, error) {
 			local := proto.Clone()
 			eng := local.Batch()
@@ -257,7 +175,7 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 		// — is deterministic arithmetic, so results are identical at any
 		// worker count.
 		w0 := req.strikeWeight()
-		return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
+		return siteSweep(ctx, req, "epp-scalar", sp, 64, out,
 			func() (func(lo, hi int) error, error) {
 				sa, err := seq.New(c, sp)
 				if err != nil {
@@ -271,7 +189,7 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 				}, nil
 			})
 	}
-	return parallelSweep(ctx, c.N(), 64, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
+	return siteSweep(ctx, req, "epp-scalar", sp, 64, out,
 		func() (func(lo, hi int) error, error) {
 			an, err := core.New(c, sp, core.Options{Rules: req.Rules})
 			if err != nil {
@@ -302,6 +220,11 @@ func (scalarEngine) PSensitizedAll(ctx context.Context, req *Request, out []floa
 // per-site results all finalize together: OnBatch calls arrive after the
 // last word, tiling [0, N) in order, while OnProgress ticks per completed
 // word and cancellation stays word-granular.
+//
+// Resilience follows the word-major shape: a checkpoint commits completed
+// words with the kernel's integer counters (per-word merge regime), the
+// MaxSweepNodes budget maps to a word budget, and kernel or callback panics
+// surface as *SweepPanicError with the failing word.
 type mcEngine struct{}
 
 func (mcEngine) Name() string { return "monte-carlo" }
@@ -312,19 +235,71 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 		return err
 	}
 	c := req.Circuit
+	n := c.N()
 	opt := req.mcOptions()
-	if req.OnProgress != nil {
-		// Word-granular progress, scaled to node units: after word k of W
-		// the sweep has done k/W of its total work on every site.
-		n := c.N()
-		opt.OnWord = func(done, total int) { req.OnProgress(n*done/total, n) }
+	words := opt.Words()
+	var wordsDone int // last OnWord done count, for partial-progress metadata
+	onProgress := req.OnProgress
+	opt.OnWord = func(done, total int) {
+		wordsDone = done
+		if onProgress != nil {
+			// Word-granular progress, scaled to node units: after word k of
+			// W the sweep has done k/W of its total work on every site.
+			onProgress(n*done/total, n)
+		}
+	}
+	var rs *resume.State
+	if req.Resume != nil {
+		var err error
+		rs, err = req.Resume.Arm("monte-carlo", req.fingerprint("monte-carlo", nil), resume.KindWords, words)
+		if err != nil {
+			return err
+		}
+		opt.Resume = &simulate.Resume{Skip: rs.DoneMask(), Counters: countersIn(rs.Counters())}
+		opt.OnCommit = func(word int, snap func() simulate.Counters) error {
+			return rs.CommitWord(word, func() resume.Counters { return countersOut(snap()) })
+		}
+		opt.OnAbort = func(snap simulate.Counters) {
+			// The interval cadence may not have written the last commits;
+			// persist the final consistent partial state so the abort error's
+			// "resume from the checkpoint" contract holds. The primary error
+			// is already on its way to the caller — a failed best-effort
+			// flush must not mask it.
+			_ = rs.FlushCounters(countersOut(snap))
+		}
+		wordsDone = rs.DoneUnits()
+	}
+	if req.MaxSweepNodes > 0 {
+		// Map the node budget to completed words: one word advances every
+		// site by one 64-vector step, i.e. words/N of the sweep's node
+		// units each — stop at the first word boundary at or past the
+		// budget, like the site-major engines stop at a batch boundary.
+		maxNew := (req.MaxSweepNodes*words + n - 1) / n
+		if maxNew < 1 {
+			maxNew = 1
+		}
+		opt.MaxNewWords = maxNew
+	}
+	finish := func(err error) error {
+		if err == nil {
+			return nil
+		}
+		var pe *simulate.PanicError
+		if errors.As(err, &pe) {
+			return &SweepPanicError{Engine: "monte-carlo", Unit: "word", Lo: pe.Word, Hi: pe.Word + 1, Value: pe.Value, Stack: pe.Stack}
+		}
+		if errors.Is(err, simulate.ErrWordBudget) {
+			err = ErrBudget
+		}
+		return wrapSweepErr("monte-carlo", n, n*wordsDone/words, err)
 	}
 	var st simulate.MCStats
+	fin := resume.Counters{} // final integer counters, for the completion flush
 	if req.Frames > 1 {
 		mb := simulate.NewMCSeqBatch(c, opt, req.Frames)
 		res, err := mb.PDetectAll(ctx, resolveWorkers(req.Workers))
 		if err != nil {
-			return err
+			return finish(err)
 		}
 		if req.Latch != nil {
 			// Latch-window weighting, composed from the kernel's integer
@@ -340,16 +315,44 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 			}
 		}
 		st = mb.Stats()
+		if rs != nil {
+			fin.Detected = make([]int64, n)
+			fin.Later = make([]int64, n)
+			fin.Frames = make([]int64, req.Frames*n)
+			for id := range res {
+				fin.Detected[id] = int64(res[id].Detected)
+				fin.Later[id] = int64(res[id].DetectedLater)
+			}
+			for f := 0; f < req.Frames; f++ {
+				copy(fin.Frames[f*n:(f+1)*n], mb.FrameDetected(f))
+			}
+		}
 	} else {
 		mb := simulate.NewMCBatch(c, opt)
 		res, err := mb.EPPAll(ctx, resolveWorkers(req.Workers))
 		if err != nil {
-			return err
+			return finish(err)
 		}
 		for id := range res {
 			out[id] = res[id].PSensitized
 		}
 		st = mb.Stats()
+		if rs != nil {
+			fin.Detected = make([]int64, n)
+			for id := range res {
+				fin.Detected[id] = int64(res[id].Detected)
+			}
+		}
+	}
+	if rs != nil {
+		// The sweep completed: persist the final all-words state — the
+		// counters reconstructed from the kernel's integer results cover
+		// every word (restored and new) — so a re-run restores the full
+		// result without any simulation.
+		fin.Words, fin.GoodSims, fin.LaneSims, fin.SweptMembers = st.Words, st.GoodSims, st.LaneSims, st.SweptMembers
+		if err := rs.FlushCounters(fin); err != nil {
+			return err
+		}
 	}
 	if req.Stats != nil {
 		req.Stats.GoodSims.Add(st.GoodSims)
@@ -363,12 +366,32 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 			if hi > c.N() {
 				hi = c.N()
 			}
-			if err := req.OnBatch(lo, hi); err != nil {
-				return err
+			if err := callOnBatch(req.OnBatch, lo, hi); err != nil {
+				return wrapSweepErr("monte-carlo", n, n, err)
 			}
 		}
 	}
 	return nil
+}
+
+// countersIn converts a restored checkpoint counter snapshot to the kernel
+// type (nil-safe).
+func countersIn(c *resume.Counters) *simulate.Counters {
+	if c == nil {
+		return nil
+	}
+	return &simulate.Counters{
+		Detected: c.Detected, Later: c.Later, Frames: c.Frames,
+		Words: c.Words, GoodSims: c.GoodSims, LaneSims: c.LaneSims, SweptMembers: c.SweptMembers,
+	}
+}
+
+// countersOut converts a kernel counter snapshot to the checkpoint type.
+func countersOut(c simulate.Counters) resume.Counters {
+	return resume.Counters{
+		Detected: c.Detected, Later: c.Later, Frames: c.Frames,
+		Words: c.Words, GoodSims: c.GoodSims, LaneSims: c.LaneSims, SweptMembers: c.SweptMembers,
+	}
 }
 
 // enumEngine computes ground truth by exhaustive input enumeration (uniform
@@ -390,7 +413,7 @@ func (enumEngine) PSensitizedAll(ctx context.Context, req *Request, out []float6
 		return fmt.Errorf("engine: enum supports only uniform sources (Bias must be nil; use the bdd engine for biased sources)")
 	}
 	c := req.Circuit
-	return parallelSweep(ctx, c.N(), 1, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
+	return siteSweep(ctx, req, "enum", nil, 1, out,
 		func() (func(lo, hi int) error, error) {
 			return func(lo, hi int) error {
 				for id := lo; id < hi; id++ {
@@ -420,7 +443,7 @@ func (bddEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64
 		return fmt.Errorf("engine: bdd does not support multi-cycle frames")
 	}
 	c := req.Circuit
-	return parallelSweep(ctx, c.N(), 1, resolveWorkers(req.Workers), req.OnBatch, req.OnProgress,
+	return siteSweep(ctx, req, "bdd", nil, 1, out,
 		func() (func(lo, hi int) error, error) {
 			return func(lo, hi int) error {
 				for id := lo; id < hi; id++ {

@@ -1,0 +1,390 @@
+// The engines' resilience layer: the span-based parallel sweep driver with
+// panic isolation, the checkpoint/resume plumbing shared by the site-major
+// engines, node budgets, and the structured errors partial sweeps surface.
+
+package engine
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/resume"
+)
+
+// ErrBudget is the sentinel wrapped by a *PartialError when a sweep stops at
+// its MaxSweepNodes budget; test with errors.Is.
+var ErrBudget = errors.New("engine: sweep node budget exhausted")
+
+// PartialError reports a sweep that stopped before completion for an
+// orderly reason — cancellation, a deadline, or the node budget — together
+// with how much work had finalized. Err is the underlying cause
+// (context.Canceled, context.DeadlineExceeded or ErrBudget), reachable
+// through errors.Is/As via Unwrap. When the request carried a checkpoint,
+// the finalized work is durable: re-running the same request resumes from
+// Done units.
+type PartialError struct {
+	Done  int // node units finalized (restored units included)
+	Total int // node units of the full sweep
+	Err   error
+}
+
+// Error summarizes the stop and its progress.
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("engine: sweep stopped after %d/%d node units: %v", e.Done, e.Total, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// SweepPanicError is a panic recovered from inside a sweep — a worker
+// goroutine processing a batch or word, or a user callback
+// (OnBatch/OnProgress/OnWord) — converted to a returned error so a buggy
+// callback or one poisoned input aborts the sweep cleanly instead of
+// crashing the process.
+type SweepPanicError struct {
+	Engine string // registry name of the engine whose sweep panicked
+	Unit   string // failing unit kind: "batch", "word", "setup" or "sweep"
+	Lo, Hi int    // failing unit range: [Lo, Hi) sites, or word index Lo; -1 if unknown
+	Value  any    // the recovered panic value
+	Stack  []byte // stack of the panicking goroutine at recovery
+}
+
+// Error summarizes the panic; the full stack is in Stack.
+func (e *SweepPanicError) Error() string {
+	where := ""
+	switch {
+	case e.Unit == "word" && e.Lo >= 0:
+		where = fmt.Sprintf(" at word %d", e.Lo)
+	case e.Lo >= 0:
+		where = fmt.Sprintf(" at %s [%d,%d)", e.Unit, e.Lo, e.Hi)
+	}
+	return fmt.Sprintf("engine: panic in %s sweep%s: %v", e.Engine, where, e.Value)
+}
+
+// fingerprint canonically hashes everything that determines the request's
+// results for the named engine: the circuit's content hash plus every
+// result-affecting option. Pure scheduling knobs — Workers, BatchWidth,
+// OrderedSweep — are deliberately excluded: the engines guarantee results
+// bit-identical across them, so a checkpoint written at one worker count
+// resumes correctly at another. sp is the resolved signal probability
+// vector for analytic engines (nil otherwise) so that an SP-affecting
+// change upstream is caught even though SP is computed, not configured.
+func (r *Request) fingerprint(engineName string, sp []float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wF64 := func(v float64) { wInt(int64(math.Float64bits(v))) }
+	wStr := func(s string) {
+		wInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	wVec := func(v []float64) {
+		wInt(int64(len(v)))
+		for _, x := range v {
+			wF64(x)
+		}
+	}
+	wStr(engineName)
+	wStr(r.Circuit.ContentHash())
+	wInt(int64(r.Frames))
+	wInt(int64(r.Vectors))
+	wInt(int64(r.Seed))
+	wInt(int64(r.Rules))
+	wInt(int64(r.BDDBudget))
+	if r.Latch == nil {
+		wInt(0)
+	} else {
+		wInt(1)
+		wF64(r.Latch.ClockPeriodPs)
+		wF64(r.Latch.WindowPs)
+		wF64(r.Latch.PulseWidthPs)
+		wF64(r.Latch.AttenuationPerLevel)
+	}
+	wVec(r.Bias)
+	wVec(sp)
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// span is one contiguous claimable range of a sweep's unit space.
+type span struct{ lo, hi int }
+
+// chunkSpans tiles [0, n) into chunk-aligned spans — the fresh-sweep work
+// list, identical to the historical atomic-cursor partitioning.
+func chunkSpans(n, chunk int) []span {
+	spans := make([]span, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		spans = append(spans, span{lo, hi})
+	}
+	return spans
+}
+
+// pendingSpans tiles the complement of the done ranges (sorted, disjoint,
+// within [0, n)) into spans of at most chunk units — the resumed-sweep work
+// list. Pieces are aligned to the gap starts, not to absolute chunk
+// multiples; engines built on this must be packing-invariant (they all
+// are).
+func pendingSpans(n, chunk int, done []resume.Range) []span {
+	var spans []span
+	next := 0
+	emit := func(lo, hi int) {
+		for ; lo+chunk < hi; lo += chunk {
+			spans = append(spans, span{lo, lo + chunk})
+		}
+		if lo < hi {
+			spans = append(spans, span{lo, hi})
+		}
+	}
+	for _, r := range done {
+		emit(next, r.Lo)
+		next = r.Hi
+	}
+	emit(next, n)
+	return spans
+}
+
+// sweepSpans is the shared driver of the site-major engines: spans are
+// claimed from a lock-free atomic cursor by workers goroutines, each
+// running its own do closure from newWorker. Because every engine built on
+// it writes per-unit results exactly once, results are bit-identical at any
+// worker count and any span partitioning. Cancellation is checked before
+// each claim. After each completed span the driver runs the serialized
+// report section — onBatch, then progress accounting against doneBase (units
+// completed before this call, i.e. restored from a checkpoint), then the
+// maxUnits budget check — under one mutex, with panics in callbacks or
+// workers recovered into a *SweepPanicError that aborts the sweep. The
+// returned done count (doneBase plus units completed here) is valid on
+// error paths too, for partial-progress metadata.
+func sweepSpans(ctx context.Context, spans []span, total, doneBase, workers, maxUnits int, onBatch func(lo, hi int) error, onProgress func(done, total int), newWorker func() (func(lo, hi int) error, error)) (int, error) {
+	if len(spans) == 0 {
+		if onProgress != nil && doneBase > 0 {
+			onProgress(doneBase, total)
+		}
+		return doneBase, nil
+	}
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		abort  atomic.Bool
+		first  error
+		done   = doneBase
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+		abort.Store(true)
+	}
+	// report is the per-span critical section. The deferred recover turns a
+	// callback panic into an error while the deferred unlock keeps the
+	// mutex released either way — a panicking callback must never leave
+	// wg.Wait() deadlocked behind a held lock.
+	report := func(lo, hi int) (err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		defer func() {
+			if r := recover(); r != nil {
+				err = &SweepPanicError{Unit: "batch", Lo: lo, Hi: hi, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		if first != nil {
+			return first
+		}
+		if onBatch != nil {
+			if err := onBatch(lo, hi); err != nil {
+				return err
+			}
+		}
+		done += hi - lo
+		if onProgress != nil {
+			onProgress(done, total)
+		}
+		if maxUnits > 0 && done >= maxUnits && done < total {
+			return ErrBudget
+		}
+		return nil
+	}
+	for w := 0; w < workers; w++ {
+		do, err := newSweepWorker(newWorker)
+		if err != nil {
+			fail(err)
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lo, hi := -1, -1
+			defer func() {
+				if r := recover(); r != nil {
+					fail(&SweepPanicError{Unit: "batch", Lo: lo, Hi: hi, Value: r, Stack: debug.Stack()})
+				}
+			}()
+			for {
+				if abort.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				i := int(cursor.Add(1)) - 1
+				if i >= len(spans) {
+					return
+				}
+				lo, hi = spans[i].lo, spans[i].hi
+				if err := do(lo, hi); err != nil {
+					fail(err)
+					return
+				}
+				if err := report(lo, hi); err != nil {
+					fail(err)
+					return
+				}
+				lo, hi = -1, -1
+			}
+		}()
+	}
+	wg.Wait()
+	return done, first
+}
+
+// newSweepWorker runs an engine's worker constructor with panic recovery:
+// construction happens serially in the caller's goroutine, so a panic there
+// (a poisoned circuit, say) must also become an error, not a crash.
+func newSweepWorker(newWorker func() (func(lo, hi int) error, error)) (do func(lo, hi int) error, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &SweepPanicError{Unit: "setup", Lo: -1, Hi: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return newWorker()
+}
+
+// wrapSweepErr finalizes a sweep's error for the engine boundary: panic
+// errors get the engine name attached; orderly stops (cancellation,
+// deadline, budget) are wrapped in a *PartialError carrying the progress
+// metadata; everything else — OnBatch user errors in particular — is
+// returned verbatim, preserving the documented errors.Is identity.
+func wrapSweepErr(engName string, total, done int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *SweepPanicError
+	if errors.As(err, &pe) {
+		if pe.Engine == "" {
+			pe.Engine = engName
+		}
+		return err
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, ErrBudget) {
+		return &PartialError{Done: done, Total: total, Err: err}
+	}
+	return err
+}
+
+// siteSweep runs a site-major all-sites sweep for an engine with the full
+// resilience layer: checkpoint arming and replay, pending-span scheduling,
+// per-batch commits, the node budget, and final flush. out must be the
+// engine's result vector indexed by sweep unit — which is why engines under
+// a checkpoint force ascending-ID order (Request.sweepOrdered): committed
+// ranges must be ID ranges to be restorable. sp is the engine's resolved
+// signal probability vector (nil for non-analytic engines), consumed by the
+// request fingerprint.
+func siteSweep(ctx context.Context, req *Request, engName string, sp []float64, chunk int, out []float64, newWorker func() (func(lo, hi int) error, error)) error {
+	n := req.Circuit.N()
+	var (
+		spans    []span
+		rs       *resume.State
+		doneBase int
+	)
+	onBatch := req.OnBatch
+	if req.Resume != nil {
+		var err error
+		rs, err = req.Resume.Arm(engName, req.fingerprint(engName, sp), resume.KindSites, n)
+		if err != nil {
+			return err
+		}
+		ranges := rs.RestoreSites(out)
+		doneBase = rs.DoneUnits()
+		// Replay restored ranges through OnBatch up front so streaming
+		// consumers see every site exactly once across the interrupted and
+		// resumed runs' perspective of this sweep.
+		if onBatch != nil {
+			for _, rg := range ranges {
+				if err := callOnBatch(onBatch, rg.Lo, rg.Hi); err != nil {
+					return wrapSweepErr(engName, n, doneBase, err)
+				}
+			}
+		}
+		spans = pendingSpans(n, chunk, ranges)
+		inner := onBatch
+		onBatch = func(lo, hi int) error {
+			if err := rs.CommitSites(lo, hi, out[lo:hi]); err != nil {
+				return err
+			}
+			if inner != nil {
+				return inner(lo, hi)
+			}
+			return nil
+		}
+	} else {
+		spans = chunkSpans(n, chunk)
+	}
+	maxUnits := 0
+	if req.MaxSweepNodes > 0 {
+		// The budget bounds this call's new work; restored units are free.
+		maxUnits = doneBase + req.MaxSweepNodes
+	}
+	done, err := sweepSpans(ctx, spans, n, doneBase, resolveWorkers(req.Workers), maxUnits, onBatch, req.OnProgress, newWorker)
+	if rs != nil {
+		// Flush on every path: after an orderly stop (budget, deadline,
+		// cancel) the committed batches since the last cadence write become
+		// durable, so -checkpoint composes with -timeout into convergence.
+		if ferr := rs.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return wrapSweepErr(engName, n, done, err)
+}
+
+// callOnBatch invokes a user OnBatch callback with panic recovery — used
+// for checkpoint replay, which runs outside the sweep driver's own
+// recovery.
+func callOnBatch(onBatch func(lo, hi int) error, lo, hi int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &SweepPanicError{Unit: "batch", Lo: lo, Hi: hi, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return onBatch(lo, hi)
+}
+
+// sweepOrdered reports whether the sweep must run in ascending node-ID
+// order: requested explicitly (streaming) or forced by a checkpoint, whose
+// committed ranges must be ID ranges to be restorable. The engines' kernels
+// are packing-invariant, so the order never changes results.
+func (r *Request) sweepOrdered() bool {
+	return r.OrderedSweep || r.Resume != nil
+}

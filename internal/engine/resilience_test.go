@@ -1,0 +1,206 @@
+// Regression tests for the resilience layer shared by every engine: user
+// callback panics surface as *SweepPanicError instead of crashing the
+// process, node budgets stop sweeps as *PartialError, and no sweep — however
+// it ends — leaves worker goroutines behind.
+
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/sigprob"
+)
+
+// engineFixture returns a circuit sized for the engine: the exact engines
+// pay 2^support (enum) or BDD construction per site, so they get c17; the
+// swept engines get a profile with enough nodes for several batches.
+func engineFixture(t *testing.T, engName string) (*netlist.Circuit, []float64) {
+	t.Helper()
+	var c *netlist.Circuit
+	if engName == "enum" || engName == "bdd" {
+		c = circuitFile(t, "c17.bench")
+	} else {
+		var err error
+		c, err = gen.ByName("s953")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c, sigprob.Topological(c, sigprob.Config{})
+}
+
+// TestCallbackPanicIsolation: a panicking OnBatch or OnProgress callback on
+// any engine, serial or parallel, returns a *SweepPanicError naming the
+// engine — the process must survive and the sweep's goroutines must wind
+// down (wg.Wait must not deadlock behind the panic).
+func TestCallbackPanicIsolation(t *testing.T) {
+	for _, e := range Engines() {
+		for _, cb := range []string{"OnBatch", "OnProgress"} {
+			for _, workers := range []int{1, 4} {
+				t.Run(e.Name()+"/"+cb+"/workers="+itoa(workers), func(t *testing.T) {
+					c, sp := engineFixture(t, e.Name())
+					req := &Request{Circuit: c, SP: sp, Vectors: 512, Seed: 5, Workers: workers}
+					var mu sync.Mutex
+					calls := 0
+					boom := func() {
+						mu.Lock()
+						calls++
+						n := calls
+						mu.Unlock()
+						if n == 2 {
+							panic("injected callback panic")
+						}
+					}
+					switch cb {
+					case "OnBatch":
+						req.OnBatch = func(lo, hi int) error { boom(); return nil }
+					case "OnProgress":
+						req.OnProgress = func(done, total int) { boom() }
+					}
+					out := make([]float64, c.N())
+					err := e.PSensitizedAll(context.Background(), req, out)
+					var spe *SweepPanicError
+					if !errors.As(err, &spe) {
+						t.Fatalf("err = %v (%T), want *SweepPanicError", err, err)
+					}
+					if spe.Engine != e.Name() {
+						t.Errorf("panic attributed to %q, want %q", spe.Engine, e.Name())
+					}
+					if spe.Value != "injected callback panic" {
+						t.Errorf("recovered value %v, want the injected panic", spe.Value)
+					}
+					if len(spe.Stack) == 0 {
+						t.Error("no stack captured")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBudgetAllEngines: MaxSweepNodes stops every engine at the first unit
+// boundary at or past the budget, surfacing a *PartialError that wraps
+// ErrBudget and reports partial progress.
+func TestBudgetAllEngines(t *testing.T) {
+	for _, e := range Engines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			c, sp := engineFixture(t, e.Name())
+			budget := c.N() / 2
+			req := &Request{Circuit: c, SP: sp, Vectors: 512, Seed: 5, Workers: 1, MaxSweepNodes: budget}
+			out := make([]float64, c.N())
+			err := e.PSensitizedAll(context.Background(), req, out)
+			if !errors.Is(err, ErrBudget) {
+				t.Fatalf("err = %v, want ErrBudget", err)
+			}
+			var perr *PartialError
+			if !errors.As(err, &perr) {
+				t.Fatalf("err = %T, want *PartialError", err)
+			}
+			if perr.Done < 1 || perr.Done >= perr.Total || perr.Total != c.N() {
+				t.Errorf("PartialError reports %d/%d, want mid-sweep stop of %d units", perr.Done, perr.Total, c.N())
+			}
+		})
+	}
+}
+
+// TestNoGoroutineLeaks: cancellation mid-sweep, an OnBatch error, and an
+// injected callback panic each leave no live sweep goroutines on any engine.
+func TestNoGoroutineLeaks(t *testing.T) {
+	type scenario struct {
+		name string
+		run  func(t *testing.T, e Engine)
+	}
+	scenarios := []scenario{
+		{"cancel", func(t *testing.T, e Engine) {
+			c, sp := engineFixture(t, e.Name())
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req := &Request{
+				Circuit: c, SP: sp, Vectors: 512, Seed: 5, Workers: 4,
+				OnProgress: func(done, total int) {
+					if done > 0 {
+						cancel()
+					}
+				},
+			}
+			out := make([]float64, c.N())
+			if err := e.PSensitizedAll(ctx, req, out); !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		}},
+		{"onbatch-error", func(t *testing.T, e Engine) {
+			c, sp := engineFixture(t, e.Name())
+			sentinel := errors.New("stop")
+			req := &Request{
+				Circuit: c, SP: sp, Vectors: 512, Seed: 5, Workers: 4,
+				OnBatch: func(lo, hi int) error { return sentinel },
+			}
+			out := make([]float64, c.N())
+			if err := e.PSensitizedAll(context.Background(), req, out); !errors.Is(err, sentinel) {
+				t.Fatalf("err = %v, want the sentinel", err)
+			}
+		}},
+		{"onprogress-panic", func(t *testing.T, e Engine) {
+			c, sp := engineFixture(t, e.Name())
+			req := &Request{
+				Circuit: c, SP: sp, Vectors: 512, Seed: 5, Workers: 4,
+				OnProgress: func(done, total int) { panic("leak probe") },
+			}
+			out := make([]float64, c.N())
+			err := e.PSensitizedAll(context.Background(), req, out)
+			var spe *SweepPanicError
+			if !errors.As(err, &spe) {
+				t.Fatalf("err = %v, want *SweepPanicError", err)
+			}
+		}},
+	}
+	for _, e := range Engines() {
+		for _, sc := range scenarios {
+			t.Run(e.Name()+"/"+sc.name, func(t *testing.T) {
+				before := runtime.NumGoroutine()
+				sc.run(t, e)
+				waitGoroutines(t, before)
+			})
+		}
+	}
+}
+
+// waitGoroutines polls until the live goroutine count returns to the
+// pre-sweep baseline (workers may still be winding down when the driver
+// returns its error — only their eventual exit matters for leaks).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d live, baseline %d\n%s", runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

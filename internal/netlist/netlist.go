@@ -18,6 +18,9 @@
 package netlist
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"sync"
@@ -85,6 +88,11 @@ type Circuit struct {
 	// safe). See ObsSignatures.
 	obsSigOnce sync.Once
 	obsSig     []uint64
+
+	// Content hash, computed lazily on first use (same immutability
+	// argument). See ContentHash.
+	hashOnce sync.Once
+	hash     string
 }
 
 // N returns the number of nodes.
@@ -215,6 +223,48 @@ func (c *Circuit) ObsSignatures() []uint64 {
 		c.obsSig = sig
 	})
 	return c.obsSig
+}
+
+// ContentHash returns a hex SHA-256 digest of the circuit's full structural
+// content: name, node kinds, node names, fanin lists (in declaration order)
+// and the PI/PO/FF declaration orders. Two circuits have equal hashes iff a
+// node-by-node comparison of that content would find no difference, so the
+// hash identifies "the same netlist" across processes — which is what the
+// checkpoint/resume fingerprint needs. Derived structures (topological
+// order, levels, CSR layout) are functions of the hashed content and add
+// nothing. Computed once per Circuit and cached; safe for concurrent use.
+func (c *Circuit) ContentHash() string {
+	c.hashOnce.Do(func() {
+		h := sha256.New()
+		var buf [8]byte
+		wInt := func(v int64) {
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			h.Write(buf[:])
+		}
+		wStr := func(s string) {
+			wInt(int64(len(s)))
+			h.Write([]byte(s))
+		}
+		wIDs := func(ids []ID) {
+			wInt(int64(len(ids)))
+			for _, id := range ids {
+				wInt(int64(id))
+			}
+		}
+		wStr(c.Name)
+		wInt(int64(len(c.Nodes)))
+		for id := range c.Nodes {
+			n := &c.Nodes[id]
+			wInt(int64(n.Kind))
+			wStr(n.Name)
+			wIDs(c.faninArr[c.faninIdx[id]:c.faninIdx[id+1]])
+		}
+		wIDs(c.PIs)
+		wIDs(c.POs)
+		wIDs(c.FFs)
+		c.hash = hex.EncodeToString(h.Sum(nil))
+	})
+	return c.hash
 }
 
 // Topo returns a combinational topological order of all nodes: every source

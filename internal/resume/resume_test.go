@@ -1,0 +1,233 @@
+package resume
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSiteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	cp := New(path, 0)
+	st, err := cp.Arm("epp-batch", "fp1", KindSites, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DoneUnits() != 0 {
+		t.Fatalf("fresh state has %d done units", st.DoneUnits())
+	}
+	// Values chosen to break any float round-tripping that is not
+	// bit-exact: a subnormal, an irrational dense in mantissa bits, NaN.
+	vals := []float64{math.SmallestNonzeroFloat64, math.Pi, math.NaN(), 0.1}
+	if err := st.CommitSites(2, 6, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitSites(8, 10, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := New(path, 0).Arm("epp-batch", "fp1", KindSites, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.DoneUnits(); got != 6 {
+		t.Fatalf("restored %d done units, want 6", got)
+	}
+	wantRanges := []Range{{2, 6}, {8, 10}}
+	gotRanges := st2.DoneRanges()
+	if len(gotRanges) != len(wantRanges) {
+		t.Fatalf("restored ranges %v, want %v", gotRanges, wantRanges)
+	}
+	for i := range wantRanges {
+		if gotRanges[i] != wantRanges[i] {
+			t.Fatalf("restored ranges %v, want %v", gotRanges, wantRanges)
+		}
+	}
+	out := make([]float64, 10)
+	st2.RestoreSites(out)
+	for i, want := range vals {
+		got := out[2+i]
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("restored out[%d] = %x, want %x (not bit-exact)", 2+i, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	if out[8] != 1 || out[9] != 2 {
+		t.Errorf("restored out[8:10] = %v, want [1 2]", out[8:10])
+	}
+	if out[0] != 0 || out[6] != 0 {
+		t.Errorf("units never committed must stay zero, got out[0]=%v out[6]=%v", out[0], out[6])
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	st, err := New(path, 0).Arm("monte-carlo", "fp", KindWords, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := Counters{Detected: []int64{3, 0, 7}, Words: 2, GoodSims: 2, LaneSims: 11, SweptMembers: 5}
+	for _, w := range []int{1, 5} {
+		if err := st.CommitWord(w, func() Counters { return snap }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2, err := New(path, 0).Arm("monte-carlo", "fp", KindWords, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := st2.DoneMask()
+	for w, want := range []bool{false, true, false, false, false, true, false, false} {
+		if mask[w] != want {
+			t.Fatalf("restored mask[%d] = %v, want %v (mask %v)", w, mask[w], want, mask)
+		}
+	}
+	c := st2.Counters()
+	if c == nil || c.Words != 2 || len(c.Detected) != 3 || c.Detected[2] != 7 {
+		t.Fatalf("restored counters %+v, want %+v", c, snap)
+	}
+}
+
+func TestArmMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	st, err := New(path, 0).Arm("epp-batch", "fp1", KindSites, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitSites(0, 2, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		eng, fp, kind string
+		units         int
+	}{
+		{"epp-scalar", "fp1", KindSites, 4}, // engine changed
+		{"epp-batch", "fp2", KindSites, 4},  // request changed
+		{"epp-batch", "fp1", KindWords, 4},  // kind changed
+		{"epp-batch", "fp1", KindSites, 5},  // unit count changed
+	}
+	for _, tc := range cases {
+		if _, err := New(path, 0).Arm(tc.eng, tc.fp, tc.kind, tc.units); err == nil {
+			t.Errorf("Arm(%q,%q,%q,%d) against a mismatched checkpoint succeeded; want error", tc.eng, tc.fp, tc.kind, tc.units)
+		}
+	}
+	// The matching identity still arms.
+	if _, err := New(path, 0).Arm("epp-batch", "fp1", KindSites, 4); err != nil {
+		t.Errorf("matching Arm failed: %v", err)
+	}
+}
+
+func TestLoadRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if f, err := Load(filepath.Join(dir, "absent.json")); f != nil || err != nil {
+		t.Errorf("Load(absent) = %v, %v; want nil, nil", f, err)
+	}
+	if _, err := Load(write("garbage.json", "{")); err == nil {
+		t.Error("Load accepted truncated JSON")
+	}
+	if _, err := Load(write("version.json", `{"version":99,"kind":"sites"}`)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("Load accepted unknown version: %v", err)
+	}
+	if _, err := Load(write("kind.json", `{"version":1,"kind":"bogus"}`)); err == nil {
+		t.Error("Load accepted unknown kind")
+	}
+	if _, err := Load(write("range.json", `{"version":1,"kind":"words","units":4,"done":[{"lo":3,"hi":2}]}`)); err == nil {
+		t.Error("Load accepted malformed range")
+	}
+	if _, err := Load(write("values.json", `{"version":1,"kind":"sites","units":4,"done":[{"lo":0,"hi":2}],"values":[1]}`)); err == nil {
+		t.Error("Load accepted values/done length mismatch")
+	}
+}
+
+func TestIntervalCadence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	// A huge interval: only the initial commit cadence decides writes — with
+	// interval > 0 nothing is due immediately, so no file appears until Flush.
+	st, err := New(path, 1e18).Arm("epp-batch", "fp", KindSites, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitSites(0, 2, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint written before cadence was due (stat err %v)", err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil || f == nil {
+		t.Fatalf("Load after Flush: %v, %v", f, err)
+	}
+	if len(f.Done) != 1 || f.Done[0] != (Range{0, 2}) {
+		t.Fatalf("flushed done = %v, want [{0 2}]", f.Done)
+	}
+}
+
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	st, err := New(path, 0).Arm("epp-batch", "fp", KindSites, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitSites(0, 2, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "ck.json" {
+			t.Errorf("stray file %q left next to the checkpoint", e.Name())
+		}
+	}
+	// The written file is valid standalone JSON of the documented shape.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != Version {
+		t.Fatalf("written version %d, want %d", f.Version, Version)
+	}
+}
+
+func TestWordFlushRefusesInconsistentState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	st, err := New(path, 1e18).Arm("monte-carlo", "fp", KindWords, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Commit without a due write: done bits advance, counters do not.
+	if err := st.CommitWord(0, func() Counters { t.Fatal("snap called though no write was due"); return Counters{} }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("Flush wrote a word-major state whose counters lag its done bits")
+	}
+	// FlushCounters with a consistent snapshot does write.
+	if err := st.FlushCounters(Counters{Detected: []int64{1}, Words: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("FlushCounters did not write: %v", err)
+	}
+}

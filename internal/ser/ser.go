@@ -17,13 +17,16 @@ import (
 	"fmt"
 	"iter"
 	"math"
+	"runtime/debug"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/latch"
 	"repro/internal/netlist"
+	"repro/internal/resume"
 	"repro/internal/sigprob"
 	"repro/internal/simulate"
 )
@@ -166,8 +169,35 @@ type Config struct {
 	// each completed 64-vector word, scaled to node units (its per-site
 	// results all finalize together at the last word). done is
 	// monotonically nondecreasing, reaches total exactly at completion, and
-	// calls never overlap.
+	// calls never overlap. A resumed run starts reporting at the restored
+	// unit count. A panic in the callback aborts the sweep with a
+	// *engine.SweepPanicError instead of crashing the process.
 	Progress func(done, total int)
+	// Timeout, when > 0, bounds the whole run: the pipeline context gets a
+	// deadline, enforced by the engines at batch/word granularity. An
+	// expired deadline surfaces as a *engine.PartialError wrapping
+	// context.DeadlineExceeded (errors.Is-testable) with the finalized unit
+	// counts.
+	Timeout time.Duration
+	// MaxSweepNodes, when > 0, bounds the node units of new P_sensitized
+	// work one call may perform; see engine.Request.MaxSweepNodes. A
+	// budgeted stop surfaces as a *engine.PartialError wrapping
+	// engine.ErrBudget. Combined with CheckpointPath, repeated budgeted
+	// calls converge to a complete run.
+	MaxSweepNodes int
+	// CheckpointPath, when non-empty, makes the P_sensitized sweep
+	// crash-safe: progress is committed to this file (atomic temp+rename
+	// writes, format documented in internal/resume) and a later run of the
+	// same configuration resumes from it, producing a Report byte-identical
+	// to an uninterrupted run. The file identifies its request by
+	// fingerprint; resuming with a different circuit or configuration is an
+	// error. Worker count may differ between the interrupted and resumed
+	// runs — results are worker-invariant.
+	CheckpointPath string
+	// CheckpointInterval is the minimum time between checkpoint writes.
+	// <= 0 writes after every committed batch or word — maximally durable
+	// and deterministic, at the cost of one small file write per unit.
+	CheckpointInterval time.Duration
 }
 
 // engineName resolves the effective engine: an explicit override wins,
@@ -218,6 +248,12 @@ func (cfg *Config) Validate(c *netlist.Circuit) error {
 	}
 	if cfg.BDDBudget < 0 {
 		return fmt.Errorf("ser: BDDBudget = %d is negative", cfg.BDDBudget)
+	}
+	if cfg.Timeout < 0 {
+		return fmt.Errorf("ser: Timeout = %v is negative (0 means no deadline)", cfg.Timeout)
+	}
+	if cfg.MaxSweepNodes < 0 {
+		return fmt.Errorf("ser: MaxSweepNodes = %d is negative (0 means no budget)", cfg.MaxSweepNodes)
 	}
 	eng, err := engine.Lookup(cfg.engineName())
 	if err != nil {
@@ -363,10 +399,33 @@ func prepare(c *netlist.Circuit, cfg *Config) (*prepared, error) {
 		// compatibility. The static per-node factor always applies.
 		p.req.Latch = &p.latch
 	}
+	p.req.MaxSweepNodes = cfg.MaxSweepNodes
+	if cfg.CheckpointPath != "" {
+		p.req.Resume = resume.New(cfg.CheckpointPath, cfg.CheckpointInterval)
+	}
 	if eng.Class() == engine.ClassAnalytic {
 		p.req.SP = SignalProbabilities(c, *cfg)
 	}
 	return p, nil
+}
+
+// runEngine invokes the engine's all-sites sweep with the pipeline-level
+// deadline applied and a defense-in-depth panic guard: the sweep drivers
+// recover worker and callback panics themselves, but a panic on an
+// engine's synchronous setup path (kernel construction, say) must equally
+// surface as an error rather than crash the caller.
+func (p *prepared) runEngine(ctx context.Context, cfg *Config, psens []float64) (err error) {
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &engine.SweepPanicError{Engine: p.eng.Name(), Unit: "sweep", Lo: -1, Hi: -1, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return p.eng.PSensitizedAll(ctx, &p.req, psens)
 }
 
 // platchVector resolves the per-node P_latched factor: the static
@@ -410,7 +469,7 @@ func Run(ctx context.Context, c *netlist.Circuit, cfg Config) (*Report, error) {
 	// completed vector word (its sites all finalize together at the end).
 	p.req.OnProgress = cfg.Progress
 	psens := make([]float64, n)
-	if err := p.eng.PSensitizedAll(ctx, &p.req, psens); err != nil {
+	if err := p.runEngine(ctx, &cfg, psens); err != nil {
 		return nil, err
 	}
 	rates := p.faults.RatesFIT(c)
@@ -467,7 +526,7 @@ func Stream(ctx context.Context, c *netlist.Circuit, cfg Config) iter.Seq2[NodeS
 			}
 			return nil
 		}
-		if err := p.eng.PSensitizedAll(ctx, &p.req, psens); err != nil && !stopped {
+		if err := p.runEngine(ctx, &cfg, psens); err != nil && !stopped {
 			yield(NodeSER{}, err)
 		}
 	}
@@ -491,7 +550,7 @@ func PSensitized(c *netlist.Circuit, cfg Config) ([]float64, error) {
 		return nil, err
 	}
 	out := make([]float64, c.N())
-	if err := p.eng.PSensitizedAll(context.Background(), &p.req, out); err != nil {
+	if err := p.runEngine(context.Background(), &cfg, out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -6,9 +6,12 @@ package simulate
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/bits"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -239,10 +242,13 @@ func (m *MCBatch) Stats() MCStats { return m.stats }
 // wordWorker is the per-goroutine state of a word-major sweep, shared by the
 // MCBatch and MCSeqBatch drivers: runWord processes one claimed 64-vector
 // word; merge folds the worker's detection counts and work counters into
-// the sweep totals (called under the driver's mutex at worker exit).
+// the sweep totals (called under the driver's mutex — at worker exit
+// normally, after every word in the per-word commit regime); reset zeroes
+// the local tallies between per-word merges.
 type wordWorker interface {
 	runWord(w int64)
 	merge(tot *mcTotals)
+	reset()
 }
 
 // mcTotals accumulates the integer counters of one word-major sweep. The
@@ -285,60 +291,226 @@ func (c *mcCounters) merge(tot *mcTotals) {
 	tot.stats.SweptMembers += c.sweptMembers
 }
 
+// reset zeroes the tallies so the worker can be merged per word (the
+// OnCommit regime) instead of once at exit.
+func (c *mcCounters) reset() {
+	clear(c.detected)
+	clear(c.later)
+	clear(c.frames)
+	c.words, c.goodSims, c.laneSims, c.sweptMembers = 0, 0, 0, 0
+}
+
+// seed folds a resumed run's counter snapshot into fresh totals, validating
+// the shapes against the kernel's (n sites, frames frames; frames == 0
+// means the single-cycle kernel, whose later/frames slices are nil).
+func (tot *mcTotals) seed(c *Counters, n, frames int) error {
+	if c == nil {
+		return nil
+	}
+	if len(c.Detected) != n {
+		return fmt.Errorf("simulate: resumed counters have %d sites, sweep has %d", len(c.Detected), n)
+	}
+	copy(tot.detected, c.Detected)
+	if frames > 0 {
+		if len(c.Later) != n || len(c.Frames) != frames*n {
+			return fmt.Errorf("simulate: resumed counters have %d/%d multi-cycle entries, sweep wants %d/%d",
+				len(c.Later), len(c.Frames), n, frames*n)
+		}
+		copy(tot.later, c.Later)
+		copy(tot.frames, c.Frames)
+	} else if len(c.Later) != 0 || len(c.Frames) != 0 {
+		return fmt.Errorf("simulate: resumed counters carry multi-cycle entries for a single-cycle sweep")
+	}
+	tot.stats.Words = c.Words
+	tot.stats.GoodSims = c.GoodSims
+	tot.stats.LaneSims = c.LaneSims
+	tot.stats.SweptMembers = c.SweptMembers
+	return nil
+}
+
+// snapshot copies the totals into an exported Counters value — what
+// MCOptions.OnCommit hands to the durability layer.
+func (tot *mcTotals) snapshot() Counters {
+	return Counters{
+		Detected:     append([]int64(nil), tot.detected...),
+		Later:        append([]int64(nil), tot.later...),
+		Frames:       append([]int64(nil), tot.frames...),
+		Words:        tot.stats.Words,
+		GoodSims:     tot.stats.GoodSims,
+		LaneSims:     tot.stats.LaneSims,
+		SweptMembers: tot.stats.SweptMembers,
+	}
+}
+
+// ErrWordBudget reports that a sweep stopped at its MaxNewWords budget with
+// the remaining words unprocessed; see MCOptions.MaxNewWords.
+var ErrWordBudget = errors.New("simulate: word budget exhausted")
+
+// PanicError is a panic recovered from a word-major sweep — in a worker
+// processing a word or in a user callback (OnWord/OnCommit) — converted to
+// an error so one poisoned word or buggy callback aborts the sweep cleanly
+// instead of crashing the process.
+type PanicError struct {
+	Word  int    // 64-vector word being processed; -1 if not word-bound
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine at recovery
+}
+
+// Error summarizes the panic; the full stack is in Stack.
+func (e *PanicError) Error() string {
+	if e.Word < 0 {
+		return fmt.Sprintf("simulate: panic in word sweep: %v", e.Value)
+	}
+	return fmt.Sprintf("simulate: panic in word sweep at word %d: %v", e.Word, e.Value)
+}
+
+// wordSweepCfg parameterizes runWordSweep; see MCOptions for the contracts
+// of the optional fields.
+type wordSweepCfg struct {
+	workers int
+	words   int    // total words of the full request
+	skip    []bool // words already completed by a resumed run (nil: none)
+	maxNew  int    // MaxNewWords bound (0: none)
+	onWord  func(done, total int)
+	commit  func(word int, snap func() Counters) error
+}
+
 // runWordSweep is the shared driver of the batched Monte Carlo kernels: it
-// claims 64-vector words from an atomic cursor across workers goroutines
-// (each with its own worker from newWorker), reports per-word OnWord
-// progress under the merge mutex (so done counts are strictly increasing
-// and calls never overlap), honors ctx between word claims, and merges
-// per-worker counters into tot at exit. On cancellation the partial result
-// is discarded and ctx.Err() returned. All counters are integers summed per
-// site (and per frame), so the totals are identical at any worker count.
-func runWordSweep(ctx context.Context, workers, words int, tot *mcTotals, onWord func(done, total int), newWorker func() wordWorker) error {
+// claims pending 64-vector words from an atomic cursor across workers
+// goroutines (each with its own worker from newWorker), reports per-word
+// OnWord progress under the merge mutex (so done counts are strictly
+// increasing and calls never overlap), honors ctx between word claims, and
+// merges per-worker counters into tot — per word under the mutex when a
+// commit hook is set (so each commit's snapshot covers exactly the
+// committed words), otherwise once at worker exit. Panics in workers or
+// callbacks are recovered into a *PanicError that aborts the sweep; on any
+// abort the partial result is discarded by the caller and the error
+// returned. All counters are integers summed per site (and per frame), so
+// the totals are identical at any worker count and any merge regime.
+func runWordSweep(ctx context.Context, cfg wordSweepCfg, tot *mcTotals, newWorker func() wordWorker) error {
+	pending := make([]int32, 0, cfg.words)
+	doneBase := 0
+	for w := 0; w < cfg.words; w++ {
+		if cfg.skip != nil && cfg.skip[w] {
+			doneBase++
+			continue
+		}
+		pending = append(pending, int32(w))
+	}
+	budgetHit := false
+	if cfg.maxNew > 0 && len(pending) > cfg.maxNew {
+		pending = pending[:cfg.maxNew]
+		budgetHit = true
+	}
+	if len(pending) == 0 {
+		if cfg.onWord != nil && doneBase > 0 {
+			cfg.onWord(doneBase, cfg.words)
+		}
+		return nil
+	}
+	workers := cfg.workers
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	var (
 		cursor    atomic.Int64
 		abort     atomic.Bool
 		wg        sync.WaitGroup
 		mu        sync.Mutex
 		firstErr  error
-		wordsDone int
+		wordsDone = doneBase
 	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		abort.Store(true)
+	}
+	perWordMerge := cfg.commit != nil
+	// afterWord runs the post-word critical section: fold the worker's
+	// counters into the totals (per-word regime), commit, then report
+	// progress. The deferred recover turns a callback panic into an error
+	// while the deferred unlock keeps the mutex released either way — a
+	// panicking callback must never leave the sweep deadlocked.
+	afterWord := func(word int, wk wordWorker) (err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Word: word, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		if firstErr != nil {
+			return firstErr
+		}
+		if perWordMerge {
+			wk.merge(tot)
+			wk.reset()
+		}
+		wordsDone++
+		if cfg.commit != nil {
+			if err := cfg.commit(word, tot.snapshot); err != nil {
+				return err
+			}
+		}
+		if cfg.onWord != nil {
+			cfg.onWord(wordsDone, cfg.words)
+		}
+		return nil
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			cur := -1
+			defer func() {
+				if r := recover(); r != nil {
+					fail(&PanicError{Word: cur, Value: r, Stack: debug.Stack()})
+				}
+			}()
 			wk := newWorker()
 			for {
 				if abort.Load() {
 					break
 				}
 				if err := ctx.Err(); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					fail(err)
+					break
+				}
+				i := cursor.Add(1) - 1
+				if i >= int64(len(pending)) {
+					break
+				}
+				cur = int(pending[i])
+				wk.runWord(int64(cur))
+				if perWordMerge || cfg.onWord != nil {
+					if err := afterWord(cur, wk); err != nil {
+						fail(err)
+						break
 					}
-					mu.Unlock()
-					abort.Store(true)
-					break
 				}
-				word := cursor.Add(1) - 1
-				if word >= int64(words) {
-					break
-				}
-				wk.runWord(word)
-				if onWord != nil {
-					mu.Lock()
-					wordsDone++
-					onWord(wordsDone, words)
-					mu.Unlock()
-				}
+				cur = -1
 			}
-			mu.Lock()
-			wk.merge(tot)
-			mu.Unlock()
+			if !perWordMerge {
+				mu.Lock()
+				wk.merge(tot)
+				mu.Unlock()
+			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if budgetHit {
+		return ErrWordBudget
+	}
+	return nil
 }
 
 // EPPAll estimates P_sensitized for every node of the circuit (indexed by
@@ -352,13 +524,29 @@ func (m *MCBatch) EPPAll(ctx context.Context, workers int) ([]MCResult, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	words := (m.opt.Vectors + 63) / 64
-	if workers > words {
-		workers = words
-	}
 	n := m.c.N()
 	tot := &mcTotals{detected: make([]int64, n)}
-	if err := runWordSweep(ctx, workers, words, tot, m.opt.OnWord,
+	cfg := wordSweepCfg{
+		workers: workers,
+		words:   words,
+		maxNew:  m.opt.MaxNewWords,
+		onWord:  m.opt.OnWord,
+		commit:  m.opt.OnCommit,
+	}
+	if r := m.opt.Resume; r != nil {
+		if len(r.Skip) != words {
+			return nil, fmt.Errorf("simulate: Resume.Skip has %d words, sweep has %d", len(r.Skip), words)
+		}
+		if err := tot.seed(r.Counters, n, 0); err != nil {
+			return nil, err
+		}
+		cfg.skip = r.Skip
+	}
+	if err := runWordSweep(ctx, cfg, tot,
 		func() wordWorker { return newMCWorker(m) }); err != nil {
+		if m.opt.OnCommit != nil && m.opt.OnAbort != nil {
+			m.opt.OnAbort(tot.snapshot())
+		}
 		return nil, err
 	}
 	tot.stats.Sites = int64(n)

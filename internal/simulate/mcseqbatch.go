@@ -6,6 +6,7 @@ package simulate
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/bits"
 	"runtime"
@@ -305,17 +306,33 @@ func (m *MCSeqBatch) PDetectAll(ctx context.Context, workers int) ([]SeqResult, 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	words := (m.opt.Vectors + 63) / 64
-	if workers > words {
-		workers = words
-	}
 	n := m.c.N()
 	tot := &mcTotals{
 		detected: make([]int64, n),
 		later:    make([]int64, n),
 		frames:   make([]int64, m.frames*n),
 	}
-	if err := runWordSweep(ctx, workers, words, tot, m.opt.OnWord,
+	cfg := wordSweepCfg{
+		workers: workers,
+		words:   words,
+		maxNew:  m.opt.MaxNewWords,
+		onWord:  m.opt.OnWord,
+		commit:  m.opt.OnCommit,
+	}
+	if r := m.opt.Resume; r != nil {
+		if len(r.Skip) != words {
+			return nil, fmt.Errorf("simulate: Resume.Skip has %d words, sweep has %d", len(r.Skip), words)
+		}
+		if err := tot.seed(r.Counters, n, m.frames); err != nil {
+			return nil, err
+		}
+		cfg.skip = r.Skip
+	}
+	if err := runWordSweep(ctx, cfg, tot,
 		func() wordWorker { return newMCSeqWorker(m) }); err != nil {
+		if m.opt.OnCommit != nil && m.opt.OnAbort != nil {
+			m.opt.OnAbort(tot.snapshot())
+		}
 		return nil, err
 	}
 	tot.stats.Sites = int64(n)

@@ -44,14 +44,80 @@ type MCOptions struct {
 	// mutex, so done is strictly increasing and calls never overlap — the
 	// word-granular progress signal the word-major sweeps can honestly
 	// report (per-site results all finalize together at the last word). The
-	// per-site estimators ignore it.
+	// per-site estimators ignore it. A panic in the callback aborts the
+	// sweep with a *PanicError instead of crashing the worker goroutine.
 	OnWord func(done, total int)
+	// Resume, when non-nil, seeds a batched sweep from a prior partial run:
+	// words with Skip[w] set are not re-run and the saved Counters are
+	// folded into the totals before the sweep starts. Because every counter
+	// is an integer sum over words under the shared-stream vector regime,
+	// the completed sweep is bit-identical to an uninterrupted one. The
+	// per-site estimators ignore it.
+	Resume *Resume
+	// OnCommit, when non-nil, is invoked by the batched kernels under the
+	// merge mutex after each word's counters are folded into the sweep
+	// totals, before OnWord — the durability hook checkpointing rides on.
+	// snap returns a copy of the totals consistent with every committed
+	// word including this one; call it only if the commit will be
+	// persisted. Setting OnCommit switches the sweep to per-word merging
+	// (workers fold into the shared totals after every word instead of once
+	// at exit), which is what makes the snapshot meaningful mid-sweep. A
+	// non-nil error aborts the sweep and is returned verbatim.
+	OnCommit func(word int, snap func() Counters) error
+	// OnAbort, when non-nil alongside OnCommit, is invoked once after the
+	// sweep's workers have stopped on any failed or truncated run —
+	// cancellation, deadline, budget stop, recovered panic — with a counter
+	// snapshot consistent with every committed word (the per-word merge
+	// regime guarantees the totals never include an uncommitted word). The
+	// durability layer uses it to flush the final partial state that the
+	// interval-based commit cadence may not have written yet.
+	OnAbort func(snap Counters)
+	// MaxNewWords, when > 0, bounds the number of words one sweep call may
+	// process (not counting words skipped via Resume). When it truncates
+	// the sweep, the kernel processes exactly that many words and returns
+	// ErrWordBudget — combined with OnCommit the completed words are
+	// durable, so repeated budgeted calls converge to completion.
+	MaxNewWords int
+}
+
+// Resume seeds a batched Monte Carlo sweep with the completed work of a
+// prior partial run; see MCOptions.Resume.
+type Resume struct {
+	// Skip marks the 64-vector words already completed, indexed by word.
+	// Its length must equal the sweep's word count.
+	Skip []bool
+	// Counters is the integer counter snapshot over exactly the skipped
+	// words (nil means all-zero, a fresh start).
+	Counters *Counters
+}
+
+// Counters is a snapshot of a batched sweep's integer totals: the per-site
+// (and, multi-cycle, per-frame) detection tallies plus the work counters of
+// MCStats that accumulate per word. Everything in it is a plain sum over
+// completed words, which is what lets a resumed sweep fold it back in with
+// bit-identical results.
+type Counters struct {
+	Detected []int64 // per site
+	Later    []int64 // per site, multi-cycle kernels only
+	Frames   []int64 // frame-major frames×n, multi-cycle kernels only
+
+	Words        int64
+	GoodSims     int64
+	LaneSims     int64
+	SweptMembers int64
 }
 
 func (o *MCOptions) setDefaults() {
 	if o.Vectors <= 0 {
 		o.Vectors = 10000
 	}
+}
+
+// Words returns the number of 64-vector words a sweep with these options
+// applies — the unit count word-major checkpoints are tracked in.
+func (o MCOptions) Words() int {
+	o.setDefaults()
+	return (o.Vectors + 63) / 64
 }
 
 // MCResult is the Monte Carlo estimate of P_sensitized for one error site.

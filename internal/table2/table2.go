@@ -19,6 +19,7 @@
 package table2
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -194,8 +195,11 @@ func sampleSites(n, k int) []netlist.ID {
 // RunProfiles measures the named ISCAS'89-profile circuits (nil = all
 // eleven of the paper's Table 2) and returns the rows in order. If progress
 // is non-nil it is called with each row as soon as it is measured, so long
-// runs can stream results.
-func RunProfiles(names []string, cfg Config, progress func(Row)) ([]Row, error) {
+// runs can stream results. Cancellation and deadlines on ctx are honored at
+// circuit granularity: the timed kernels themselves run to completion (a
+// mid-measurement abort would corrupt the row), but no new circuit starts
+// once ctx is done.
+func RunProfiles(ctx context.Context, names []string, cfg Config, progress func(Row)) ([]Row, error) {
 	if names == nil {
 		for _, p := range gen.ISCAS89 {
 			names = append(names, p.Name)
@@ -203,6 +207,9 @@ func RunProfiles(names []string, cfg Config, progress func(Row)) ([]Row, error) 
 	}
 	rows := make([]Row, 0, len(names))
 	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return rows, err
+		}
 		c, err := gen.ByName(name)
 		if err != nil {
 			return nil, err

@@ -2,6 +2,7 @@ package table2
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -89,7 +90,7 @@ func TestRenderLayout(t *testing.T) {
 }
 
 func TestRunProfilesUnknownName(t *testing.T) {
-	if _, err := RunProfiles([]string{"sXXX"}, Config{}, nil); err == nil {
+	if _, err := RunProfiles(context.Background(), []string{"sXXX"}, Config{}, nil); err == nil {
 		t.Error("unknown profile accepted")
 	}
 }
@@ -98,7 +99,7 @@ func TestRunProfilesUnknownName(t *testing.T) {
 // circuit, in order, and the bit-parallel baseline path works end to end.
 func TestRunProfilesStreamsProgress(t *testing.T) {
 	var seen []string
-	rows, err := RunProfiles([]string{"s953"}, Config{
+	rows, err := RunProfiles(context.Background(), []string{"s953"}, Config{
 		MCVectors: 256, SampleNodes: 10, SPVectors: 2048, Seed: 2,
 		Baseline: BaselineBitParallel, Workers: 2,
 	}, func(r Row) { seen = append(seen, r.Circuit) })

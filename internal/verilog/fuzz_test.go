@@ -2,6 +2,8 @@ package verilog
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -14,6 +16,18 @@ func FuzzParse(f *testing.F) {
 		"module m (a, y);\ninput a;\noutput y;\nwire w;\nbuf g1 (w, a);\nbuf g2 (y, w);\nendmodule\n",
 		"module m (", "endmodule", "input a;", "/* unterminated",
 		"module m (a, y); // c\ninput a;\noutput y;\ndff r (y, a);\nendmodule\n",
+	}
+	// Real fixture modules seed the mutator with complete valid netlists.
+	files, err := filepath.Glob("../../testdata/*.v")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, string(data))
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/ser"
@@ -231,6 +232,55 @@ func WithLatchModel(m LatchModel) Option {
 func WithProgress(fn func(done, total int)) Option {
 	return func(rc *runConfig) error {
 		rc.cfg.Progress = fn
+		return nil
+	}
+}
+
+// WithTimeout bounds the whole run: the pipeline context gets a deadline,
+// enforced by every engine at batch/word granularity. An expired deadline
+// surfaces as a *PartialError wrapping context.DeadlineExceeded — test with
+// errors.Is(err, context.DeadlineExceeded) — carrying how many node units
+// had finalized. Combined with WithCheckpoint the finalized work is durable,
+// so repeatedly re-running a deadlined request converges to completion.
+func WithTimeout(d time.Duration) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.Timeout = d
+		return nil
+	}
+}
+
+// WithMaxSweepNodes bounds the node units of new P_sensitized work one call
+// may perform (0 = unlimited): site-major engines stop at the first batch
+// boundary at or past the budget, the word-major monte-carlo engine at the
+// equivalent word boundary. A budgeted stop surfaces as a *PartialError
+// wrapping ErrSweepBudget. Like WithTimeout, it composes with
+// WithCheckpoint into incremental runs that converge to completion.
+func WithMaxSweepNodes(n int) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.MaxSweepNodes = n
+		return nil
+	}
+}
+
+// WithCheckpoint makes the sweep crash-safe: progress — completed site
+// batches or vector words plus their integer counters — is committed to the
+// file at path (atomically, temp+rename; format documented in
+// internal/resume), at most every interval (interval <= 0 commits after
+// every unit). A later identical Run against the same path skips the
+// completed work and folds the saved results in, producing a Report
+// byte-identical to an uninterrupted run on every engine. The checkpoint
+// records a fingerprint of everything that affects results (circuit
+// content, engine, seed, vectors, frames, models…); resuming with a
+// different configuration is an error, while scheduling knobs (WithWorkers,
+// WithBatchWidth) may change freely between runs — results are
+// worker-invariant. Delete the file to start fresh.
+func WithCheckpoint(path string, interval time.Duration) Option {
+	return func(rc *runConfig) error {
+		if path == "" {
+			return fmt.Errorf("sersim: WithCheckpoint with an empty path")
+		}
+		rc.cfg.CheckpointPath = path
+		rc.cfg.CheckpointInterval = interval
 		return nil
 	}
 }

@@ -93,6 +93,7 @@ import (
 	"repro/internal/bddsp"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/faults"
 	"repro/internal/gen"
@@ -290,6 +291,24 @@ func ExactPSensitized(c *Circuit, site ID, prob1 []float64, maxNodes int) (float
 func EnumeratePSensitized(c *Circuit, site ID) (float64, error) {
 	return exact.PSensitized(c, site)
 }
+
+// PartialError reports a sweep that stopped before completion for an
+// orderly reason — cancellation, a WithTimeout deadline, or the
+// WithMaxSweepNodes budget — with how many node units had finalized. The
+// cause (context.Canceled, context.DeadlineExceeded or ErrSweepBudget) is
+// reachable through errors.Is/As. With WithCheckpoint the finalized work is
+// durable and a re-run resumes from it.
+type PartialError = engine.PartialError
+
+// SweepPanicError is a panic recovered inside a sweep — an engine worker or
+// a user callback (WithProgress, RunStream consumers) — converted to a
+// returned error carrying the failing engine, unit and stack, so a buggy
+// callback or one poisoned input cannot crash the process mid-sweep.
+type SweepPanicError = engine.SweepPanicError
+
+// ErrSweepBudget is the sentinel wrapped by a *PartialError when a sweep
+// stops at its WithMaxSweepNodes budget; test with errors.Is.
+var ErrSweepBudget = engine.ErrBudget
 
 // TMR returns a copy of c with the selected gates triplicated behind 2-of-3
 // majority voters (local triple modular redundancy), the hardening transform
