@@ -25,11 +25,13 @@
 //	-mode accuracy         per-engine accuracy vs the shared sampling reference
 //	-mode bench            per-circuit P_sensitized kernel timing (ns/op, allocs/op)
 //
-// Bench mode times a named engine from the registry (-engine, default
-// epp-batch; see sercalc -engines for the set), and -json FILE additionally
-// writes the measurements as a JSON array ({circuit, engine, nodes, gates,
-// ns_per_op, allocs_per_op, bytes_per_op}) so successive runs can be
-// tracked as a BENCH_*.json trajectory. Passing -json with the default mode
+// Bench mode times engines from the registry (-engine, a comma-separated
+// list, default epp-batch; see sercalc -engines for the set). Each circuit
+// is parsed and finalized exactly once per invocation — all timed engines
+// share the one instance through the circuitio parse cache — and -json FILE
+// additionally writes the measurements as a JSON array ({circuit, engine,
+// nodes, gates, ns_per_op, allocs_per_op, bytes_per_op}) so successive runs
+// can be tracked as a BENCH_*.json trajectory. Passing -json with the default mode
 // implies -mode bench. -frames N > 1 times (or compares) the multi-cycle
 // detection analysis instead of the single-cycle P_sensitized, for every
 // engine that supports it (epp-batch, epp-scalar, monte-carlo).
@@ -70,6 +72,7 @@ import (
 	"testing"
 
 	"repro/internal/bddsp"
+	"repro/internal/circuitio"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exact"
@@ -92,7 +95,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "EPP sweep parallelism")
 		csvPath   = flag.String("csv", "", "also write the table as CSV to this file")
 		jsonPath  = flag.String("json", "", "write bench-mode measurements as JSON to this file")
-		engName   = flag.String("engine", "epp-batch", "P_sensitized engine timed by bench mode")
+		engName   = flag.String("engine", "epp-batch", "comma-separated P_sensitized engines timed by bench mode")
 		compare   = flag.String("compare", "epp-batch,epp-scalar,monte-carlo", "engines compared by accuracy mode")
 		frames    = flag.Int("frames", 1, "clock cycles for multi-cycle detection (bench and accuracy modes)")
 		latchSpec = flag.String("latch", "", `latch-window coupling for multi-cycle runs: "default" or "clock=…,pulse=…,window=…,atten=…" (empty = uncoupled)`)
@@ -179,7 +182,7 @@ func main() {
 	case "accuracy":
 		runAccuracy(ctx, names, strings.Split(*compare, ","), *frames, cfg.Workers, cfg.MCVectors, cfg.Seed, lm)
 	case "bench":
-		runBench(ctx, names, *engName, *jsonPath, *frames, cfg.Workers, cfg.MCVectors, cfg.Seed, lm)
+		runBench(ctx, names, strings.Split(*engName, ","), *jsonPath, *frames, cfg.Workers, cfg.MCVectors, cfg.Seed, lm)
 	default:
 		fmt.Fprintf(os.Stderr, "serbench: unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -337,41 +340,52 @@ func benchCircuit(ctx context.Context, eng engine.Engine, c *netlist.Circuit, fr
 // series of BENCH_*.json files. Work-counter ratios (swept nodes per site,
 // good sims per word) ride along so locality and good-sim-sharing wins show
 // up in the artifact trajectory, not just wall-clock.
-func runBench(ctx context.Context, names []string, engName, jsonPath string, frames, workers, vectors int, seed uint64, lm *latch.Model) {
-	eng, err := engine.Lookup(engName)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
-		os.Exit(2)
+func runBench(ctx context.Context, names []string, engNames []string, jsonPath string, frames, workers, vectors int, seed uint64, lm *latch.Model) {
+	// Resolve every engine up front so a typo anywhere in the list is a
+	// usage error before any measurement starts.
+	engs := make([]engine.Engine, 0, len(engNames))
+	for _, en := range engNames {
+		eng, err := engine.Lookup(strings.TrimSpace(en))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serbench: %v\n", err)
+			os.Exit(2)
+		}
+		engs = append(engs, eng)
 	}
 	if names == nil {
 		names = gen.Names()
 	}
-	title := fmt.Sprintf("all-sites P_sensitized kernel (engine %s)", eng.Name())
+	title := "all-sites P_sensitized kernel"
 	if frames > 1 {
-		title = fmt.Sprintf("all-sites multi-cycle detection kernel (engine %s, %d frames)", eng.Name(), frames)
+		title = fmt.Sprintf("all-sites multi-cycle detection kernel (%d frames)", frames)
 		if lm != nil {
 			title += ", latch-window weighted"
 		}
 	}
 	t := report.NewTable(
 		title,
-		"Circuit", "Nodes", "ns/op", "allocs/op", "B/op", "swept/site", "goodsims/word",
+		"Circuit", "Engine", "Nodes", "ns/op", "allocs/op", "B/op", "swept/site", "goodsims/word",
 	)
-	rows := make([]benchRow, 0, len(names))
+	rows := make([]benchRow, 0, len(names)*len(engs))
 	for _, name := range names {
-		c, err := gen.ByName(name)
+		// One parse+finalize per circuit per invocation, no matter how many
+		// engines time it: the shared circuitio cache hands every engine the
+		// same finalized instance.
+		c, err := loadProfile(name)
 		if err != nil {
 			fatal(err)
 		}
-		row, err := benchCircuit(ctx, eng, c, frames, workers, vectors, seed, lm)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", name, err))
+		for _, eng := range engs {
+			row, err := benchCircuit(ctx, eng, c, frames, workers, vectors, seed, lm)
+			if err != nil {
+				fatal(fmt.Errorf("%s/%s: %w", name, eng.Name(), err))
+			}
+			rows = append(rows, row)
+			t.AddRowf(row.Circuit, row.Engine, row.Nodes, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp,
+				row.SweptNodesPerSite, row.GoodSimsPerWord)
+			fmt.Fprintf(os.Stderr, "done %-8s %-12s %.3fms/op %d allocs/op\n",
+				name, row.Engine, row.NsPerOp/1e6, row.AllocsPerOp)
 		}
-		rows = append(rows, row)
-		t.AddRowf(row.Circuit, row.Nodes, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp,
-			row.SweptNodesPerSite, row.GoodSimsPerWord)
-		fmt.Fprintf(os.Stderr, "done %-8s %.3fms/op %d allocs/op\n",
-			name, row.NsPerOp/1e6, row.AllocsPerOp)
 	}
 	t.AddNote("one op = P_sensitized for every node (default batch width %d)", core.DefaultBatchWidth)
 	t.AddNote("ops go through the stateless engine API and include per-call engine construction; BenchmarkEPPAllNodes times the warm core kernel")
@@ -480,7 +494,7 @@ func runAccuracy(ctx context.Context, names, engines []string, frames, workers, 
 	}
 	t := report.NewTable(title, "Circuit", "Engine", "Sites", "MAE", "Worst", "goodsims/word")
 	for _, name := range names {
-		c, err := gen.ByName(name)
+		c, err := loadProfile(name)
 		if err != nil {
 			fatal(err)
 		}
@@ -518,7 +532,7 @@ func runExactAccuracy(ctx context.Context, names []string, cfg table2.Config) {
 		if err := ctx.Err(); err != nil {
 			fatal(err)
 		}
-		c, err := gen.ByName(name)
+		c, err := loadProfile(name)
 		if err != nil {
 			fatal(err)
 		}
@@ -632,4 +646,12 @@ func runSPAblation(ctx context.Context, names []string, cfg table2.Config) {
 	if err := t.Render(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// loadProfile resolves a generated profile through the shared circuitio
+// parse-once path (the same helper sercalc and the serd daemon use):
+// repeated loads of one circuit across modes, engines and comparisons all
+// share a single finalized instance per invocation.
+func loadProfile(name string) (*netlist.Circuit, error) {
+	return circuitio.Load(circuitio.Source{Profile: name})
 }

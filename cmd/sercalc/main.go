@@ -63,8 +63,8 @@ import (
 	"time"
 
 	sersim "repro"
+	"repro/internal/circuitio"
 	"repro/internal/report"
-	"repro/internal/verilog"
 )
 
 func main() {
@@ -279,13 +279,16 @@ func load(benchPath, vlogPath, profile string) (*sersim.Circuit, error) {
 	if set > 1 {
 		return nil, fmt.Errorf("%wuse exactly one of -bench, -verilog or -profile", errUsage)
 	}
+	// All three inputs resolve through the shared circuitio parse path —
+	// the same parse-once helper the serd daemon and serbench use — so
+	// every consumer agrees on parsing, finalization and content hashing.
 	switch {
 	case benchPath != "":
-		return sersim.ParseBenchFile(benchPath)
+		return circuitio.Load(circuitio.Source{Path: benchPath})
 	case vlogPath != "":
-		return verilog.ParseFile(vlogPath)
+		return circuitio.Load(circuitio.Source{Path: vlogPath})
 	case profile != "":
-		return sersim.GenerateProfile(profile)
+		return circuitio.Load(circuitio.Source{Profile: profile})
 	default:
 		return nil, fmt.Errorf("%wone of -bench, -verilog or -profile is required", errUsage)
 	}

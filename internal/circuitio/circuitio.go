@@ -1,0 +1,321 @@
+// Package circuitio resolves circuit sources — inline ISCAS'89 .bench text,
+// .bench or structural Verilog files, and generated ISCAS'89 profile names —
+// through one shared parse helper backed by a content-addressed cache, so a
+// circuit is parsed and finalized exactly once no matter how many engines,
+// CLI modes or concurrent server requests consume it.
+//
+// The cache is keyed by netlist.Circuit.ContentHash — the structural
+// content hash that also anchors the checkpoint/resume request fingerprint —
+// with cheap alias keys (source-text digest, file path, profile name) in
+// front so a repeated Load never re-parses just to rediscover the hash. It
+// is bounded by an approximate byte budget with LRU eviction, and concurrent
+// Loads of the same source are collapsed into a single parse (the others
+// block and share the result), which is what a daemon serving many identical
+// requests needs.
+package circuitio
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/verilog"
+)
+
+// Source names one circuit input. Exactly one field must be set.
+type Source struct {
+	// Bench is inline ISCAS'89 .bench source text.
+	Bench string
+	// Path is a netlist file: .v / .verilog parses as structural Verilog,
+	// anything else as ISCAS'89 .bench.
+	Path string
+	// Profile is a generated synthetic ISCAS'89 profile name (see gen.Names).
+	Profile string
+	// Hash references a circuit already resident in the cache by its
+	// content hash — the daemon's repeat-request fast path. Loading a hash
+	// that is not resident fails with ErrNotCached (there is no source to
+	// parse); re-send the full source to repopulate.
+	Hash string
+}
+
+// Validate checks that exactly one source field is set.
+func (s Source) Validate() error {
+	set := 0
+	for _, f := range []string{s.Bench, s.Path, s.Profile, s.Hash} {
+		if f != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return fmt.Errorf("circuitio: exactly one of bench, path, profile or hash must be set (got %d)", set)
+	}
+	return nil
+}
+
+// aliasKey is the cheap pre-parse identity of a source: it must be
+// computable without parsing, and two sources with equal alias keys must
+// denote the same circuit content.
+func (s Source) aliasKey() (string, error) {
+	switch {
+	case s.Bench != "":
+		sum := sha256.Sum256([]byte(s.Bench))
+		return "bench:" + hex.EncodeToString(sum[:]), nil
+	case s.Path != "":
+		abs, err := filepath.Abs(s.Path)
+		if err != nil {
+			abs = s.Path
+		}
+		// File content may change between invocations of a long-lived
+		// process; fold size+mtime into the key so a rewritten file is
+		// re-parsed rather than served stale.
+		if fi, err := os.Stat(s.Path); err == nil {
+			return fmt.Sprintf("path:%s:%d:%d", abs, fi.Size(), fi.ModTime().UnixNano()), nil
+		}
+		return "path:" + abs, nil
+	case s.Profile != "":
+		return "profile:" + s.Profile, nil
+	case s.Hash != "":
+		return "", nil // hashes are resolved directly, no alias
+	}
+	return "", fmt.Errorf("circuitio: empty source")
+}
+
+// parse runs the actual parser for the source. Hash-only sources cannot be
+// parsed and must hit the cache.
+func (s Source) parse() (*netlist.Circuit, error) {
+	switch {
+	case s.Bench != "":
+		return bench.ParseString(s.Bench)
+	case s.Path != "":
+		switch strings.ToLower(filepath.Ext(s.Path)) {
+		case ".v", ".verilog":
+			return verilog.ParseFile(s.Path)
+		default:
+			return bench.ParseFile(s.Path)
+		}
+	case s.Profile != "":
+		return gen.ByName(s.Profile)
+	}
+	return nil, fmt.Errorf("circuitio: empty source")
+}
+
+// ErrNotCached reports a hash-only Source whose circuit is not resident.
+var ErrNotCached = fmt.Errorf("circuitio: circuit not cached")
+
+// EstimateBytes approximates a finalized Circuit's resident size: the Node
+// structs, both CSR edge arrays with their per-node views, the dense side
+// arrays (kinds, levels, topo order, observation data) and the name
+// strings. It deliberately overestimates slightly — the cache bound is a
+// memory-protection knob, not an accounting ledger.
+func EstimateBytes(c *netlist.Circuit) int64 {
+	const perNode = 200 // Node struct + dense side-array entries + map slot
+	const perEdge = 16  // fanin + fanout CSR entries with index overhead
+	size := int64(c.N()) * perNode
+	edges := 0
+	for id := 0; id < c.N(); id++ {
+		edges += len(c.Node(netlist.ID(id)).Fanin)
+	}
+	size += int64(edges) * 2 * perEdge
+	for id := 0; id < c.N(); id++ {
+		size += int64(2 * len(c.Node(netlist.ID(id)).Name))
+	}
+	return size
+}
+
+// Stats is a point-in-time cache observation.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Cache is a content-addressed, byte-bounded, LRU circuit cache with
+// single-flight parsing. The zero value is not usable; construct with New.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*list.Element // content hash -> element
+	aliases  map[string]string        // alias key -> content hash
+	lru      *list.List               // front = most recent
+	inflight map[string]*call         // alias key -> pending parse
+	stats    Stats
+}
+
+type entry struct {
+	hash    string
+	circuit *netlist.Circuit
+	size    int64
+	aliases []string
+}
+
+type call struct {
+	done chan struct{}
+	c    *netlist.Circuit
+	err  error
+}
+
+// New returns a cache bounded to approximately maxBytes of resident circuit
+// data (0 means a 256 MiB default). A single circuit larger than the bound
+// is still served — and cached alone — rather than refused; the bound
+// protects the steady state, not the single request.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  map[string]*list.Element{},
+		aliases:  map[string]string{},
+		lru:      list.New(),
+		inflight: map[string]*call{},
+	}
+}
+
+// Load resolves src through the cache, parsing at most once per distinct
+// content no matter how many goroutines ask concurrently. The returned
+// Circuit is immutable and shared; callers must not retain assumptions
+// about residency (it may be evicted after return, which only affects
+// future hash-only lookups).
+func (cc *Cache) Load(src Source) (*netlist.Circuit, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	if src.Hash != "" {
+		if c, ok := cc.Get(src.Hash); ok {
+			return c, nil
+		}
+		return nil, fmt.Errorf("%w: hash %s (re-send the full source)", ErrNotCached, src.Hash)
+	}
+	alias, err := src.aliasKey()
+	if err != nil {
+		return nil, err
+	}
+	cc.mu.Lock()
+	if hash, ok := cc.aliases[alias]; ok {
+		if el, ok := cc.entries[hash]; ok {
+			cc.lru.MoveToFront(el)
+			cc.stats.Hits++
+			c := el.Value.(*entry).circuit
+			cc.mu.Unlock()
+			return c, nil
+		}
+		// Alias points at an evicted entry; drop it and re-parse.
+		delete(cc.aliases, alias)
+	}
+	if fl, ok := cc.inflight[alias]; ok {
+		cc.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, fl.err
+		}
+		return fl.c, nil
+	}
+	fl := &call{done: make(chan struct{})}
+	cc.inflight[alias] = fl
+	cc.stats.Misses++
+	cc.mu.Unlock()
+
+	fl.c, fl.err = src.parse()
+	close(fl.done)
+
+	cc.mu.Lock()
+	delete(cc.inflight, alias)
+	if fl.err == nil {
+		cc.insertLocked(fl.c, alias)
+	}
+	cc.mu.Unlock()
+	return fl.c, fl.err
+}
+
+// Get returns the resident circuit with the given content hash, if any.
+func (cc *Cache) Get(hash string) (*netlist.Circuit, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if el, ok := cc.entries[hash]; ok {
+		cc.lru.MoveToFront(el)
+		cc.stats.Hits++
+		return el.Value.(*entry).circuit, true
+	}
+	cc.stats.Misses++
+	return nil, false
+}
+
+// Put inserts an already-parsed circuit (e.g. one built programmatically)
+// and returns its content hash.
+func (cc *Cache) Put(c *netlist.Circuit) string {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.insertLocked(c, "")
+}
+
+// insertLocked adds the circuit under its content hash, records the alias,
+// and evicts LRU entries until the byte bound holds again.
+func (cc *Cache) insertLocked(c *netlist.Circuit, alias string) string {
+	hash := c.ContentHash()
+	if el, ok := cc.entries[hash]; ok {
+		// Same content arrived through a new alias; keep the resident copy.
+		e := el.Value.(*entry)
+		if alias != "" {
+			cc.aliases[alias] = hash
+			e.aliases = append(e.aliases, alias)
+		}
+		cc.lru.MoveToFront(el)
+		return hash
+	}
+	e := &entry{hash: hash, circuit: c, size: EstimateBytes(c)}
+	if alias != "" {
+		e.aliases = append(e.aliases, alias)
+		cc.aliases[alias] = hash
+	}
+	cc.entries[hash] = cc.lru.PushFront(e)
+	cc.bytes += e.size
+	for cc.bytes > cc.maxBytes && cc.lru.Len() > 1 {
+		cc.evictOldestLocked()
+	}
+	return hash
+}
+
+func (cc *Cache) evictOldestLocked() {
+	el := cc.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	cc.lru.Remove(el)
+	delete(cc.entries, e.hash)
+	for _, a := range e.aliases {
+		delete(cc.aliases, a)
+	}
+	cc.bytes -= e.size
+	cc.stats.Evictions++
+}
+
+// Stats returns a snapshot of the cache counters.
+func (cc *Cache) Stats() Stats {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	s := cc.stats
+	s.Entries = cc.lru.Len()
+	s.Bytes = cc.bytes
+	s.MaxBytes = cc.maxBytes
+	return s
+}
+
+// Default is the process-wide cache used by the package-level Load — the
+// CLIs' shared parse-once path.
+var Default = New(0)
+
+// Load resolves src through the process-wide Default cache.
+func Load(src Source) (*netlist.Circuit, error) { return Default.Load(src) }

@@ -179,6 +179,21 @@ type Request struct {
 	// (committed ranges must be ID ranges); the kernels are
 	// packing-invariant, so results are unchanged.
 	Resume *resume.Checkpoint
+	// SiteLo/SiteHi, when SiteHi > SiteLo, restrict the sweep to the node-ID
+	// shard range [SiteLo, SiteHi) — the distributed coordinator's unit of
+	// work. Only out entries inside the range are written (the rest are left
+	// untouched), OnBatch ranges tile exactly [SiteLo, SiteHi), and progress
+	// and *PartialError metadata count shard units (total = SiteHi−SiteLo).
+	// The range is excluded from the request fingerprint — every shard of one
+	// logical sweep fingerprints as that sweep — and because the engines are
+	// packing-invariant, concatenating shard results reproduces the full
+	// sweep bit-identically. A shard cannot carry its own Resume checkpoint
+	// (the coordinator owns retry durability), and the word-major monte-carlo
+	// engine rejects ranges: its shared-good-sim kernel amortizes one good
+	// simulation across all sites per vector word, so sharding by site would
+	// duplicate every good simulation in every shard. Both fields zero (the
+	// zero value) means a full [0, N) sweep.
+	SiteLo, SiteHi int
 	// MaxSweepNodes, when > 0, bounds the node units of new work this call
 	// may perform (units already restored from a checkpoint are free).
 	// Site-major engines stop at the first batch boundary at or past the

@@ -236,6 +236,14 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 	}
 	c := req.Circuit
 	n := c.N()
+	if req.SiteHi > req.SiteLo {
+		// The shared-good-sim kernel is word-major: each 64-vector word costs
+		// one full-circuit good simulation amortized across every site, so a
+		// site-range shard would re-pay all good simulations per shard —
+		// sharding by site only multiplies work. The coordinator runs sampling
+		// requests whole instead.
+		return fmt.Errorf("engine: monte-carlo does not support a site-range shard (the word-major shared-good-sim kernel amortizes good simulations across all sites; shard by seed or run whole instead)")
+	}
 	opt := req.mcOptions()
 	words := opt.Words()
 	var wordsDone int // last OnWord done count, for partial-progress metadata
@@ -251,7 +259,7 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 	var rs *resume.State
 	if req.Resume != nil {
 		var err error
-		rs, err = req.Resume.Arm("monte-carlo", req.fingerprint("monte-carlo", nil), resume.KindWords, words)
+		rs, err = req.Resume.Arm("monte-carlo", req.Fingerprint("monte-carlo", nil), resume.KindWords, words)
 		if err != nil {
 			return err
 		}

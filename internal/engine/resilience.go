@@ -68,15 +68,19 @@ func (e *SweepPanicError) Error() string {
 	return fmt.Sprintf("engine: panic in %s sweep%s: %v", e.Engine, where, e.Value)
 }
 
-// fingerprint canonically hashes everything that determines the request's
+// Fingerprint canonically hashes everything that determines the request's
 // results for the named engine: the circuit's content hash plus every
 // result-affecting option. Pure scheduling knobs — Workers, BatchWidth,
-// OrderedSweep — are deliberately excluded: the engines guarantee results
-// bit-identical across them, so a checkpoint written at one worker count
-// resumes correctly at another. sp is the resolved signal probability
-// vector for analytic engines (nil otherwise) so that an SP-affecting
-// change upstream is caught even though SP is computed, not configured.
-func (r *Request) fingerprint(engineName string, sp []float64) string {
+// OrderedSweep, and the SiteLo/SiteHi shard range — are deliberately
+// excluded: the engines guarantee results bit-identical across them, so a
+// checkpoint written at one worker count resumes correctly at another, and
+// shards of one logical sweep computed on different machines all
+// fingerprint as that sweep — which is what lets a distributed coordinator
+// commit returned shard ranges against a single full-sweep checkpoint. sp
+// is the resolved signal probability vector for analytic engines (nil
+// otherwise) so that an SP-affecting change upstream is caught even though
+// SP is computed, not configured.
+func (r *Request) Fingerprint(engineName string, sp []float64) string {
 	h := sha256.New()
 	var buf [8]byte
 	wInt := func(v int64) {
@@ -118,14 +122,16 @@ func (r *Request) fingerprint(engineName string, sp []float64) string {
 // span is one contiguous claimable range of a sweep's unit space.
 type span struct{ lo, hi int }
 
-// chunkSpans tiles [0, n) into chunk-aligned spans — the fresh-sweep work
-// list, identical to the historical atomic-cursor partitioning.
-func chunkSpans(n, chunk int) []span {
-	spans := make([]span, 0, (n+chunk-1)/chunk)
-	for lo := 0; lo < n; lo += chunk {
+// chunkSpans tiles [lo0, hi0) into chunk-sized spans aligned to lo0 — the
+// fresh-sweep work list, identical to the historical atomic-cursor
+// partitioning for the full range [0, n), and the shard work list for a
+// site-range request.
+func chunkSpans(lo0, hi0, chunk int) []span {
+	spans := make([]span, 0, (hi0-lo0+chunk-1)/chunk)
+	for lo := lo0; lo < hi0; lo += chunk {
 		hi := lo + chunk
-		if hi > n {
-			hi = n
+		if hi > hi0 {
+			hi = hi0
 		}
 		spans = append(spans, span{lo, hi})
 	}
@@ -314,15 +320,36 @@ func wrapSweepErr(engName string, total, done int, err error) error {
 // request fingerprint.
 func siteSweep(ctx context.Context, req *Request, engName string, sp []float64, chunk int, out []float64, newWorker func() (func(lo, hi int) error, error)) error {
 	n := req.Circuit.N()
+	lo0, hi0, sharded, err := req.shardRange(n)
+	if err != nil {
+		return err
+	}
+	total := hi0 - lo0
 	var (
 		spans    []span
 		rs       *resume.State
 		doneBase int
 	)
 	onBatch := req.OnBatch
+	if sharded {
+		// A shard is one slice of a larger logical sweep whose durability the
+		// coordinator owns (it commits returned ranges against the full-sweep
+		// checkpoint); a per-shard checkpoint would fingerprint as the full
+		// sweep while holding only the slice, so the combination is refused.
+		if req.Resume != nil {
+			return fmt.Errorf("engine: a site-range shard cannot carry its own checkpoint (the coordinator owns retry durability)")
+		}
+		spans = chunkSpans(lo0, hi0, chunk)
+		maxUnits := 0
+		if req.MaxSweepNodes > 0 {
+			maxUnits = req.MaxSweepNodes
+		}
+		done, err := sweepSpans(ctx, spans, total, 0, resolveWorkers(req.Workers), maxUnits, onBatch, req.OnProgress, newWorker)
+		return wrapSweepErr(engName, total, done, err)
+	}
 	if req.Resume != nil {
 		var err error
-		rs, err = req.Resume.Arm(engName, req.fingerprint(engName, sp), resume.KindSites, n)
+		rs, err = req.Resume.Arm(engName, req.Fingerprint(engName, sp), resume.KindSites, n)
 		if err != nil {
 			return err
 		}
@@ -350,7 +377,7 @@ func siteSweep(ctx context.Context, req *Request, engName string, sp []float64, 
 			return nil
 		}
 	} else {
-		spans = chunkSpans(n, chunk)
+		spans = chunkSpans(0, n, chunk)
 	}
 	maxUnits := 0
 	if req.MaxSweepNodes > 0 {
@@ -382,9 +409,30 @@ func callOnBatch(onBatch func(lo, hi int) error, lo, hi int) (err error) {
 }
 
 // sweepOrdered reports whether the sweep must run in ascending node-ID
-// order: requested explicitly (streaming) or forced by a checkpoint, whose
-// committed ranges must be ID ranges to be restorable. The engines' kernels
-// are packing-invariant, so the order never changes results.
+// order: requested explicitly (streaming), forced by a checkpoint (whose
+// committed ranges must be ID ranges to be restorable), or forced by a
+// site-range shard (whose [SiteLo, SiteHi) bounds are ID bounds, so the
+// sweep positions must be IDs, not cone-locality schedule positions). The
+// engines' kernels are packing-invariant, so the order never changes
+// results.
 func (r *Request) sweepOrdered() bool {
-	return r.OrderedSweep || r.Resume != nil
+	return r.OrderedSweep || r.Resume != nil || r.SiteHi > r.SiteLo
+}
+
+// shardRange validates and resolves the request's optional [SiteLo, SiteHi)
+// shard range against the circuit's n sites. A range is active iff
+// SiteHi > SiteLo; an inactive request sweeps the full [0, n). Engines that
+// cannot honor a sub-range (the word-major monte-carlo sampler) reject
+// active ranges themselves with a descriptive error.
+func (r *Request) shardRange(n int) (lo, hi int, active bool, err error) {
+	if r.SiteHi <= r.SiteLo {
+		if r.SiteLo != 0 || r.SiteHi != 0 {
+			return 0, 0, false, fmt.Errorf("engine: invalid site range [%d, %d): empty or inverted (leave both zero for a full sweep)", r.SiteLo, r.SiteHi)
+		}
+		return 0, n, false, nil
+	}
+	if r.SiteLo < 0 || r.SiteHi > n {
+		return 0, 0, false, fmt.Errorf("engine: site range [%d, %d) out of bounds for %d sites", r.SiteLo, r.SiteHi, n)
+	}
+	return r.SiteLo, r.SiteHi, true, nil
 }

@@ -1,0 +1,234 @@
+// Tests for the site-range shard contract the distributed coordinator
+// relies on: concatenated shard results are bit-identical to the full
+// sweep, out entries outside the range stay untouched, OnBatch/progress
+// run in shard units, and the invalid combinations are rejected.
+
+package engine
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/latch"
+	"repro/internal/resume"
+	"repro/internal/sigprob"
+)
+
+// shardCuts returns shard boundaries splitting [0, n) into k uneven ranges —
+// uneven on purpose, so span alignment differs from the full sweep's tiling
+// and the test exercises packing invariance, not a lucky identical layout.
+func shardCuts(n, k int) []int {
+	cuts := []int{0}
+	for i := 1; i < k; i++ {
+		cut := i*n/k + i%2 // jitter off the even split
+		if cut <= cuts[len(cuts)-1] {
+			cut = cuts[len(cuts)-1] + 1
+		}
+		if cut > n {
+			cut = n
+		}
+		cuts = append(cuts, cut)
+	}
+	return append(cuts, n)
+}
+
+// TestShardConcatBitIdentical: for every site-major engine, running the
+// sweep as k site-range shards (each possibly at a different worker count)
+// and concatenating the results reproduces the full-sweep output
+// bit-identically, and no shard writes outside its range.
+func TestShardConcatBitIdentical(t *testing.T) {
+	for _, e := range Engines() {
+		if e.Name() == "monte-carlo" {
+			continue // word-major: rejects site ranges, covered below
+		}
+		for _, frames := range []int{1, 4} {
+			if frames > 1 && e.Class() != ClassAnalytic {
+				continue
+			}
+			t.Run(e.Name()+"/frames="+itoa(frames), func(t *testing.T) {
+				c, sp := engineFixture(t, e.Name())
+				var lm *latch.Model
+				if frames > 1 {
+					lm = &latch.Model{ClockPeriodPs: 1000, WindowPs: 120, PulseWidthPs: 180}
+				}
+				full := make([]float64, c.N())
+				req := &Request{Circuit: c, SP: sp, Frames: frames, Latch: lm}
+				if frames == 1 {
+					req.Frames = 0
+				}
+				if err := e.PSensitizedAll(context.Background(), req, full); err != nil {
+					t.Fatal(err)
+				}
+				for _, k := range []int{2, 3} {
+					cuts := shardCuts(c.N(), k)
+					got := make([]float64, c.N())
+					for i := range got {
+						got[i] = math.NaN() // sentinel: must survive outside every range
+					}
+					for s := 0; s+1 < len(cuts); s++ {
+						lo, hi := cuts[s], cuts[s+1]
+						sreq := &Request{
+							Circuit: c, SP: sp, Frames: req.Frames, Latch: lm,
+							SiteLo: lo, SiteHi: hi, Workers: 1 + s%3,
+						}
+						shard := make([]float64, c.N())
+						for i := range shard {
+							shard[i] = math.NaN()
+						}
+						if err := e.PSensitizedAll(context.Background(), sreq, shard); err != nil {
+							t.Fatalf("shard [%d,%d): %v", lo, hi, err)
+						}
+						for id := 0; id < c.N(); id++ {
+							inside := id >= lo && id < hi
+							if inside == math.IsNaN(shard[id]) {
+								t.Fatalf("shard [%d,%d) wrote out[%d]=%v, inside=%v", lo, hi, id, shard[id], inside)
+							}
+						}
+						copy(got[lo:hi], shard[lo:hi])
+					}
+					for id := 0; id < c.N(); id++ {
+						if math.Float64bits(got[id]) != math.Float64bits(full[id]) {
+							t.Fatalf("k=%d: node %d: shard concat %v != full sweep %v (not bit-identical)", k, id, got[id], full[id])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardCallbacks: under a shard, OnBatch ranges tile exactly
+// [SiteLo, SiteHi) and progress counts shard units reaching
+// SiteHi−SiteLo exactly at completion.
+func TestShardCallbacks(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	lo0, hi0 := 37, c.N()-41
+	covered := make([]bool, c.N())
+	var lastDone, lastTotal int
+	req := &Request{
+		Circuit: c, SP: sp, SiteLo: lo0, SiteHi: hi0, Workers: 1,
+		OnBatch: func(lo, hi int) error {
+			if lo < lo0 || hi > hi0 {
+				t.Errorf("OnBatch range [%d,%d) escapes shard [%d,%d)", lo, hi, lo0, hi0)
+			}
+			for id := lo; id < hi; id++ {
+				if covered[id] {
+					t.Errorf("site %d finalized twice", id)
+				}
+				covered[id] = true
+			}
+			return nil
+		},
+		OnProgress: func(done, total int) { lastDone, lastTotal = done, total },
+	}
+	e, err := Lookup("epp-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, c.N())
+	if err := e.PSensitizedAll(context.Background(), req, out); err != nil {
+		t.Fatal(err)
+	}
+	for id := lo0; id < hi0; id++ {
+		if !covered[id] {
+			t.Fatalf("site %d never finalized", id)
+		}
+	}
+	if lastDone != hi0-lo0 || lastTotal != hi0-lo0 {
+		t.Errorf("final progress %d/%d, want %d/%d (shard units)", lastDone, lastTotal, hi0-lo0, hi0-lo0)
+	}
+}
+
+// TestShardValidation: inverted and out-of-bounds ranges, a shard carrying
+// its own checkpoint, and a monte-carlo shard are all rejected with
+// descriptive errors; the fingerprint ignores the range so every shard of a
+// sweep fingerprints as that sweep.
+func TestShardValidation(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	eb, err := Lookup("epp-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, c.N())
+
+	bad := []Request{
+		{Circuit: c, SP: sp, SiteLo: 10, SiteHi: 5},
+		{Circuit: c, SP: sp, SiteLo: -3, SiteHi: 5},
+		{Circuit: c, SP: sp, SiteLo: 0, SiteHi: c.N() + 1},
+	}
+	for i := range bad {
+		if err := eb.PSensitizedAll(context.Background(), &bad[i], out); err == nil {
+			t.Errorf("range [%d,%d): sweep succeeded, want error", bad[i].SiteLo, bad[i].SiteHi)
+		}
+	}
+
+	ck := resume.New(t.TempDir()+"/shard.ckpt", 0)
+	withCkpt := &Request{Circuit: c, SP: sp, SiteLo: 0, SiteHi: 8, Resume: ck}
+	if err := eb.PSensitizedAll(context.Background(), withCkpt, out); err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Errorf("shard+checkpoint: err = %v, want a checkpoint-refusal error", err)
+	}
+
+	mc, err := Lookup("monte-carlo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcReq := &Request{Circuit: c, SiteLo: 0, SiteHi: 8, Vectors: 128}
+	if err := mc.PSensitizedAll(context.Background(), mcReq, out); err == nil || !strings.Contains(err.Error(), "monte-carlo") {
+		t.Errorf("monte-carlo shard: err = %v, want a rejection naming the engine", err)
+	}
+
+	fullReq := &Request{Circuit: c, SP: sp}
+	shardReq := &Request{Circuit: c, SP: sp, SiteLo: 11, SiteHi: 200, Workers: 7}
+	if fullReq.Fingerprint("epp-batch", sp) != shardReq.Fingerprint("epp-batch", sp) {
+		t.Error("shard fingerprints differently from its full sweep; coordinator commit would be refused")
+	}
+}
+
+// TestShardCancellation: a canceled shard surfaces a *PartialError whose
+// progress metadata is in shard units.
+func TestShardCancellation(t *testing.T) {
+	c, err := gen.ByName("s953")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := sigprob.Topological(c, sigprob.Config{})
+	eb, err := Lookup("epp-batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo0, hi0 := 16, c.N()-16
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := &Request{
+		Circuit: c, SP: sp, SiteLo: lo0, SiteHi: hi0, Workers: 1,
+		OnProgress: func(done, total int) {
+			if done > 0 {
+				cancel()
+			}
+		},
+	}
+	out := make([]float64, c.N())
+	err = eb.PSensitizedAll(ctx, req, out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PartialError", err)
+	}
+	if pe.Total != hi0-lo0 || pe.Done < 1 || pe.Done >= pe.Total {
+		t.Errorf("PartialError %d/%d, want mid-shard stop of %d units", pe.Done, pe.Total, hi0-lo0)
+	}
+}

@@ -174,8 +174,17 @@ func New(path string, interval time.Duration) *Checkpoint {
 	return &Checkpoint{path: path, interval: interval}
 }
 
-// Path returns the checkpoint file path.
+// Path returns the checkpoint file path ("" for an in-memory checkpoint).
 func (cp *Checkpoint) Path() string { return cp.path }
+
+// InMemory returns a checkpoint with no backing file: commits and flushes
+// update the State's done set and values but never touch disk. It gives a
+// caller the package's progress bookkeeping — done ranges, pending
+// complement, value restoration, fingerprint binding — without durability:
+// the distributed coordinator uses it to track which shard ranges have been
+// committed (and re-dispatch the complement after a worker failure) when no
+// checkpoint directory is configured.
+func InMemory() *Checkpoint { return &Checkpoint{} }
 
 // Arm binds the checkpoint to one concrete sweep: engine name, request
 // fingerprint, unit kind and total unit count. If the file exists, its
@@ -384,8 +393,14 @@ func (s *State) rangesLocked() []Range {
 }
 
 // writeLocked serializes the state and atomically replaces the checkpoint
-// file: write to a temp file in the same directory, fsync, rename.
+// file: write to a temp file in the same directory, fsync, rename. An
+// in-memory checkpoint (empty path) skips the write.
 func (s *State) writeLocked() error {
+	if s.cp.path == "" {
+		s.last = time.Now()
+		s.dirty = false
+		return nil
+	}
 	f := File{
 		Version:     Version,
 		Engine:      s.engine,

@@ -212,6 +212,11 @@ func (cfg *Config) engineName() string {
 	return "epp-batch"
 }
 
+// EngineName resolves the effective P_sensitized backend this configuration
+// selects: the explicit Engine override if set, else the Method's canonical
+// engine. It does not validate that the engine exists.
+func (cfg *Config) EngineName() string { return cfg.engineName() }
+
 // Validate rejects contradictory or out-of-range configurations with
 // descriptive errors instead of silently ignoring them. c may be nil when no
 // circuit is at hand; per-node slice lengths are then not checked.
@@ -454,6 +459,24 @@ func nodeSER(c *netlist.Circuit, id netlist.ID, rates, platch, psens []float64) 
 	return n
 }
 
+// assemble builds the Report from a complete P_sensitized vector: the cheap
+// deterministic tail of the pipeline — R_SEU and P_latched factors, the
+// per-node products, the ID-order total. Shared by Run and by Assemble (the
+// coordinator's fold path) so a Report assembled from shard-merged psens
+// values is arithmetically identical to one from a local sweep.
+func (p *prepared) assemble(c *netlist.Circuit, cfg *Config, psens []float64) *Report {
+	n := c.N()
+	rates := p.faults.RatesFIT(c)
+	platch := p.platchVector(c)
+	rep := &Report{Circuit: c.Name, Method: cfg.Method, Engine: p.eng.Name(), Nodes: make([]NodeSER, n)}
+	for id := 0; id < n; id++ {
+		ns := nodeSER(c, netlist.ID(id), rates, platch, psens)
+		rep.Nodes[id] = ns
+		rep.TotalFIT += ns.SERFIT
+	}
+	return rep
+}
+
 // Run executes the full pipeline — signal probabilities, per-site
 // P_sensitized through the configured engine, R_SEU and P_latched models —
 // and returns the assembled report. Cancellation of ctx is honored between
@@ -463,24 +486,83 @@ func Run(ctx context.Context, c *netlist.Circuit, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := c.N()
 	// Progress rides the engine's OnProgress channel: site-major engines
 	// report per finalized batch, the word-major monte-carlo engine per
 	// completed vector word (its sites all finalize together at the end).
 	p.req.OnProgress = cfg.Progress
-	psens := make([]float64, n)
+	psens := make([]float64, c.N())
 	if err := p.runEngine(ctx, &cfg, psens); err != nil {
 		return nil, err
 	}
-	rates := p.faults.RatesFIT(c)
-	platch := p.platchVector(c)
-	rep := &Report{Circuit: c.Name, Method: cfg.Method, Engine: p.eng.Name(), Nodes: make([]NodeSER, n)}
-	for id := 0; id < n; id++ {
-		ns := nodeSER(c, netlist.ID(id), rates, platch, psens)
-		rep.Nodes[id] = ns
-		rep.TotalFIT += ns.SERFIT
+	return p.assemble(c, &cfg, psens), nil
+}
+
+// Assemble builds the Report for cfg from an externally computed complete
+// P_sensitized vector — the distributed coordinator's fold path: workers
+// return shard slices of the same engine sweep, the coordinator stitches
+// them into psens, and because engines guarantee packing invariance and this
+// tail is deterministic ID-order arithmetic, the result is byte-identical to
+// Run on one machine. psens must have one entry per node.
+func Assemble(c *netlist.Circuit, cfg Config, psens []float64) (*Report, error) {
+	p, err := prepare(c, &cfg)
+	if err != nil {
+		return nil, err
 	}
-	return rep, nil
+	if len(psens) != c.N() {
+		return nil, fmt.Errorf("ser: psens has %d entries for %d nodes", len(psens), c.N())
+	}
+	return p.assemble(c, &cfg, psens), nil
+}
+
+// Info identifies a request for caching and distribution without running
+// it: the request fingerprint (circuit content plus every result-affecting
+// option — see engine.Request.Fingerprint), the resolved engine, its class,
+// and the normalized method.
+type Info struct {
+	Fingerprint string
+	Engine      string
+	Class       engine.Class
+	Method      Method
+}
+
+// Describe validates cfg against c and returns the request's identity. Two
+// requests with equal fingerprints produce byte-identical Reports, which is
+// what makes the fingerprint a sound memoization and shard-commit key. The
+// SiteLo/SiteHi shard range is excluded by construction, so a shard
+// describes as the full sweep it belongs to.
+func Describe(c *netlist.Circuit, cfg Config) (Info, error) {
+	p, err := prepare(c, &cfg)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{
+		Fingerprint: p.req.Fingerprint(p.eng.Name(), p.req.SP),
+		Engine:      p.eng.Name(),
+		Class:       p.eng.Class(),
+		Method:      cfg.Method,
+	}, nil
+}
+
+// PSensitizedRange computes P_sensitized for the node-ID shard [lo, hi)
+// only — the distributed worker's unit of work — returning the hi−lo shard
+// values in ID order. Only site-major engines support ranges; the word-major
+// monte-carlo engine rejects them (its shared-good-sim kernel amortizes one
+// good simulation across all sites, so site-sharding would duplicate that
+// work in every shard — the coordinator runs sampling requests whole
+// instead). Concatenating every shard of [0, N) reproduces the full sweep's
+// vector bit-identically at any shard partitioning and worker count.
+func PSensitizedRange(ctx context.Context, c *netlist.Circuit, cfg Config, lo, hi int) ([]float64, error) {
+	p, err := prepare(c, &cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.req.SiteLo, p.req.SiteHi = lo, hi
+	p.req.OnProgress = cfg.Progress
+	out := make([]float64, c.N())
+	if err := p.runEngine(ctx, &cfg, out); err != nil {
+		return nil, err
+	}
+	return out[lo:hi], nil
 }
 
 // errStreamStopped signals through the engine that the stream consumer

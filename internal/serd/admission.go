@@ -1,0 +1,113 @@
+// Admission control: a bounded engine pool (semaphore) fronted by a bounded
+// wait queue. Every uncached analysis or shard execution must acquire a pool
+// slot before any engine work starts; when the pool is full, requests wait
+// in FIFO-ish semaphore order up to the queue bound, and past it the daemon
+// sheds load with HTTP 429 immediately rather than building an unbounded
+// backlog. Report-cache hits never pass through admission — serving a
+// memoized result is a map lookup, and a saturated pool must not delay it.
+
+package serd
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by acquire when the wait queue is full; the
+// HTTP layer maps it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("serd: engine pool and queue are full")
+
+// AdmissionStats is a point-in-time admission observation.
+type AdmissionStats struct {
+	PoolSize int   `json:"pool_size"`
+	MaxQueue int   `json:"max_queue"`
+	Active   int   `json:"active"`   // slots currently held
+	Queued   int   `json:"queued"`   // requests waiting for a slot
+	Admitted int64 `json:"admitted"` // slots ever granted
+	Rejected int64 `json:"rejected"` // 429s issued
+	Canceled int64 `json:"canceled"` // gave up waiting (client gone / deadline)
+}
+
+// admission is the semaphore + queue-depth gate.
+type admission struct {
+	slots    chan struct{}
+	poolSize int
+	maxQueue int
+
+	mu     sync.Mutex
+	queued int
+
+	admitted atomic.Int64
+	rejected atomic.Int64
+	canceled atomic.Int64
+}
+
+// newAdmission builds a gate with poolSize concurrent slots and up to
+// maxQueue waiters.
+func newAdmission(poolSize, maxQueue int) *admission {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{slots: make(chan struct{}, poolSize), poolSize: poolSize, maxQueue: maxQueue}
+}
+
+// acquire obtains a pool slot, waiting in the queue if the pool is full.
+// It returns ErrOverloaded when the queue is already at its bound, or
+// ctx.Err() if the caller goes away while waiting. On success the caller
+// must release().
+func (a *admission) acquire(ctx context.Context) error {
+	// Fast path: a free slot skips queue accounting entirely.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		a.rejected.Add(1)
+		return ErrOverloaded
+	}
+	a.queued++
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		a.canceled.Add(1)
+		return ctx.Err()
+	}
+}
+
+// release returns a slot to the pool.
+func (a *admission) release() {
+	<-a.slots
+}
+
+// snapshot returns the current counters.
+func (a *admission) snapshot() AdmissionStats {
+	a.mu.Lock()
+	queued := a.queued
+	a.mu.Unlock()
+	return AdmissionStats{
+		PoolSize: a.poolSize,
+		MaxQueue: a.maxQueue,
+		Active:   len(a.slots),
+		Queued:   queued,
+		Admitted: a.admitted.Load(),
+		Rejected: a.rejected.Load(),
+		Canceled: a.canceled.Load(),
+	}
+}

@@ -1,0 +1,106 @@
+// The memoized-report cache: completed Reports keyed by the full request
+// fingerprint, LRU-evicted under an approximate byte bound. Because the
+// fingerprint covers every result-affecting input (circuit content, engine,
+// frames, vectors, seed, rules, bias, signal probabilities, latch
+// parameters), a hit can be served verbatim — byte-identical to recomputing
+// — and repeat sweeps cost one map lookup.
+
+package serd
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/ser"
+)
+
+// CacheStats is a point-in-time report-cache observation.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// reportBytes approximates a Report's resident size: the NodeSER slice (ID,
+// four float64 factors, a name header) plus the name strings.
+func reportBytes(rep *ser.Report) int64 {
+	size := int64(128)
+	for i := range rep.Nodes {
+		size += 64 + int64(len(rep.Nodes[i].Name))
+	}
+	return size
+}
+
+type reportEntry struct {
+	fp     string
+	report *ser.Report
+	size   int64
+}
+
+// reportCache is a byte-bounded LRU of completed Reports by fingerprint.
+type reportCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*list.Element
+	lru      *list.List
+	stats    CacheStats
+}
+
+func newReportCache(maxBytes int64) *reportCache {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	return &reportCache{maxBytes: maxBytes, entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// get returns the memoized report for the fingerprint, if resident. The
+// returned Report is shared and must be treated as immutable.
+func (rc *reportCache) get(fp string) (*ser.Report, bool) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.entries[fp]; ok {
+		rc.lru.MoveToFront(el)
+		rc.stats.Hits++
+		return el.Value.(*reportEntry).report, true
+	}
+	rc.stats.Misses++
+	return nil, false
+}
+
+// put memoizes a completed report under its fingerprint, evicting LRU
+// entries past the byte bound (an oversize single report is still kept —
+// the bound protects the steady state).
+func (rc *reportCache) put(fp string, rep *ser.Report) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.entries[fp]; ok {
+		rc.lru.MoveToFront(el)
+		return
+	}
+	e := &reportEntry{fp: fp, report: rep, size: reportBytes(rep)}
+	rc.entries[fp] = rc.lru.PushFront(e)
+	rc.bytes += e.size
+	for rc.bytes > rc.maxBytes && rc.lru.Len() > 1 {
+		back := rc.lru.Back()
+		be := back.Value.(*reportEntry)
+		rc.lru.Remove(back)
+		delete(rc.entries, be.fp)
+		rc.bytes -= be.size
+		rc.stats.Evictions++
+	}
+}
+
+// snapshot returns the current counters.
+func (rc *reportCache) snapshot() CacheStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	s := rc.stats
+	s.Entries = rc.lru.Len()
+	s.Bytes = rc.bytes
+	s.MaxBytes = rc.maxBytes
+	return s
+}

@@ -1,0 +1,288 @@
+// The coordinator half of the distributed mode: cut the sweep's node-ID
+// space into shards, dispatch them over the worker daemons, commit returned
+// ranges against one checkpoint identity, retry failures, and fold the
+// committed values into the full P_sensitized vector. See the package doc
+// for why the fold is bit-identical to a single-process sweep.
+
+package serd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/netlist"
+	"repro/internal/resume"
+	"repro/internal/ser"
+)
+
+// floatBits converts shard values to their wire representation.
+func floatBits(vals []float64) []uint64 {
+	out := make([]uint64, len(vals))
+	for i, v := range vals {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+// bitsFloat inverts floatBits.
+func bitsFloat(bits []uint64) []float64 {
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		out[i] = math.Float64frombits(b)
+	}
+	return out
+}
+
+// coordinator shards site sweeps over a fixed worker fleet.
+type coordinator struct {
+	workers       []string
+	shards        int // target shard count per sweep
+	maxAttempts   int // dispatch attempts per shard before the request fails
+	checkpointDir string
+	client        *http.Client
+	logf          func(format string, args ...any)
+}
+
+func newCoordinator(cfg Config, logf func(format string, args ...any)) *coordinator {
+	perWorker := cfg.ShardsPerWorker
+	if perWorker <= 0 {
+		perWorker = 2
+	}
+	attempts := cfg.ShardAttempts
+	if attempts <= 0 {
+		attempts = 2 + len(cfg.Workers)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &coordinator{
+		workers:       cfg.Workers,
+		shards:        perWorker * len(cfg.Workers),
+		maxAttempts:   attempts,
+		checkpointDir: cfg.CheckpointDir,
+		client:        client,
+		logf:          logf,
+	}
+}
+
+// shardTask is one dispatchable range with its retry budget.
+type shardTask struct {
+	lo, hi   int
+	attempts int
+}
+
+// pendingShardTasks tiles the complement of the committed ranges into
+// shard-sized tasks — on a fresh sweep the whole [0, n), on a resumed one
+// only the holes a previous coordinator run (or a failed request) left.
+func pendingShardTasks(n, chunk int, done []resume.Range) []shardTask {
+	var tasks []shardTask
+	emit := func(lo, hi int) {
+		for ; lo+chunk < hi; lo += chunk {
+			tasks = append(tasks, shardTask{lo: lo, hi: lo + chunk})
+		}
+		if lo < hi {
+			tasks = append(tasks, shardTask{lo: lo, hi: hi})
+		}
+	}
+	next := 0
+	for _, r := range done {
+		emit(next, r.Lo)
+		next = r.Hi
+	}
+	emit(next, n)
+	return tasks
+}
+
+// psensitized computes the full P_sensitized vector for the described
+// request by sharding it over the worker fleet. Committed shard ranges are
+// tracked through the resume machinery — file-backed under CheckpointDir
+// (durable across requests: a retried request re-dispatches only the
+// missing ranges), in-memory otherwise — and the returned vector is
+// bit-identical to a local full sweep at any shard partitioning, worker
+// count, and retry history.
+func (co *coordinator) psensitized(ctx context.Context, c *netlist.Circuit, cfg ser.Config, src CircuitSource, info ser.Info) ([]float64, error) {
+	n := c.N()
+	ck := resume.InMemory()
+	if co.checkpointDir != "" {
+		ck = resume.New(filepath.Join(co.checkpointDir, info.Fingerprint+".ckpt"), 0)
+	}
+	st, err := ck.Arm(info.Engine, info.Fingerprint, resume.KindSites, n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	restored := st.RestoreSites(out)
+	chunk := (n + co.shards - 1) / co.shards
+	tasks := pendingShardTasks(n, chunk, restored)
+	if len(tasks) == 0 {
+		return out, nil
+	}
+
+	// Dispatch: one puller goroutine per worker, a buffered task queue that
+	// failed tasks are returned to (a popped task always leaves room for its
+	// own requeue), completion/abort signaled through done. A worker that
+	// fails twice in a row retires — a dead daemon must not keep draining
+	// the queue's retry budget — and the live workers absorb its load.
+	queue := make(chan shardTask, len(tasks))
+	for _, t := range tasks {
+		queue <- t
+	}
+	var (
+		mu      sync.Mutex
+		left    = len(tasks)
+		fatal   error
+		lastErr error
+		done    = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	finish := func(t shardTask, vals []float64, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fatal != nil {
+			return
+		}
+		if err == nil {
+			copy(out[t.lo:t.hi], vals)
+			if cerr := st.CommitSites(t.lo, t.hi, vals); cerr != nil && fatal == nil {
+				fatal = cerr
+				close(done)
+				return
+			}
+			left--
+			if left == 0 {
+				close(done)
+			}
+			return
+		}
+		lastErr = err
+		t.attempts++
+		if t.attempts >= co.maxAttempts {
+			fatal = fmt.Errorf("serd: shard [%d,%d) failed %d times: %w", t.lo, t.hi, t.attempts, err)
+			close(done)
+			return
+		}
+		queue <- t
+	}
+	for _, base := range co.workers {
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			consecutive := 0
+			for {
+				select {
+				case <-done:
+					return
+				case <-ctx.Done():
+					return
+				case t := <-queue:
+					vals, err := co.callShard(ctx, base, src, cfg, info, t.lo, t.hi)
+					finish(t, vals, err)
+					if err != nil {
+						consecutive++
+						if consecutive >= 2 {
+							co.logf("serd: worker %s retired after %d consecutive failures: %v", base, consecutive, err)
+							return
+						}
+					} else {
+						consecutive = 0
+					}
+				}
+			}
+		}(base)
+	}
+	wg.Wait()
+	// Flush whatever committed — under a checkpoint dir, even a failed
+	// request leaves durable progress for the next attempt.
+	if ferr := st.Flush(); ferr != nil && fatal == nil {
+		fatal = ferr
+	}
+	switch {
+	case fatal != nil:
+		return nil, fatal
+	case ctx.Err() != nil:
+		return nil, ctx.Err()
+	case left > 0:
+		return nil, fmt.Errorf("serd: %d shard(s) undispatched: every worker is unavailable (last error: %w)", left, lastErr)
+	}
+	return out, nil
+}
+
+// callShard posts one shard request to a worker and validates the response:
+// the returned fingerprint must match the coordinator's — a worker running
+// a different build or model would otherwise fold skewed values into a
+// result stamped with this sweep's identity — and the range and value count
+// must echo the request.
+func (co *coordinator) callShard(ctx context.Context, base string, src CircuitSource, cfg ser.Config, info ser.Info, lo, hi int) ([]float64, error) {
+	sreq := ShardRequest{
+		Circuit: src,
+		Options: optionsFromConfig(cfg),
+		Lo:      lo,
+		Hi:      hi,
+	}
+	body, err := json.Marshal(&sreq)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := co.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("serd: worker %s: shard [%d,%d): HTTP %d: %s", base, lo, hi, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var sresp ShardResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sresp); err != nil {
+		return nil, fmt.Errorf("serd: worker %s: shard [%d,%d): %w", base, lo, hi, err)
+	}
+	if sresp.Fingerprint != info.Fingerprint {
+		return nil, fmt.Errorf("serd: worker %s computed fingerprint %.12s for a sweep fingerprinted %.12s (version or model skew); refusing to fold", base, sresp.Fingerprint, info.Fingerprint)
+	}
+	if sresp.Lo != lo || sresp.Hi != hi || len(sresp.Values) != hi-lo {
+		return nil, fmt.Errorf("serd: worker %s returned range [%d,%d) with %d values for requested [%d,%d)", base, sresp.Lo, sresp.Hi, len(sresp.Values), lo, hi)
+	}
+	return bitsFloat(sresp.Values), nil
+}
+
+// optionsFromConfig maps a resolved ser.Config back onto wire Options for
+// shard dispatch. Only fields the analyze protocol itself accepts can be
+// set (the handler built cfg from wire Options), so the round-trip is
+// lossless for everything result-affecting; the per-request timeout stays
+// coordinator-side (the shard inherits cancellation through the request
+// context), and worker count is left to each worker's own sizing.
+func optionsFromConfig(cfg ser.Config) Options {
+	o := Options{
+		Engine:    cfg.Engine,
+		Frames:    cfg.Frames,
+		Vectors:   cfg.MC.Vectors,
+		SPVectors: cfg.SP.Vectors,
+		Seed:      cfg.MC.Seed,
+		BDDBudget: cfg.BDDBudget,
+	}
+	o.Method = cfg.Method.String()
+	o.SPMethod = cfg.SPMethod.String()
+	o.Rules = cfg.Rules.String()
+	if cfg.Latch != nil {
+		o.Latch = &LatchParams{
+			ClockPeriodPs:       cfg.Latch.ClockPeriodPs,
+			WindowPs:            cfg.Latch.WindowPs,
+			PulseWidthPs:        cfg.Latch.PulseWidthPs,
+			AttenuationPerLevel: cfg.Latch.AttenuationPerLevel,
+		}
+	}
+	return o
+}

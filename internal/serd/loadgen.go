@@ -1,0 +1,165 @@
+// The load generator behind `serd -mode loadgen`: closed-loop concurrent
+// clients replaying one analyze request against a running daemon, measuring
+// requests/sec and latency quantiles. The canonical benchmark primes the
+// report cache with one uncached request and then measures the cached
+// fast path — the steady state of the paper's interactive
+// rank→harden→re-estimate loop, where repeat sweeps are cache hits.
+
+package serd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadgenConfig configures one load-generation run.
+type LoadgenConfig struct {
+	// Target is the daemon's base URL (http://host:port).
+	Target string
+	// Request is the analyze request every client replays.
+	Request AnalyzeRequest
+	// Concurrency is the closed-loop client count (0 = 8).
+	Concurrency int
+	// Duration bounds the measured phase (0 = 10 s).
+	Duration time.Duration
+	// Client is the HTTP client (nil = a dedicated client with enough idle
+	// connections for the concurrency).
+	Client *http.Client
+}
+
+// LoadgenResult is the measured outcome, shaped for bench-serd.json.
+type LoadgenResult struct {
+	Target      string  `json:"target"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	RPS         float64 `json:"rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P90Ms       float64 `json:"p90_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	MeanMs      float64 `json:"mean_ms"`
+	MaxMs       float64 `json:"max_ms"`
+}
+
+// Loadgen primes the daemon with one synchronous request (parse + sweep +
+// memoization all happen here, so the measured phase exercises the cached
+// path) and then runs Concurrency closed-loop clients for Duration,
+// recording per-request latency. Requests that fail (non-2xx, transport
+// error) count as errors and do not contribute latency samples.
+func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) {
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		conc = 8
+	}
+	dur := cfg.Duration
+	if dur <= 0 {
+		dur = 10 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conc}}
+	}
+	body, err := json.Marshal(&cfg.Request)
+	if err != nil {
+		return nil, err
+	}
+	do := func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Target+"/v1/analyze", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("HTTP %d", resp.StatusCode)
+		}
+		return nil
+	}
+	// Prime: one full uncached round trip, unmeasured.
+	if err := do(ctx); err != nil {
+		return nil, fmt.Errorf("serd: loadgen prime request failed: %w", err)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, dur)
+	defer cancel()
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []float64 // milliseconds
+		errCount  int64
+	)
+	start := time.Now()
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []float64
+			var errs int64
+			for runCtx.Err() == nil {
+				t0 := time.Now()
+				err := do(runCtx)
+				if runCtx.Err() != nil {
+					break // deadline mid-request: don't count the truncated sample
+				}
+				if err != nil {
+					errs++
+					continue
+				}
+				local = append(local, float64(time.Since(t0).Nanoseconds())/1e6)
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			errCount += errs
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &LoadgenResult{
+		Target:      cfg.Target,
+		Concurrency: conc,
+		DurationSec: elapsed.Seconds(),
+		Requests:    int64(len(latencies)),
+		Errors:      errCount,
+	}
+	if len(latencies) == 0 {
+		return res, fmt.Errorf("serd: loadgen completed no successful requests (%d errors)", errCount)
+	}
+	sort.Float64s(latencies)
+	res.RPS = float64(len(latencies)) / elapsed.Seconds()
+	res.P50Ms = quantile(latencies, 0.50)
+	res.P90Ms = quantile(latencies, 0.90)
+	res.P99Ms = quantile(latencies, 0.99)
+	res.MaxMs = latencies[len(latencies)-1]
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	res.MeanMs = sum / float64(len(latencies))
+	return res, nil
+}
+
+// quantile reads the q-quantile from sorted samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

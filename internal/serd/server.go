@@ -1,0 +1,337 @@
+// Package serd is the SER-as-a-service layer: a long-running HTTP daemon
+// that parses and finalizes each circuit once (content-addressed cache),
+// memoizes completed Reports by full request fingerprint, streams per-node
+// result tiles as NDJSON with per-request cancellation and deadlines,
+// bounds concurrent engine work with admission control, and optionally
+// distributes site sweeps over worker daemons.
+//
+// # Why the distributed merge is deterministic
+//
+// The coordinator shards a sweep's node-ID space [0, N) into ranges and
+// asks each worker for P_sensitized over one range (POST /v1/shard). The
+// fold back into a single Report is bit-identical to a single-process run —
+// not approximately, and not only in expectation — because of three
+// properties the engine layer already guarantees:
+//
+//  1. Packing invariance: every site-major engine computes each site's
+//     value independently of how sites are grouped into batches or ranges,
+//     and writes it exactly once. A shard [lo, hi) therefore produces
+//     exactly the float64 values positions lo..hi-1 of a full local sweep
+//     would produce, at any worker count on the remote side.
+//  2. Lossless transport: shard values cross the wire as raw IEEE-754 bit
+//     patterns (math.Float64bits as JSON integers — the same convention as
+//     the resume checkpoint files), so transport cannot perturb a bit.
+//  3. Order-free merge: shard ranges are disjoint, so the fold is pure
+//     placement — out[lo:hi] = shard — with no arithmetic and hence no
+//     merge-order hazard. The only summation (TotalFIT) happens after the
+//     merge, in ascending node-ID order, exactly as a local Run sums.
+//
+// Retries inherit the same argument: a shard recomputed after a worker
+// failure yields the identical bits, so commit-once bookkeeping (the resume
+// checkpoint machinery, file-backed or in-memory) only has to prevent
+// double-commit accounting, never reconcile conflicting values. The request
+// fingerprint deliberately excludes the shard range — every shard of one
+// logical sweep fingerprints as that sweep — so all shards commit against
+// one checkpoint identity, and a worker answering with a different
+// fingerprint (version or model skew) is rejected rather than folded.
+//
+// The word-major monte-carlo engine is the deliberate exception: its kernel
+// amortizes one good simulation per vector word across all sites, so
+// sharding by site would duplicate that dominant cost in every shard. The
+// coordinator runs sampling requests whole on the local engine pool.
+package serd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+
+	"repro/internal/circuitio"
+	"repro/internal/engine"
+	"repro/internal/netlist"
+	"repro/internal/ser"
+)
+
+// Config configures a Server.
+type Config struct {
+	// PoolSize bounds concurrent engine sweeps (0 = GOMAXPROCS).
+	PoolSize int
+	// MaxQueue bounds requests waiting for a pool slot before the daemon
+	// sheds load with 429 (0 = 4× pool size; negative = no queue, every
+	// request past the pool is shed immediately).
+	MaxQueue int
+	// CircuitCacheBytes bounds the parsed-circuit cache (0 = 256 MiB).
+	CircuitCacheBytes int64
+	// ReportCacheBytes bounds the memoized-report cache (0 = 64 MiB).
+	ReportCacheBytes int64
+	// Workers, when non-empty, turns the daemon into a coordinator: analytic
+	// and exact sweeps are sharded over these worker base URLs
+	// (http://host:port) via POST /v1/shard and folded bit-identically.
+	Workers []string
+	// ShardsPerWorker sets how many shards the coordinator cuts per worker
+	// (0 = 2): more shards = finer retry granularity and better balance,
+	// at more per-request overhead.
+	ShardsPerWorker int
+	// ShardAttempts bounds dispatch attempts per shard before the request
+	// fails (0 = 2 + number of workers).
+	ShardAttempts int
+	// CheckpointDir, when non-empty, makes coordinator shard commits durable:
+	// each sweep's progress lands in <dir>/<fingerprint>.ckpt and a retried
+	// request re-dispatches only the missing ranges. Empty = in-memory
+	// commit tracking (retry within one request only).
+	CheckpointDir string
+	// Client is the coordinator's HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+	// Logf receives operational log lines (nil = log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server is the serd HTTP front end. Create with New, expose via Handler.
+type Server struct {
+	cfg      Config
+	circuits *circuitio.Cache
+	reports  *reportCache
+	adm      *admission
+	coord    *coordinator
+	logf     func(format string, args ...any)
+	mux      *http.ServeMux
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	pool := cfg.PoolSize
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	queue := cfg.MaxQueue
+	if queue == 0 {
+		queue = 4 * pool
+	} else if queue < 0 {
+		queue = 0
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Server{
+		cfg:      cfg,
+		circuits: circuitio.New(cfg.CircuitCacheBytes),
+		reports:  newReportCache(cfg.ReportCacheBytes),
+		adm:      newAdmission(pool, queue),
+		logf:     logf,
+		mux:      http.NewServeMux(),
+	}
+	if len(cfg.Workers) > 0 {
+		s.coord = newCoordinator(cfg, logf)
+	}
+	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// writeError emits the uniform JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// errStatus maps a pipeline error onto an HTTP status for non-streaming
+// responses: load shedding is 429, a client-side cancellation 499 (nginx's
+// convention), an expired request deadline 504, everything else 500 (bad
+// requests were already rejected before admission).
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.Canceled):
+		return 499
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// loadCircuit resolves a request's circuit through the parse-once cache,
+// mapping the error classes onto HTTP statuses: an unknown hash is 404 (the
+// client re-sends the full source), anything else a 400.
+func (s *Server) loadCircuit(w http.ResponseWriter, src CircuitSource) (*netlist.Circuit, bool) {
+	c, err := s.circuits.Load(src.source())
+	if err != nil {
+		if errors.Is(err, circuitio.ErrNotCached) {
+			writeError(w, http.StatusNotFound, "%v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return nil, false
+	}
+	return c, true
+}
+
+// handleAnalyze serves POST /v1/analyze: resolve the circuit (parse-once
+// cache), resolve and validate the options, fingerprint the request, and
+// serve from the report cache if possible; otherwise admit the request to
+// the engine pool, run the sweep — locally or sharded over workers — and
+// memoize the completed Report. The response is one JSON document, or an
+// NDJSON tile stream when requested.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "serd: bad analyze request: %v", err)
+		return
+	}
+	c, ok := s.loadCircuit(w, req.Circuit)
+	if !ok {
+		return
+	}
+	cfg, err := req.Options.config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info, err := ser.Describe(c, cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	stream := req.Stream || r.Header.Get("Accept") == "application/x-ndjson"
+
+	// Cache hit: serve the memoized Report without touching admission — a
+	// saturated engine pool must never delay a map lookup.
+	if rep, ok := s.reports.get(info.Fingerprint); ok {
+		if stream {
+			s.streamReport(w, r, c, info, rep, true)
+		} else {
+			s.writeReport(w, c, info, rep, true)
+		}
+		return
+	}
+
+	ctx := r.Context()
+	if err := s.adm.acquire(ctx); err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	defer s.adm.release()
+
+	if stream && s.coord == nil {
+		// Local streaming path: tiles go out as the sweep finalizes them.
+		s.streamLive(w, r, c, cfg, info)
+		return
+	}
+	rep, err := s.runReport(ctx, c, cfg, req.Circuit, info)
+	if err != nil {
+		// A canceled client is gone; don't log it as a failure.
+		if !errors.Is(err, context.Canceled) {
+			s.logf("serd: analyze %s engine=%s: %v", c.Name, info.Engine, err)
+		}
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	s.reports.put(info.Fingerprint, rep)
+	if stream {
+		s.streamReport(w, r, c, info, rep, false)
+	} else {
+		s.writeReport(w, c, info, rep, false)
+	}
+}
+
+// runReport computes the full Report for an admitted request: sharded over
+// the worker fleet when this daemon coordinates and the engine is
+// site-major, locally otherwise (sampling engines always run whole — see
+// the package doc).
+func (s *Server) runReport(ctx context.Context, c *netlist.Circuit, cfg ser.Config, src CircuitSource, info ser.Info) (*ser.Report, error) {
+	if s.coord != nil && info.Class != engine.ClassSampling {
+		psens, err := s.coord.psensitized(ctx, c, cfg, src, info)
+		if err != nil {
+			return nil, err
+		}
+		return ser.Assemble(c, cfg, psens)
+	}
+	return ser.Run(ctx, c, cfg)
+}
+
+// writeReport emits the non-streaming analyze response.
+func (s *Server) writeReport(w http.ResponseWriter, c *netlist.Circuit, info ser.Info, rep *ser.Report, cached bool) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(AnalyzeResponse{
+		Hash:        c.ContentHash(),
+		Fingerprint: info.Fingerprint,
+		Cached:      cached,
+		Report:      rep,
+	})
+}
+
+// handleShard serves POST /v1/shard: the worker half of the coordinator
+// protocol. It computes P_sensitized for the node-ID range [lo, hi) of the
+// described sweep and returns the values as IEEE-754 bit patterns together
+// with the full-sweep fingerprint the coordinator commits against. Shard
+// work passes through the same admission gate as local analyses.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req ShardRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "serd: bad shard request: %v", err)
+		return
+	}
+	c, ok := s.loadCircuit(w, req.Circuit)
+	if !ok {
+		return
+	}
+	cfg, err := req.Options.config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Lo < 0 || req.Hi > c.N() || req.Hi <= req.Lo {
+		writeError(w, http.StatusBadRequest, "serd: shard range [%d,%d) invalid for %d nodes", req.Lo, req.Hi, c.N())
+		return
+	}
+	info, err := ser.Describe(c, cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	if err := s.adm.acquire(ctx); err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	defer s.adm.release()
+	vals, err := ser.PSensitizedRange(ctx, c, cfg, req.Lo, req.Hi)
+	if err != nil {
+		if !errors.Is(err, context.Canceled) {
+			s.logf("serd: shard [%d,%d) %s engine=%s: %v", req.Lo, req.Hi, c.Name, info.Engine, err)
+		}
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	resp := ShardResponse{Fingerprint: info.Fingerprint, Engine: info.Engine, Lo: req.Lo, Hi: req.Hi, Values: floatBits(vals)}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(StatsResponse{
+		Circuits:  s.circuits.Stats(),
+		Reports:   s.reports.snapshot(),
+		Admission: s.adm.snapshot(),
+	})
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}

@@ -24,6 +24,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/circuitio"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/netlist"
@@ -210,7 +211,9 @@ func RunProfiles(ctx context.Context, names []string, cfg Config, progress func(
 		if err := ctx.Err(); err != nil {
 			return rows, err
 		}
-		c, err := gen.ByName(name)
+		// The shared parse-once path: a profile already loaded by another
+		// mode of the same invocation is reused, not regenerated.
+		c, err := circuitio.Load(circuitio.Source{Profile: name})
 		if err != nil {
 			return nil, err
 		}

@@ -329,3 +329,25 @@ func RunStream(ctx context.Context, c *Circuit, opts ...Option) iter.Seq2[NodeSE
 // Engines returns the names of the registered P_sensitized backends, sorted
 // — the valid arguments to WithEngine.
 func Engines() []string { return engine.Names() }
+
+// Fingerprint returns the hex SHA-256 request fingerprint of running the
+// given options on c: a hash of the circuit's content (Circuit.ContentHash)
+// plus every result-affecting option — engine, frames, vectors, seed, rules,
+// bias, resolved signal probabilities, latch parameters. Two calls with
+// equal fingerprints produce byte-identical Reports, so the fingerprint is a
+// sound memoization key; pure scheduling knobs (WithWorkers, WithBatchWidth)
+// are excluded because results are invariant across them. It is the same
+// fingerprint WithCheckpoint records in checkpoint files and the serd
+// daemon uses as its report-cache key. The options are validated exactly as
+// Run would; contradictory combinations return an error.
+func Fingerprint(c *Circuit, opts ...Option) (string, error) {
+	rc, err := buildConfig(opts)
+	if err != nil {
+		return "", err
+	}
+	info, err := ser.Describe(c, rc.cfg)
+	if err != nil {
+		return "", err
+	}
+	return info.Fingerprint, nil
+}

@@ -67,6 +67,16 @@
 // later frames are full-cycle flip-flop values and count in full (see
 // LatchModel and the examples/latchwindow program).
 //
+// # Running as a service
+//
+// cmd/serd wraps Run and RunStream in a long-running HTTP daemon: circuits
+// are parsed and finalized once and cached by Circuit.ContentHash, completed
+// reports are memoized by request fingerprint, streaming analyses arrive as
+// NDJSON per-node tiles, and a coordinator mode shards the site range over
+// worker daemons and folds the tiles bit-identically to a local Run (see the
+// internal/serd package doc for the determinism argument and the README's
+// "Running as a service" section for the protocol).
+//
 // # Migration from the pre-Run API
 //
 // The original entry points remain as thin wrappers and low-level access
