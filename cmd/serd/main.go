@@ -17,13 +17,36 @@
 //	-shards-per-worker 2   shards the coordinator cuts per worker
 //	-shard-attempts 0      dispatch attempts per shard (0 = 2 + workers)
 //	-checkpoint-dir ""     durable shard-commit directory (coordinator mode)
+//	-shard-timeout 0       per-shard-attempt deadline (0 = none)
+//	-retry-backoff 25ms    base redispatch delay (exponential, jittered)
+//	-retry-seed 1          deterministic jitter seed
+//	-breaker-threshold 2   consecutive failures that open a worker breaker
+//	-breaker-probe 500ms   healthz probe interval for open workers
+//	-hedge-delay 50ms      straggler age before hedged dispatch (-1ns = off)
 //	-drain-timeout 15s     graceful-drain bound on SIGTERM/SIGINT
 //
 // Endpoints: POST /v1/analyze (JSON in; one JSON document out, or NDJSON
 // tiles with "stream": true or Accept: application/x-ndjson), POST
-// /v1/shard (the coordinator/worker protocol), GET /v1/stats, GET /healthz.
-// On SIGTERM or SIGINT the daemon stops accepting connections and drains
-// in-flight requests for up to -drain-timeout before exiting.
+// /v1/shard (the coordinator/worker protocol), GET /v1/stats, GET /healthz
+// and GET /v1/healthz (the breaker probe target). On SIGTERM or SIGINT the
+// daemon stops accepting connections and drains in-flight requests for up
+// to -drain-timeout before exiting.
+//
+// Analyze mode (one-shot client):
+//
+//	serd -mode analyze -target http://host:8347 [flags]
+//
+//	-target URL          daemon to query (required)
+//	-profile s38417      circuit profile to analyze
+//	-frames 1            frames option of the request
+//	-allow-partial       accept a degraded (partial) result
+//
+// Prints the AnalyzeResponse JSON. The exit code is the result contract:
+// 0 is a complete report, 3 a partial (degraded) one — only possible with
+// -allow-partial, when the coordinator abandoned shards whose workers
+// exhausted the retry budget; the uncovered node ranges are disclosed in
+// the response — so scripts can distinguish "trustworthy but incomplete"
+// from success (0) and from failure (4) without parsing the body.
 //
 // Loadgen mode:
 //
@@ -41,14 +64,17 @@
 // are fingerprint cache hits — reporting requests/sec and p50/p90/p99
 // latency, written as one JSON document to -out.
 //
-// Exit codes: 0 success, 2 usage error, 4 runtime error.
+// Exit codes: 0 success, 2 usage error, 3 partial result (analyze mode),
+// 4 runtime error.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -62,7 +88,7 @@ import (
 
 func main() {
 	var (
-		mode = flag.String("mode", "serve", "serve | loadgen")
+		mode = flag.String("mode", "serve", "serve | loadgen | analyze")
 
 		addr            = flag.String("addr", ":8347", "listen address (serve)")
 		pool            = flag.Int("pool", 0, "concurrent engine sweeps (0 = all cores)")
@@ -73,14 +99,21 @@ func main() {
 		shardsPerWorker = flag.Int("shards-per-worker", 2, "shards the coordinator cuts per worker")
 		shardAttempts   = flag.Int("shard-attempts", 0, "dispatch attempts per shard (0 = 2 + workers)")
 		checkpointDir   = flag.String("checkpoint-dir", "", "durable shard-commit directory (coordinator mode)")
+		shardTimeout    = flag.Duration("shard-timeout", 0, "per-shard-attempt deadline (0 = none)")
+		retryBackoff    = flag.Duration("retry-backoff", 0, "base shard redispatch delay (0 = 25ms)")
+		retrySeed       = flag.Uint64("retry-seed", 0, "deterministic retry-jitter seed (0 = 1)")
+		breakerThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that open a worker breaker (0 = 2)")
+		breakerProbe    = flag.Duration("breaker-probe", 0, "healthz probe interval for open workers (0 = 500ms)")
+		hedgeDelay      = flag.Duration("hedge-delay", 0, "straggler age before hedged dispatch (0 = 50ms, negative = off)")
 		drainTimeout    = flag.Duration("drain-timeout", 15*time.Second, "graceful-drain bound on SIGTERM")
 
-		target      = flag.String("target", "", "daemon base URL to load (loadgen)")
-		profile     = flag.String("profile", "s38417", "circuit profile the loadgen request analyzes")
-		frames      = flag.Int("frames", 1, "frames option of the loadgen request")
-		concurrency = flag.Int("concurrency", 8, "closed-loop loadgen clients")
-		duration    = flag.Duration("duration", 10*time.Second, "loadgen measured phase")
-		out         = flag.String("out", "bench-serd.json", "loadgen result artifact path (\"\" = stdout only)")
+		target       = flag.String("target", "", "daemon base URL (loadgen, analyze)")
+		profile      = flag.String("profile", "s38417", "circuit profile the request analyzes")
+		frames       = flag.Int("frames", 1, "frames option of the generated request")
+		allowPartial = flag.Bool("allow-partial", false, "accept a degraded partial result (analyze)")
+		concurrency  = flag.Int("concurrency", 8, "closed-loop loadgen clients")
+		duration     = flag.Duration("duration", 10*time.Second, "loadgen measured phase")
+		out          = flag.String("out", "bench-serd.json", "loadgen result artifact path (\"\" = stdout only)")
 	)
 	flag.Parse()
 
@@ -95,12 +128,61 @@ func main() {
 			ShardsPerWorker:   *shardsPerWorker,
 			ShardAttempts:     *shardAttempts,
 			CheckpointDir:     *checkpointDir,
+			ShardTimeout:      *shardTimeout,
+			RetryBackoff:      *retryBackoff,
+			RetrySeed:         *retrySeed,
+			BreakerThreshold:  *breakerThresh,
+			BreakerProbe:      *breakerProbe,
+			HedgeDelay:        *hedgeDelay,
 		}, *drainTimeout))
 	case "loadgen":
 		os.Exit(loadgen(*target, *profile, *frames, *concurrency, *duration, *out))
+	case "analyze":
+		os.Exit(analyze(*target, *profile, *frames, *allowPartial))
 	default:
-		fmt.Fprintf(os.Stderr, "serd: unknown -mode %q (serve | loadgen)\n", *mode)
+		fmt.Fprintf(os.Stderr, "serd: unknown -mode %q (serve | loadgen | analyze)\n", *mode)
 		os.Exit(2)
+	}
+}
+
+// analyze posts one analyze request and prints the response JSON. The exit
+// code carries the result contract: 0 complete, 2 usage, 3 partial
+// (degraded — the response discloses the uncovered node ranges), 4 failure.
+func analyze(target, profile string, frames int, allowPartial bool) int {
+	if target == "" {
+		fmt.Fprintln(os.Stderr, "serd: -mode analyze requires -target")
+		return 2
+	}
+	body, err := json.Marshal(serd.AnalyzeRequest{
+		Circuit:      serd.CircuitSource{Profile: profile},
+		Options:      serd.Options{Frames: frames},
+		AllowPartial: allowPartial,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serd: %v\n", err)
+		return 4
+	}
+	resp, err := http.Post(target+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serd: %v\n", err)
+		return 4
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serd: %v\n", err)
+		return 4
+	}
+	os.Stdout.Write(data)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return 0
+	case http.StatusPartialContent:
+		fmt.Fprintln(os.Stderr, "serd: partial result (some node ranges uncovered)")
+		return 3
+	default:
+		fmt.Fprintf(os.Stderr, "serd: HTTP %d\n", resp.StatusCode)
+		return 4
 	}
 }
 

@@ -1,0 +1,278 @@
+// Package chaos is a deterministic in-process HTTP chaos proxy: it wraps an
+// http.Handler and injects network-shaped faults — dropped connections,
+// response delays, stalls, truncated bodies, corrupted bodies, 5xx bursts —
+// into a seed-keyed subset of the requests that pass through it.
+//
+// Determinism is the point. All fault decisions are drawn from one
+// splitmix64 stream keyed by Config.Seed and consumed in matched-request
+// ordinal order, so a given seed always yields the same fault schedule
+// (which ordinals fault, and how). Concurrency can reorder which physical
+// request receives which ordinal, but a resilient client must converge to
+// the same result under every assignment — that is exactly the property the
+// serd chaos acceptance matrix asserts — and Schedule() exports the
+// schedule that was actually dealt, so a failing seed can be replayed.
+//
+// Every fault kind is guaranteed client-detectable: drops and truncations
+// surface as transport errors, corruption replaces a span of the body with
+// 0x00 bytes (never valid JSON, so a JSON client cannot misparse it as a
+// clean response), stalls hold the request until the client's own deadline
+// fires, and bursts answer 503. With MaxFaults set, the proxy deals at most
+// that many faults and then serves cleanly forever — the knob that makes a
+// schedule recoverable by construction for a client with a retry budget.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Kind names one injectable fault.
+type Kind string
+
+const (
+	// KindDrop slams the connection shut before any response bytes.
+	KindDrop Kind = "drop"
+	// KindDelay serves the real response after Config.Delay.
+	KindDelay Kind = "delay"
+	// KindStall never responds; the connection holds until the client's
+	// context or deadline gives up.
+	KindStall Kind = "stall"
+	// KindTruncate sends the real response's headers with the full
+	// Content-Length but closes after half the body.
+	KindTruncate Kind = "truncate"
+	// KindCorrupt serves the real response with a span of the body
+	// overwritten by 0x00 bytes (guaranteed-invalid JSON).
+	KindCorrupt Kind = "corrupt"
+	// KindBurst answers 503 for this and the next 1–3 matched requests.
+	KindBurst Kind = "burst"
+)
+
+// Kinds lists every fault kind, in the order the acceptance matrix sweeps.
+func Kinds() []Kind {
+	return []Kind{KindDrop, KindDelay, KindStall, KindTruncate, KindCorrupt, KindBurst}
+}
+
+// Fault is one dealt fault: which matched-request ordinal drew it and what
+// was injected. The slice of these is the replayable failure schedule.
+type Fault struct {
+	Ordinal int  `json:"ordinal"` // 0-based matched-request index
+	Kind    Kind `json:"kind"`
+}
+
+// Config configures a Proxy.
+type Config struct {
+	// Seed keys the fault schedule (0 = 1). Same seed, same schedule.
+	Seed uint64
+	// Kinds are the fault kinds the schedule draws from (empty = Kinds()).
+	Kinds []Kind
+	// Rate is the probability in [0, 1] that a matched request faults.
+	Rate float64
+	// MaxFaults caps the total faults dealt; once reached the proxy serves
+	// cleanly forever (0 = unlimited).
+	MaxFaults int
+	// Match selects the faultable requests (nil = every request). Health
+	// endpoints are typically left unmatched so probes tell the truth.
+	Match func(r *http.Request) bool
+	// Delay is KindDelay's added latency (0 = 50ms).
+	Delay time.Duration
+}
+
+// Proxy injects faults into requests passing through to the wrapped
+// handler. Create with New; safe for concurrent use.
+type Proxy struct {
+	inner http.Handler
+	cfg   Config
+
+	mu       sync.Mutex
+	rng      uint64
+	ordinal  int
+	burst    int // matched requests still owed a 503 by a dealt burst
+	disabled bool
+	dealt    []Fault
+}
+
+// New wraps inner with a chaos proxy.
+func New(inner http.Handler, cfg Config) *Proxy {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = Kinds()
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = 50 * time.Millisecond
+	}
+	return &Proxy{inner: inner, cfg: cfg, rng: cfg.Seed}
+}
+
+// next draws the next value of the seeded splitmix64 stream (held lock).
+func (p *Proxy) next() uint64 {
+	p.rng += 0x9e3779b97f4a7c15
+	z := p.rng
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Disable turns the proxy clean from now on (dealt faults stay recorded).
+func (p *Proxy) Disable() {
+	p.mu.Lock()
+	p.disabled = true
+	p.burst = 0
+	p.mu.Unlock()
+}
+
+// Schedule returns the faults dealt so far, in ordinal order — the replay
+// artifact a failing chaos test should log alongside its seed.
+func (p *Proxy) Schedule() []Fault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Fault(nil), p.dealt...)
+}
+
+// decide assigns the next matched request its fate: "" for a clean pass.
+func (p *Proxy) decide() Kind {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ord := p.ordinal
+	p.ordinal++
+	if p.disabled {
+		return ""
+	}
+	if p.burst > 0 {
+		p.burst--
+		p.dealt = append(p.dealt, Fault{Ordinal: ord, Kind: KindBurst})
+		return KindBurst
+	}
+	if p.cfg.MaxFaults > 0 && len(p.dealt) >= p.cfg.MaxFaults {
+		return ""
+	}
+	// Two draws per matched request — fault? and which? — so the schedule
+	// is a pure function of the seed and the ordinal sequence.
+	draw := float64(p.next()>>11) / float64(1<<53)
+	pick := p.next()
+	if draw >= p.cfg.Rate {
+		return ""
+	}
+	kind := p.cfg.Kinds[pick%uint64(len(p.cfg.Kinds))]
+	if kind == KindBurst {
+		p.burst = 1 + int(pick>>32)%3 // 1–3 follow-up 503s
+	}
+	p.dealt = append(p.dealt, Fault{Ordinal: ord, Kind: kind})
+	return kind
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.cfg.Match != nil && !p.cfg.Match(r) {
+		p.inner.ServeHTTP(w, r)
+		return
+	}
+	switch p.decide() {
+	case KindDrop:
+		hijackClose(w, nil, 0)
+	case KindDelay:
+		t := time.NewTimer(p.cfg.Delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			return
+		}
+		p.inner.ServeHTTP(w, r)
+	case KindStall:
+		// Drain the body first: with unread request bytes pending, net/http
+		// cannot detect the client abandoning the connection, and the
+		// request context would never fire.
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		// The client is gone; closing without a response mirrors a worker
+		// wedged past its deadline.
+		hijackClose(w, nil, 0)
+	case KindTruncate:
+		rec := record(p.inner, r)
+		hijackClose(w, rec, len(rec.body)/2)
+	case KindCorrupt:
+		rec := record(p.inner, r)
+		if n := len(rec.body); n > 2 {
+			for i := n / 3; i < n/3+n/4 && i < n; i++ {
+				rec.body[i] = 0x00
+			}
+		}
+		rec.replay(w, len(rec.body))
+	case KindBurst:
+		http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
+	default:
+		p.inner.ServeHTTP(w, r)
+	}
+}
+
+// recorder captures the inner handler's full response so a fault can
+// transform it before anything reaches the wire.
+type recorder struct {
+	code   int
+	header http.Header
+	body   []byte
+}
+
+func record(h http.Handler, r *http.Request) *recorder {
+	rec := &recorder{code: http.StatusOK, header: make(http.Header)}
+	h.ServeHTTP(rec, r)
+	return rec
+}
+
+func (rec *recorder) Header() http.Header { return rec.header }
+func (rec *recorder) WriteHeader(code int) {
+	rec.code = code
+}
+func (rec *recorder) Write(b []byte) (int, error) {
+	rec.body = append(rec.body, b...)
+	return len(b), nil
+}
+
+// replay writes the recorded status and headers, then the first n body
+// bytes, through the normal ResponseWriter path.
+func (rec *recorder) replay(w http.ResponseWriter, n int) {
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(rec.code)
+	_, _ = w.Write(rec.body[:n])
+}
+
+// hijackClose takes over the TCP connection and closes it — immediately
+// (rec == nil: a dropped connection) or after writing the recorded response
+// with its full Content-Length but only n body bytes (a truncation the
+// client must detect as an unexpected EOF, since the advertised length
+// never arrives). Falls back to an empty 502 when the server does not
+// support hijacking.
+func hijackClose(w http.ResponseWriter, rec *recorder, n int) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	if rec == nil {
+		return
+	}
+	ct := rec.header.Get("Content-Type")
+	if ct == "" {
+		ct = "application/json"
+	}
+	fmt.Fprintf(buf, "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+		rec.code, http.StatusText(rec.code), ct, len(rec.body))
+	_, _ = buf.Write(rec.body[:n])
+	_ = buf.Flush()
+}

@@ -1,0 +1,185 @@
+// Unit tests of the chaos proxy itself: the schedule must be a pure
+// function of the seed, every fault kind must be client-detectable, and
+// MaxFaults must turn the proxy clean after the budget. The end-to-end
+// assertion — a resilient coordinator converging to byte-identical results
+// under these faults — lives in the serd chaos acceptance matrix.
+
+package chaos
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// okHandler answers a small fixed JSON document.
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok","values":[1,2,3,4,5,6,7,8]}`))
+	})
+}
+
+// runSchedule drives n serial requests through a fresh proxy with the given
+// seed and returns the dealt schedule. Errors are expected — faults are the
+// point — so responses are only drained, never asserted.
+func runSchedule(t *testing.T, seed uint64, n int) []Fault {
+	t.Helper()
+	p := New(okHandler(), Config{Seed: seed, Rate: 0.5})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	client := &http.Client{Timeout: 250 * time.Millisecond}
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(ts.URL)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	return p.Schedule()
+}
+
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	a := runSchedule(t, 7, 40)
+	b := runSchedule(t, 7, 40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("seed 7 dealt no faults in 40 requests at rate 0.5")
+	}
+	c := runSchedule(t, 8, 40)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("seeds 7 and 8 dealt identical schedules")
+	}
+}
+
+// forceKind builds a proxy that deals exactly kind on every request.
+func forceKind(kind Kind, max int) *Proxy {
+	return New(okHandler(), Config{Kinds: []Kind{kind}, Rate: 1, MaxFaults: max})
+}
+
+func TestEveryKindClientDetectable(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			p := forceKind(kind, 0)
+			ts := httptest.NewServer(p)
+			defer ts.Close()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+			resp, err := http.DefaultClient.Do(req)
+			var body []byte
+			if err == nil {
+				body, err = io.ReadAll(resp.Body)
+				resp.Body.Close()
+			}
+
+			switch kind {
+			case KindDrop, KindStall, KindTruncate:
+				// Transport-level failures: no intact response can exist.
+				if err == nil {
+					t.Fatalf("%s: client got %d with body %q, wanted a transport error", kind, resp.StatusCode, body)
+				}
+			case KindDelay:
+				if err != nil {
+					t.Fatalf("delay: %v", err)
+				}
+				var doc struct {
+					Status string `json:"status"`
+				}
+				if jerr := json.Unmarshal(body, &doc); jerr != nil || doc.Status != "ok" {
+					t.Fatalf("delay: body %q (err %v), wanted the clean response", body, jerr)
+				}
+			case KindCorrupt:
+				if err != nil {
+					t.Fatalf("corrupt: %v", err)
+				}
+				var doc any
+				if json.Unmarshal(body, &doc) == nil {
+					t.Fatalf("corrupt: body %q still parses as JSON — corruption must be detectable", body)
+				}
+			case KindBurst:
+				if err != nil {
+					t.Fatalf("burst: %v", err)
+				}
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					t.Fatalf("burst: HTTP %d, want 503", resp.StatusCode)
+				}
+			}
+			if len(p.Schedule()) == 0 {
+				t.Fatalf("%s: no fault recorded in the schedule", kind)
+			}
+		})
+	}
+}
+
+func TestDelayAddsLatency(t *testing.T) {
+	p := New(okHandler(), Config{Kinds: []Kind{KindDelay}, Rate: 1, MaxFaults: 1, Delay: 80 * time.Millisecond})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("delayed request returned in %v, want >= 80ms", d)
+	}
+}
+
+func TestMaxFaultsThenClean(t *testing.T) {
+	p := forceKind(KindDrop, 2)
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+	failures := 0
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			failures++
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if failures != 2 {
+		t.Fatalf("%d requests failed, want exactly MaxFaults = 2", failures)
+	}
+	if got := p.Schedule(); len(got) != 2 {
+		t.Fatalf("schedule records %d faults, want 2: %v", len(got), got)
+	}
+}
+
+func TestDisableAndMatch(t *testing.T) {
+	matched := func(r *http.Request) bool { return r.URL.Path == "/faulty" }
+	p := New(okHandler(), Config{Kinds: []Kind{KindBurst}, Rate: 1, Match: matched})
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	// Unmatched path is never faulted even at rate 1.
+	resp, err := http.Get(ts.URL + "/clean")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("unmatched path: %v HTTP %v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/faulty")
+	if err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("matched path: %v %v, want 503", err, resp)
+	}
+	resp.Body.Close()
+
+	p.Disable()
+	resp, err = http.Get(ts.URL + "/faulty")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("disabled proxy: %v %v, want 200", err, resp)
+	}
+	resp.Body.Close()
+}

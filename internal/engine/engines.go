@@ -258,8 +258,10 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 	}
 	var rs *resume.State
 	if req.Resume != nil {
+		// Corrupt checkpoints are quarantined and the sweep restarts fresh;
+		// see the site-major path for the rationale.
 		var err error
-		rs, err = req.Resume.Arm("monte-carlo", req.Fingerprint("monte-carlo", nil), resume.KindWords, words)
+		rs, _, err = req.Resume.ArmRecovering("monte-carlo", req.Fingerprint("monte-carlo", nil), resume.KindWords, words)
 		if err != nil {
 			return err
 		}

@@ -348,8 +348,12 @@ func siteSweep(ctx context.Context, req *Request, engName string, sp []float64, 
 		return wrapSweepErr(engName, total, done, err)
 	}
 	if req.Resume != nil {
+		// A corrupt checkpoint (torn bytes, failed checksum) has been
+		// quarantined to <path>.corrupt by the resume layer; the sweep
+		// restarts fresh rather than folding garbage, and the quarantined
+		// file keeps the forensic evidence.
 		var err error
-		rs, err = req.Resume.Arm(engName, req.Fingerprint(engName, sp), resume.KindSites, n)
+		rs, _, err = req.Resume.ArmRecovering(engName, req.Fingerprint(engName, sp), resume.KindSites, n)
 		if err != nil {
 			return err
 		}

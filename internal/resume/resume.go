@@ -19,7 +19,7 @@
 // existing checkpoint. Fields:
 //
 //	{
-//	  "version":     1,            // format version; see Version
+//	  "version":     2,            // format version; see Version
 //	  "engine":      "epp-batch",  // registry name of the engine that wrote it
 //	  "fingerprint": "ab12…",      // request fingerprint (hex SHA-256)
 //	  "kind":        "sites",      // unit semantics: "sites" or "words"
@@ -28,11 +28,22 @@
 //	  "values":      [4602891378046628709, …],// kind "sites": one IEEE-754 bit
 //	                                          // pattern (math.Float64bits) per
 //	                                          // done unit, in done-range order
-//	  "counters":    {…}                      // kind "words": integer Counters
+//	  "counters":    {…},                     // kind "words": integer Counters
+//	  "checksum":    "9f3c…"                  // hex SHA-256 over the document
+//	                                          // with this field empty (v2+)
 //	}
 //
 // Version is bumped on any incompatible change to this layout; a loader
-// finding an unknown version rejects the file rather than guessing.
+// finding an unknown version rejects the file rather than guessing. Version
+// 1 files (written before the checksum existed) still load — they simply
+// carry no integrity check. Version 2 files must carry a checksum that
+// verifies: the writer serializes the document with an empty checksum
+// field, hashes those bytes with SHA-256, and stores the hex digest; the
+// reader re-serializes the parsed document the same way and compares. A
+// torn write, bit rot, or hand-editing therefore surfaces as a structured
+// *CorruptError instead of silently folding garbage values into a resumed
+// sweep. Arm quarantines a corrupt file by renaming it to <path>.corrupt
+// (preserving the evidence) so an immediate re-Arm starts the sweep fresh.
 // Site values are stored as uint64 IEEE-754 bit patterns, not JSON numbers,
 // because resumed output must be bit-identical to an uninterrupted run and
 // JSON float round-tripping (or a NaN) must not be able to break that.
@@ -57,7 +68,10 @@
 package resume
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -66,9 +80,14 @@ import (
 	"time"
 )
 
-// Version is the checkpoint file format version this package reads and
-// writes. Readers reject files with any other version.
-const Version = 1
+// Version is the checkpoint file format version this package writes.
+// Readers accept Version and the checksum-less legacy version 1, and
+// reject anything else.
+const Version = 2
+
+// legacyVersion is the last format without a content checksum; files at
+// this version still load (no integrity check is possible for them).
+const legacyVersion = 1
 
 // Unit semantics of a checkpoint: completed site-ID ranges (site-major
 // engines) or completed 64-vector word indices (the word-major monte-carlo
@@ -122,10 +141,48 @@ type File struct {
 	Done        []Range   `json:"done"`
 	Values      []uint64  `json:"values,omitempty"`
 	Counters    *Counters `json:"counters,omitempty"`
+	Checksum    string    `json:"checksum,omitempty"`
+}
+
+// checksum computes the hex SHA-256 digest of the file serialized with an
+// empty Checksum field — the value a version >= 2 writer stores and a
+// reader verifies. Serialization is deterministic (fixed field order,
+// compact encoding, integer bit patterns), so writer and reader agree
+// byte-for-byte.
+func (f *File) checksum() string {
+	cp := *f
+	cp.Checksum = ""
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		// The struct contains only marshalable fields; this cannot happen.
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// CorruptError reports a checkpoint file whose bytes cannot be trusted:
+// unparseable JSON or a failed content checksum. Quarantined is the path
+// the file was moved to when Arm set it aside ("" when only Load ran, or
+// when the rename itself failed — Reason then includes why).
+type CorruptError struct {
+	Path        string // the checkpoint file that failed validation
+	Quarantined string // where Arm moved it, "" if not (yet) quarantined
+	Reason      string // what failed: parse error or checksum mismatch
+}
+
+func (e *CorruptError) Error() string {
+	msg := fmt.Sprintf("resume: checkpoint %s is corrupt: %s", e.Path, e.Reason)
+	if e.Quarantined != "" {
+		msg += fmt.Sprintf(" (quarantined to %s)", e.Quarantined)
+	}
+	return msg
 }
 
 // Load reads and validates a checkpoint file. A missing file is not an
-// error: it returns (nil, nil), the fresh-start case.
+// error: it returns (nil, nil), the fresh-start case. Unparseable bytes or
+// a failed content checksum return a *CorruptError; identity and layout
+// problems in an intact document return plain errors.
 func Load(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -136,10 +193,18 @@ func Load(path string) (*File, error) {
 	}
 	var f File
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("resume: checkpoint %s is not valid JSON: %w", path, err)
+		return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("not valid JSON: %v", err)}
 	}
-	if f.Version != Version {
-		return nil, fmt.Errorf("resume: checkpoint %s has format version %d; this build reads version %d", path, f.Version, Version)
+	if f.Version != Version && f.Version != legacyVersion {
+		return nil, fmt.Errorf("resume: checkpoint %s has format version %d; this build reads versions %d and %d", path, f.Version, legacyVersion, Version)
+	}
+	if f.Version >= 2 {
+		if f.Checksum == "" {
+			return nil, &CorruptError{Path: path, Reason: "version 2 file has no checksum"}
+		}
+		if want := f.checksum(); f.Checksum != want {
+			return nil, &CorruptError{Path: path, Reason: fmt.Sprintf("checksum mismatch: file says %.12s…, content hashes to %.12s…", f.Checksum, want)}
+		}
 	}
 	if f.Kind != KindSites && f.Kind != KindWords {
 		return nil, fmt.Errorf("resume: checkpoint %s has unknown kind %q", path, f.Kind)
@@ -190,10 +255,23 @@ func InMemory() *Checkpoint { return &Checkpoint{} }
 // fingerprint, unit kind and total unit count. If the file exists, its
 // identity must match exactly — a mismatch (different circuit, options,
 // engine or unit count) is an error, never a silent restart; delete the
-// file to start fresh. The returned State carries any restored progress and
-// accepts commits.
+// file to start fresh. A corrupt file (torn bytes, failed checksum) is
+// quarantined to <path>.corrupt and reported as a *CorruptError — a
+// subsequent Arm then starts fresh; ArmRecovering does both steps in one
+// call. The returned State carries any restored progress and accepts
+// commits.
 func (cp *Checkpoint) Arm(engineName, fingerprint, kind string, units int) (*State, error) {
 	f, err := Load(cp.path)
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		q := cp.path + ".corrupt"
+		if rerr := os.Rename(cp.path, q); rerr != nil {
+			ce.Reason += fmt.Sprintf("; quarantine rename failed: %v", rerr)
+		} else {
+			ce.Quarantined = q
+		}
+		return nil, ce
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -238,6 +316,21 @@ func (cp *Checkpoint) Arm(engineName, fingerprint, kind string, units int) (*Sta
 	}
 	s.counters = f.Counters.clone()
 	return s, nil
+}
+
+// ArmRecovering arms like Arm, but when the existing file is corrupt
+// (Arm has already quarantined it) it restarts the sweep with a fresh
+// State instead of failing. The returned *CorruptError, when non-nil,
+// describes the quarantined file so the caller can log or surface the
+// event; identity mismatches and I/O errors still fail hard.
+func (cp *Checkpoint) ArmRecovering(engineName, fingerprint, kind string, units int) (*State, *CorruptError, error) {
+	st, err := cp.Arm(engineName, fingerprint, kind, units)
+	var ce *CorruptError
+	if errors.As(err, &ce) {
+		st, err = cp.Arm(engineName, fingerprint, kind, units)
+		return st, ce, err
+	}
+	return st, nil, err
 }
 
 // State is one armed sweep's checkpoint state: the done-unit set plus the
@@ -418,6 +511,7 @@ func (s *State) writeLocked() error {
 			}
 		}
 	}
+	f.Checksum = f.checksum()
 	data, err := json.Marshal(&f)
 	if err != nil {
 		return fmt.Errorf("resume: %w", err)

@@ -2,6 +2,7 @@ package resume
 
 import (
 	"encoding/json"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -145,6 +146,145 @@ func TestLoadRejectsBadFiles(t *testing.T) {
 	}
 	if _, err := Load(write("values.json", `{"version":1,"kind":"sites","units":4,"done":[{"lo":0,"hi":2}],"values":[1]}`)); err == nil {
 		t.Error("Load accepted values/done length mismatch")
+	}
+}
+
+// TestChecksumWrittenAndVerified: every written file carries a checksum
+// that verifies on load, and any byte-level tampering that keeps the JSON
+// parseable is caught as a *CorruptError.
+func TestChecksumWrittenAndVerified(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	st, err := New(path, 0).Arm("epp-batch", "fp", KindSites, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CommitSites(0, 2, []float64{0.25, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != Version || f.Checksum == "" || f.Checksum != f.checksum() {
+		t.Fatalf("written file version=%d checksum=%q (recomputed %q)", f.Version, f.Checksum, f.checksum())
+	}
+
+	// Flip one stored value bit while keeping valid JSON: the checksum
+	// must catch it.
+	tampered := strings.Replace(string(data), `"values":[`, `"values":[1,`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper produced identical bytes")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) || !strings.Contains(ce.Reason, "checksum") {
+		t.Fatalf("Load(tampered) = %v, want *CorruptError with checksum reason", err)
+	}
+}
+
+// TestLegacyVersion1StillLoads: a version-1 file (no checksum) written by
+// an older build resumes without an integrity check — the compatibility
+// promise of the version bump.
+func TestLegacyVersion1StillLoads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	legacy := File{
+		Version:     legacyVersion,
+		Engine:      "epp-batch",
+		Fingerprint: "fp",
+		Kind:        KindSites,
+		Units:       4,
+		Done:        []Range{{0, 2}},
+		Values:      []uint64{math.Float64bits(0.25), math.Float64bits(0.5)},
+	}
+	data, err := json.Marshal(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(path, 0).Arm("epp-batch", "fp", KindSites, 4)
+	if err != nil {
+		t.Fatalf("Arm against legacy v1 file: %v", err)
+	}
+	out := make([]float64, 4)
+	st.RestoreSites(out)
+	if out[0] != 0.25 || out[1] != 0.5 {
+		t.Fatalf("legacy restore: %v", out)
+	}
+	// Committing more work rewrites the file at the current version, with
+	// a checksum.
+	if err := st.CommitSites(2, 4, []float64{0.75, 1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil || f.Version != Version || f.Checksum == "" {
+		t.Fatalf("rewritten legacy file: %+v, %v", f, err)
+	}
+}
+
+// TestArmQuarantinesCorruptFile: Arm moves an unreadable checkpoint to
+// <path>.corrupt and reports a structured error; the immediate re-Arm (and
+// ArmRecovering in one call) starts fresh while the quarantined bytes
+// survive for forensics.
+func TestArmQuarantinesCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	if err := os.WriteFile(path, []byte(`{"version":2,"kind":"sites",`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(path, 0).Arm("epp-batch", "fp", KindSites, 4)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Arm(corrupt) = %v, want *CorruptError", err)
+	}
+	if ce.Quarantined != path+".corrupt" {
+		t.Fatalf("quarantine path %q", ce.Quarantined)
+	}
+	if _, serr := os.Stat(ce.Quarantined); serr != nil {
+		t.Fatalf("quarantined file missing: %v", serr)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("corrupt file still in place (stat err %v)", serr)
+	}
+	// The path is clear now: a fresh Arm succeeds with no restored work.
+	st, err := New(path, 0).Arm("epp-batch", "fp", KindSites, 4)
+	if err != nil || st.DoneUnits() != 0 {
+		t.Fatalf("re-Arm after quarantine: %v (done %d)", err, st.DoneUnits())
+	}
+
+	// ArmRecovering folds both steps: corrupt file in place, one call.
+	path2 := filepath.Join(dir, "ck2.json")
+	if err := os.WriteFile(path2, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, ce2, err := New(path2, 0).ArmRecovering("epp-batch", "fp", KindSites, 4)
+	if err != nil || ce2 == nil || st2 == nil || st2.DoneUnits() != 0 {
+		t.Fatalf("ArmRecovering = %v, %v, %v", st2, ce2, err)
+	}
+
+	// An identity mismatch is NOT corruption: no quarantine, hard error.
+	path3 := filepath.Join(dir, "ck3.json")
+	st3, err := New(path3, 0).Arm("epp-batch", "fpA", KindSites, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st3.CommitSites(0, 1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	_, ce3, err := New(path3, 0).ArmRecovering("epp-batch", "fpB", KindSites, 4)
+	if err == nil || ce3 != nil {
+		t.Fatalf("mismatched fingerprint: err=%v ce=%v (want hard error, no quarantine)", err, ce3)
+	}
+	if _, serr := os.Stat(path3); serr != nil {
+		t.Fatalf("mismatched file was moved: %v", serr)
 	}
 }
 

@@ -1,0 +1,141 @@
+// Per-worker circuit breakers for the coordinator's fleet. A breaker is
+// closed (worker takes shards) until a run of consecutive health-relevant
+// failures opens it; an open worker takes no shards, and after a probe
+// interval one puller transitions the breaker half-open and sends a
+// lightweight GET /v1/healthz probe — success closes the breaker and the
+// worker rejoins the fleet, failure re-opens it for another interval.
+// Breakers live on the coordinator and persist across requests, so a
+// rebooted worker rejoins without a coordinator restart, replacing the old
+// per-request permanent retirement. Context-caused failures (client
+// disconnect, request deadline) never count: a canceled request says
+// nothing about worker health.
+
+package serd
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states, as reported in WorkerStats.State.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
+// WorkerStats is one worker's health as seen by the coordinator, exposed
+// through GET /v1/stats.
+type WorkerStats struct {
+	URL                 string `json:"url"`
+	State               string `json:"state"`
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Successes           int64  `json:"successes"`
+	Failures            int64  `json:"failures"`
+	Opens               int64  `json:"opens"`  // closed -> open transitions
+	Probes              int64  `json:"probes"` // healthz probes sent
+}
+
+// breaker is the per-worker health state machine. All methods take an
+// explicit now so the transition logic is testable without sleeping;
+// callers pass time.Now().
+type breaker struct {
+	threshold  int           // consecutive failures that open the breaker
+	probeEvery time.Duration // wait between healthz probes while open
+
+	mu          sync.Mutex
+	state       string
+	consecutive int
+	probeAt     time.Time // open: earliest time the next probe may run
+
+	successes int64
+	failures  int64
+	opens     int64
+	probes    int64
+}
+
+func newBreaker(threshold int, probeEvery time.Duration) *breaker {
+	if threshold <= 0 {
+		threshold = 2
+	}
+	if probeEvery <= 0 {
+		probeEvery = 500 * time.Millisecond
+	}
+	return &breaker{threshold: threshold, probeEvery: probeEvery, state: BreakerClosed}
+}
+
+// admit asks whether this worker may take a shard now. ok means proceed;
+// when probe is also true the caller holds the single half-open probe slot
+// and MUST call probeResult before doing shard work. When !ok, wait is how
+// long to sleep before asking again (another goroutine may hold the probe
+// slot, or the open interval has not elapsed).
+func (b *breaker) admit(now time.Time) (ok, probe bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false, 0
+	case BreakerHalfOpen:
+		// A probe is already in flight elsewhere; check back soon.
+		return false, false, b.probeEvery / 4
+	default: // open
+		if now.Before(b.probeAt) {
+			return false, false, b.probeAt.Sub(now)
+		}
+		b.state = BreakerHalfOpen
+		b.probes++
+		return true, true, 0
+	}
+}
+
+// probeResult reports the outcome of the half-open healthz probe taken via
+// admit: success closes the breaker, failure (including a probe the caller
+// could not complete) re-opens it for another interval.
+func (b *breaker) probeResult(now time.Time, healthy bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if healthy {
+		b.state = BreakerClosed
+		b.consecutive = 0
+		return
+	}
+	b.state = BreakerOpen
+	b.probeAt = now.Add(b.probeEvery)
+}
+
+// onSuccess records a successful shard interaction.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.successes++
+	b.consecutive = 0
+	b.state = BreakerClosed
+}
+
+// onFailure records a health-relevant shard failure, opening the breaker
+// at the threshold. Callers must NOT route context-caused errors here.
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.consecutive++
+	if b.state == BreakerClosed && b.consecutive >= b.threshold {
+		b.state = BreakerOpen
+		b.opens++
+		b.probeAt = now.Add(b.probeEvery)
+	}
+}
+
+// snapshot returns the current stats (URL filled by the caller).
+func (b *breaker) snapshot() WorkerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return WorkerStats{
+		State:               b.state,
+		ConsecutiveFailures: b.consecutive,
+		Successes:           b.successes,
+		Failures:            b.failures,
+		Opens:               b.opens,
+		Probes:              b.probes,
+	}
+}

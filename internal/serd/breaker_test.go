@@ -1,0 +1,78 @@
+// White-box tests of the worker breaker state machine with an explicit
+// clock: closed -> open at the failure threshold, a single half-open probe
+// slot per interval, probe success closing / probe failure re-opening, and
+// context-failure exclusion is exercised end-to-end in coordinator tests.
+
+package serd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := newBreaker(2, time.Second)
+
+	// Closed: admits without probing.
+	if ok, probe, _ := b.admit(t0); !ok || probe {
+		t.Fatalf("closed admit = %v, %v", ok, probe)
+	}
+
+	// One failure stays closed; the second opens.
+	b.onFailure(t0)
+	if st := b.snapshot(); st.State != BreakerClosed || st.ConsecutiveFailures != 1 {
+		t.Fatalf("after 1 failure: %+v", st)
+	}
+	b.onFailure(t0)
+	st := b.snapshot()
+	if st.State != BreakerOpen || st.Opens != 1 {
+		t.Fatalf("after 2 failures: %+v", st)
+	}
+
+	// Open: refused until the probe interval elapses, with the remaining
+	// wait reported.
+	if ok, _, wait := b.admit(t0.Add(400 * time.Millisecond)); ok || wait != 600*time.Millisecond {
+		t.Fatalf("open admit = %v wait %v", ok, wait)
+	}
+
+	// Interval elapsed: exactly one caller gets the probe slot; a second
+	// concurrent caller is told to wait.
+	t1 := t0.Add(time.Second)
+	ok, probe, _ := b.admit(t1)
+	if !ok || !probe {
+		t.Fatalf("probe admit = %v, %v", ok, probe)
+	}
+	if ok2, _, wait2 := b.admit(t1); ok2 || wait2 <= 0 {
+		t.Fatalf("second half-open admit = %v wait %v", ok2, wait2)
+	}
+
+	// Probe failure re-opens for another full interval.
+	b.probeResult(t1, false)
+	if ok, _, _ := b.admit(t1.Add(500 * time.Millisecond)); ok {
+		t.Fatal("admitted during re-opened interval")
+	}
+	t2 := t1.Add(time.Second)
+	if ok, probe, _ := b.admit(t2); !ok || !probe {
+		t.Fatal("second probe slot not granted")
+	}
+
+	// Probe success closes; the worker serves again and the failure run is
+	// forgotten.
+	b.probeResult(t2, true)
+	st = b.snapshot()
+	if st.State != BreakerClosed || st.ConsecutiveFailures != 0 || st.Probes != 2 {
+		t.Fatalf("after successful probe: %+v", st)
+	}
+	b.onSuccess()
+	if st := b.snapshot(); st.Successes != 1 || st.State != BreakerClosed {
+		t.Fatalf("after success: %+v", st)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := newBreaker(0, 0)
+	if b.threshold != 2 || b.probeEvery != 500*time.Millisecond {
+		t.Fatalf("defaults: threshold=%d probeEvery=%v", b.threshold, b.probeEvery)
+	}
+}

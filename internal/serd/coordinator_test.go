@@ -16,6 +16,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 )
 
 // workerFleet starts n worker daemons, optionally wrapping each handler
@@ -171,6 +172,50 @@ func TestCoordinatorAllWorkersDead(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("all-dead fleet: HTTP %d (want 500)", resp.StatusCode)
+	}
+}
+
+// TestDeadFleetFailsFast: a fleet that is gone for good (connection
+// refused, so even the health probes fail) must still resolve the request
+// — a 500 by default, a fully-uncovered 206 under allow_partial — instead
+// of parking forever on breakers that will never close. Guards the
+// failIfUnreachable path: the default attempt budget (2 + fleet size)
+// exceeds the breaker threshold, so without it the final attempts would
+// wait on a probe that never succeeds and the request would hang.
+func TestDeadFleetFailsFast(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+
+	for _, partial := range []bool{false, true} {
+		t.Run(fmt.Sprintf("allowPartial=%v", partial), func(t *testing.T) {
+			_, ts := newTestServer(t, Config{
+				Workers:         []string{deadURL},
+				ShardsPerWorker: 2,
+				RetryBackoff:    time.Millisecond,
+				BreakerProbe:    10 * time.Millisecond,
+			})
+			client := &http.Client{Timeout: 30 * time.Second}
+			resp := postJSON(t, client, ts.URL+"/v1/analyze",
+				AnalyzeRequest{Circuit: CircuitSource{Profile: "s953"}, AllowPartial: partial})
+			defer resp.Body.Close()
+			if !partial {
+				if resp.StatusCode != http.StatusInternalServerError {
+					t.Fatalf("dead fleet: HTTP %d (want 500)", resp.StatusCode)
+				}
+				return
+			}
+			if resp.StatusCode != http.StatusPartialContent {
+				t.Fatalf("dead fleet with allow_partial: HTTP %d (want 206)", resp.StatusCode)
+			}
+			var ar AnalyzeResponse
+			if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+				t.Fatal(err)
+			}
+			if !ar.Partial || len(ar.Uncovered) == 0 || ar.Uncovered[0].Lo != 0 {
+				t.Fatalf("partial=%v uncovered=%v, want the whole sweep disclosed as uncovered", ar.Partial, ar.Uncovered)
+			}
+		})
 	}
 }
 

@@ -118,6 +118,20 @@ type AnalyzeRequest struct {
 	// with Accept: application/x-ndjson). Without it the handler responds
 	// with one AnalyzeResponse JSON document.
 	Stream bool `json:"stream,omitempty"`
+	// AllowPartial opts in to degraded results on coordinator daemons: when
+	// shards exhaust their retry budget, the request succeeds with HTTP 206
+	// and a report covering only the committed node ranges, with the holes
+	// disclosed in Uncovered — never silently zero-filled. Requests without
+	// it keep the strict all-or-nothing contract. Partial results are never
+	// memoized, so a later retry can still produce the complete report.
+	AllowPartial bool `json:"allow_partial,omitempty"`
+}
+
+// Range is a half-open node-ID interval [Lo, Hi) on the wire, used to
+// disclose the uncovered holes of a partial result.
+type Range struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
 }
 
 // AnalyzeResponse is the non-streaming response of POST /v1/analyze.
@@ -126,6 +140,11 @@ type AnalyzeResponse struct {
 	Fingerprint string      `json:"fingerprint"` // full request fingerprint (the report-cache key)
 	Cached      bool        `json:"cached"`      // true if served from the report cache
 	Report      *ser.Report `json:"report"`
+	// Partial marks a degraded result (HTTP 206): Report covers only the
+	// nodes outside Uncovered, and TotalFIT sums only those nodes. Set only
+	// when the request opted in with AllowPartial.
+	Partial   bool    `json:"partial,omitempty"`
+	Uncovered []Range `json:"uncovered,omitempty"`
 }
 
 // NDJSON stream frame types, one JSON object per line. The frame order is
@@ -135,10 +154,11 @@ type AnalyzeResponse struct {
 // metadata live only in the header — so two streams of the same logical
 // request are byte-identical from line 2 on, cached or not.
 const (
-	FrameHeader = "header"
-	FrameNode   = "node"
-	FrameTotal  = "total"
-	FrameError  = "error"
+	FrameHeader  = "header"
+	FrameNode    = "node"
+	FrameTotal   = "total"
+	FrameError   = "error"
+	FramePartial = "partial"
 )
 
 // StreamHeader is the first NDJSON frame.
@@ -180,6 +200,17 @@ type StreamError struct {
 	Error string `json:"error"`
 }
 
+// StreamPartial terminates a degraded stream (AllowPartial requests only):
+// the preceding node tiles cover exactly the committed ranges, Uncovered
+// lists the holes, and TotalFIT sums the covered nodes only. A client that
+// needs the complete result must retry the request.
+type StreamPartial struct {
+	Type      string  `json:"type"` // FramePartial
+	Nodes     int     `json:"nodes"`
+	TotalFIT  float64 `json:"total_fit"`
+	Uncovered []Range `json:"uncovered"`
+}
+
 // ShardRequest is the body of POST /v1/shard: compute P_sensitized for the
 // node-ID range [Lo, Hi) of the request's sweep. Scheduling fields of
 // Options apply to the worker's local sweep; the range itself is excluded
@@ -214,4 +245,7 @@ type StatsResponse struct {
 	Circuits  circuitio.Stats `json:"circuits"` // parsed-circuit cache
 	Reports   CacheStats      `json:"reports"`  // memoized-report cache
 	Admission AdmissionStats  `json:"admission"`
+	// Coordinator is present only on coordinator daemons: dispatch counters
+	// and the per-worker breaker states.
+	Coordinator *CoordinatorStats `json:"coordinator,omitempty"`
 }

@@ -49,6 +49,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"time"
 
 	"repro/internal/circuitio"
 	"repro/internal/engine"
@@ -84,6 +85,29 @@ type Config struct {
 	// request re-dispatches only the missing ranges. Empty = in-memory
 	// commit tracking (retry within one request only).
 	CheckpointDir string
+	// ShardTimeout bounds each shard dispatch attempt (0 = no per-attempt
+	// deadline; the request deadline still applies). With it, a stalled
+	// worker costs one attempt instead of the whole request.
+	ShardTimeout time.Duration
+	// RetryBackoff is the base delay before a failed shard is redispatched
+	// (0 = 25ms). Attempt k waits base·2^(k-1) — capped at 64·base — scaled
+	// by a deterministic jitter factor in [0.5, 1.5).
+	RetryBackoff time.Duration
+	// RetrySeed seeds the deterministic jitter stream (0 = 1). Two
+	// coordinators with the same seed and failure history draw identical
+	// backoff schedules — the hook chaos tests replay faults through.
+	RetrySeed uint64
+	// BreakerThreshold is the run of consecutive health-relevant failures
+	// that opens a worker's circuit breaker (0 = 2).
+	BreakerThreshold int
+	// BreakerProbe is the interval between GET /v1/healthz probes of an
+	// open worker (0 = 500ms). A probe success closes the breaker and the
+	// worker rejoins the fleet without a coordinator restart.
+	BreakerProbe time.Duration
+	// HedgeDelay is how long a shard's only attempt must run before an idle
+	// worker hedges it with a duplicate dispatch — first valid response
+	// wins, the loser is cancelled (0 = 50ms; negative disables hedging).
+	HedgeDelay time.Duration
 	// Client is the coordinator's HTTP client (nil = http.DefaultClient).
 	Client *http.Client
 	// Logf receives operational log lines (nil = log.Printf).
@@ -132,6 +156,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return s
 }
 
@@ -229,13 +254,24 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.streamLive(w, r, c, cfg, info)
 		return
 	}
-	rep, err := s.runReport(ctx, c, cfg, req.Circuit, info)
+	rep, uncovered, err := s.runReport(ctx, c, cfg, req.Circuit, info, req.AllowPartial)
 	if err != nil {
 		// A canceled client is gone; don't log it as a failure.
 		if !errors.Is(err, context.Canceled) {
 			s.logf("serd: analyze %s engine=%s: %v", c.Name, info.Engine, err)
 		}
 		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	if len(uncovered) > 0 {
+		// Degraded result: disclosed holes, HTTP 206, and never memoized —
+		// a retried request must be able to produce the complete report.
+		s.logf("serd: analyze %s engine=%s: partial result, %d uncovered range(s)", c.Name, info.Engine, len(uncovered))
+		if stream {
+			s.streamPartialReport(w, r, c, info, rep, uncovered)
+		} else {
+			s.writePartialReport(w, c, info, rep, uncovered)
+		}
 		return
 	}
 	s.reports.put(info.Fingerprint, rep)
@@ -246,19 +282,59 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// runReport computes the full Report for an admitted request: sharded over
-// the worker fleet when this daemon coordinates and the engine is
-// site-major, locally otherwise (sampling engines always run whole — see
-// the package doc).
-func (s *Server) runReport(ctx context.Context, c *netlist.Circuit, cfg ser.Config, src CircuitSource, info ser.Info) (*ser.Report, error) {
+// runReport computes the Report for an admitted request: sharded over the
+// worker fleet when this daemon coordinates and the engine is site-major,
+// locally otherwise (sampling engines always run whole — see the package
+// doc). A non-empty uncovered return (possible only with allowPartial on a
+// coordinator) marks a degraded report covering only the committed ranges.
+func (s *Server) runReport(ctx context.Context, c *netlist.Circuit, cfg ser.Config, src CircuitSource, info ser.Info, allowPartial bool) (*ser.Report, []Range, error) {
 	if s.coord != nil && info.Class != engine.ClassSampling {
-		psens, err := s.coord.psensitized(ctx, c, cfg, src, info)
+		psens, uncovered, err := s.coord.psensitized(ctx, c, cfg, src, info, allowPartial)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return ser.Assemble(c, cfg, psens)
+		if len(uncovered) > 0 {
+			rep, err := partialReport(c, cfg, psens, uncovered)
+			return rep, uncovered, err
+		}
+		rep, err := ser.Assemble(c, cfg, psens)
+		return rep, nil, err
 	}
-	return ser.Run(ctx, c, cfg)
+	rep, err := ser.Run(ctx, c, cfg)
+	return rep, nil, err
+}
+
+// partialReport assembles a degraded report from a P_sensitized vector with
+// holes: the uncovered nodes are dropped from the report entirely (their
+// vector positions are unspecified, never folded in as zeros), and TotalFIT
+// is re-summed over the covered nodes in ascending ID order — the same
+// order a full assembly sums, so the covered nodes' contributions are
+// bit-identical to their values in the complete report.
+func partialReport(c *netlist.Circuit, cfg ser.Config, psens []float64, uncovered []Range) (*ser.Report, error) {
+	hole := make([]bool, len(psens))
+	for _, r := range uncovered {
+		for i := r.Lo; i < r.Hi && i >= 0; i++ {
+			hole[i] = true
+			psens[i] = 0 // defined input for Assemble; the node is dropped below
+		}
+	}
+	rep, err := ser.Assemble(c, cfg, psens)
+	if err != nil {
+		return nil, err
+	}
+	covered := rep.Nodes[:0]
+	var total float64
+	for i := range rep.Nodes {
+		ns := rep.Nodes[i]
+		if id := int(ns.ID); id >= 0 && id < len(hole) && hole[id] {
+			continue
+		}
+		covered = append(covered, ns)
+		total += ns.SERFIT
+	}
+	rep.Nodes = covered
+	rep.TotalFIT = total
+	return rep, nil
 }
 
 // writeReport emits the non-streaming analyze response.
@@ -269,6 +345,20 @@ func (s *Server) writeReport(w http.ResponseWriter, c *netlist.Circuit, info ser
 		Fingerprint: info.Fingerprint,
 		Cached:      cached,
 		Report:      rep,
+	})
+}
+
+// writePartialReport emits the degraded non-streaming response: HTTP 206
+// with the partial flag and the uncovered ranges disclosed.
+func (s *Server) writePartialReport(w http.ResponseWriter, c *netlist.Circuit, info ser.Info, rep *ser.Report, uncovered []Range) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusPartialContent)
+	_ = json.NewEncoder(w).Encode(AnalyzeResponse{
+		Hash:        c.ContentHash(),
+		Fingerprint: info.Fingerprint,
+		Report:      rep,
+		Partial:     true,
+		Uncovered:   uncovered,
 	})
 }
 
@@ -322,12 +412,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 
 // handleStats serves GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(StatsResponse{
+	resp := StatsResponse{
 		Circuits:  s.circuits.Stats(),
 		Reports:   s.reports.snapshot(),
 		Admission: s.adm.snapshot(),
-	})
+	}
+	if s.coord != nil {
+		resp.Coordinator = s.coord.stats()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // handleHealthz serves GET /healthz.

@@ -174,3 +174,28 @@ func (s *Server) streamReport(w http.ResponseWriter, r *http.Request, c *netlist
 	sw.frame(&StreamTotal{Type: FrameTotal, Nodes: len(rep.Nodes), TotalFIT: rep.TotalFIT})
 	sw.flush()
 }
+
+// streamPartialReport streams a degraded report (AllowPartial requests
+// whose dispatch left holes): HTTP 206, tiles for the covered nodes only,
+// and a terminal partial frame disclosing the uncovered ranges in place of
+// the total frame — a stream consumer cannot mistake a degraded result for
+// a complete one.
+func (s *Server) streamPartialReport(w http.ResponseWriter, r *http.Request, c *netlist.Circuit, info ser.Info, rep *ser.Report, uncovered []Range) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusPartialContent)
+	sw := newStreamWriter(w)
+	if !sw.frame(header(c, info, false)) {
+		return
+	}
+	sw.flush()
+	for i := range rep.Nodes {
+		if r.Context().Err() != nil {
+			return
+		}
+		if !sw.tile(nodeFrame(&rep.Nodes[i])) {
+			return
+		}
+	}
+	sw.frame(&StreamPartial{Type: FramePartial, Nodes: len(rep.Nodes), TotalFIT: rep.TotalFIT, Uncovered: uncovered})
+	sw.flush()
+}
