@@ -1,0 +1,19 @@
+// Command serlint is the repo's determinism-contract multichecker: six
+// analyzers (detrange, detsource, deferunlock, atomiconly, ctxflow,
+// bitfloat) over the stdlib-only framework in internal/lint, usable
+// standalone (`serlint ./...`), as a vettool
+// (`go vet -vettool=$(which serlint) ./...`), and as the suppression
+// auditor (`serlint -report lint-report.json ./...`). See the internal/lint
+// package doc for the contract each analyzer encodes and the
+// //serlint:allow directive format.
+package main
+
+import (
+	"os"
+
+	"repro/internal/lint/driver"
+)
+
+func main() {
+	os.Exit(driver.Main(os.Args[1:]))
+}

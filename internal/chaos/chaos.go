@@ -123,9 +123,9 @@ func (p *Proxy) next() uint64 {
 // Disable turns the proxy clean from now on (dealt faults stay recorded).
 func (p *Proxy) Disable() {
 	p.mu.Lock()
+	defer p.mu.Unlock()
 	p.disabled = true
 	p.burst = 0
-	p.mu.Unlock()
 }
 
 // Schedule returns the faults dealt so far, in ordinal order — the replay

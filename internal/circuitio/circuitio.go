@@ -202,6 +202,7 @@ func (cc *Cache) Load(src Source) (*netlist.Circuit, error) {
 	if err != nil {
 		return nil, err
 	}
+	//serlint:allow deferunlock single-flight gate: the lock is intentionally released around the parse (and before waiting on a peer's in-flight parse) and retaken to publish; every critical section is a handful of panic-free map/list operations
 	cc.mu.Lock()
 	if hash, ok := cc.aliases[alias]; ok {
 		if el, ok := cc.entries[hash]; ok {
@@ -231,11 +232,11 @@ func (cc *Cache) Load(src Source) (*netlist.Circuit, error) {
 	close(fl.done)
 
 	cc.mu.Lock()
+	defer cc.mu.Unlock()
 	delete(cc.inflight, alias)
 	if fl.err == nil {
 		cc.insertLocked(fl.c, alias)
 	}
-	cc.mu.Unlock()
 	return fl.c, fl.err
 }
 

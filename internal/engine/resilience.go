@@ -196,11 +196,13 @@ func sweepSpans(ctx context.Context, spans []span, total, doneBase, workers, max
 		done   = doneBase
 	)
 	fail := func(err error) {
-		mu.Lock()
-		if first == nil {
-			first = err
-		}
-		mu.Unlock()
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+			if first == nil {
+				first = err
+			}
+		}()
 		abort.Store(true)
 	}
 	// report is the per-span critical section. The deferred recover turns a

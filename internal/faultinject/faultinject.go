@@ -111,6 +111,7 @@ func (in *Injector) Progress() func(done, total int) {
 		if !in.fired.CompareAndSwap(false, true) {
 			return
 		}
+		//serlint:allow deferunlock the unlock must precede the injected stall/panic below, or FiredAt readers would block for the whole stall; the critical section is a panic-free two-field write
 		in.mu.Lock()
 		in.done, in.total = done, total
 		in.mu.Unlock()

@@ -1,0 +1,135 @@
+// Package analysis is a self-contained, dependency-free miniature of the
+// golang.org/x/tools/go/analysis API: an Analyzer wraps a Run function over
+// a type-checked package (a Pass) and reports position-anchored
+// Diagnostics. The module vendors no third-party code, so serlint's
+// analyzers build against this package instead of x/tools; the surface is
+// deliberately API-shaped like the original (Analyzer.Name/Doc/Run,
+// Pass.Fset/Files/Pkg/TypesInfo/Reportf) so the analyzers could be ported
+// to the real framework by swapping one import.
+//
+// Facts (cross-package state) are intentionally unsupported: every serlint
+// analyzer is package-local, which keeps the `go vet -vettool` protocol
+// implementation in internal/lint/driver down to "type-check one unit,
+// run the analyzers, print".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check. Name doubles as the identifier accepted by
+// //serlint:allow suppression directives.
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "detrange"
+	Doc  string // one-paragraph contract statement shown by serlint -help
+	Run  func(*Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // parsed with comments
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostics returns the findings recorded so far, in report order.
+func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated. Drivers type-check with this so no analyzer ever finds a nil
+// map where it expected resolution results.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// WalkStack traverses every file preorder, passing each node together with
+// the stack of its ancestors (outermost first, not including the node
+// itself). Returning false skips the node's children.
+func WalkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// FuncOf resolves the called function object of a call expression, looking
+// through parenthesization. It returns nil when the callee is not a named
+// function or method (e.g. a conversion, a func-typed variable, or a
+// builtin).
+func FuncOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (methods never match).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := FuncOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// PkgFuncName returns (pkgPath, funcName) for a call to a package-level
+// function, or ("", "") for methods and everything else.
+func PkgFuncName(info *types.Info, call *ast.CallExpr) (string, string) {
+	fn := FuncOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", ""
+	}
+	return fn.Pkg().Path(), fn.Name()
+}

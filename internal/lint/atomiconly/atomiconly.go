@@ -1,0 +1,125 @@
+// Package atomiconly flags mixed atomic/plain access: any variable or
+// struct field that is accessed through sync/atomic somewhere in the
+// package must be accessed through sync/atomic everywhere in the package.
+// The repo's lock-free sweep cursors (PR 1) and chunk-claim counters rely
+// on this — a single plain load of an atomically-advanced cursor is a data
+// race whose observed value depends on the platform's memory model, i.e.
+// scheduling leaking into behavior.
+//
+// Composite-literal keys are exempt (initialization before the value is
+// shared is not an access in the racy sense), as is the address-of
+// argument inside a sync/atomic call itself. Accesses that are provably
+// pre- or post-concurrency (constructors, post-Wait readbacks) are
+// suppressed in place with //serlint:allow atomiconly <reason>. The check
+// is package-local by design: the analyzers carry no cross-package facts,
+// and every atomic field in this module is unexported.
+package atomiconly
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the atomiconly check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiconly",
+	Doc:  "flags plain reads/writes of variables that are elsewhere accessed via sync/atomic",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: collect objects whose address is taken inside a sync/atomic
+	// call — these are the "atomic variables" of the package.
+	atomicVars := map[types.Object]bool{}
+	analysis.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAtomicCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op.String() != "&" {
+				continue
+			}
+			if obj := addressedObject(pass.TypesInfo, un.X); obj != nil {
+				atomicVars[obj] = true
+			}
+		}
+		return true
+	})
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag every other appearance of those objects.
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || !atomicVars[obj] {
+			return true
+		}
+		if insideAtomicArg(pass.TypesInfo, stack) || isCompositeKey(id, stack) {
+			return true
+		}
+		pass.Reportf(id.Pos(), "%s is accessed with sync/atomic elsewhere in this package; plain access is a data race — use the atomic API (or //serlint:allow atomiconly <reason>)", id.Name)
+		return true
+	})
+	return nil
+}
+
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	pkg, _ := analysis.PkgFuncName(info, call)
+	return pkg == "sync/atomic"
+}
+
+// addressedObject resolves &expr's operand to a field or variable object.
+func addressedObject(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		return addressedObject(info, e.X)
+	}
+	return nil
+}
+
+// insideAtomicArg reports whether the innermost enclosing &-expression is
+// an argument of a sync/atomic call.
+func insideAtomicArg(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		un, ok := stack[i].(*ast.UnaryExpr)
+		if !ok || un.Op.String() != "&" {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			if call, ok := stack[j].(*ast.CallExpr); ok {
+				return isAtomicCall(info, call)
+			}
+			if _, ok := stack[j].(*ast.ParenExpr); !ok {
+				break
+			}
+		}
+	}
+	return false
+}
+
+// isCompositeKey reports whether id is the key of a composite-literal
+// element (struct initialization, not a shared access).
+func isCompositeKey(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	kv, ok := stack[len(stack)-1].(*ast.KeyValueExpr)
+	if !ok || kv.Key != ast.Expr(id) {
+		return false
+	}
+	_, inLit := stack[len(stack)-2].(*ast.CompositeLit)
+	return inLit
+}

@@ -1,0 +1,12 @@
+package atomiconly_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/atomiconly"
+	"repro/internal/lint/linttest"
+)
+
+func TestAtomiconly(t *testing.T) {
+	linttest.Run(t, atomiconly.Analyzer, "testdata")
+}

@@ -1,0 +1,58 @@
+// Fixture for the atomiconly analyzer: mixed atomic/plain access.
+package fixture
+
+import "sync/atomic"
+
+type sweep struct {
+	cursor int64
+	limit  int64
+	done   int64
+}
+
+// claim establishes cursor and done as atomic variables.
+func claim(s *sweep) int64 {
+	atomic.AddInt64(&s.done, 1)
+	return atomic.AddInt64(&s.cursor, 1) - 1
+}
+
+func positivePlainRead(s *sweep) bool {
+	return s.cursor >= s.limit // want `cursor is accessed with sync/atomic elsewhere in this package`
+}
+
+func positivePlainWrite(s *sweep) {
+	s.done = 0 // want `done is accessed with sync/atomic elsewhere in this package`
+}
+
+func negativeAtomicRead(s *sweep) bool {
+	return atomic.LoadInt64(&s.cursor) >= s.limit
+}
+
+func negativeAtomicStore(s *sweep) {
+	atomic.StoreInt64(&s.done, 0)
+}
+
+// negativeCompositeKey: initialization keys are not shared accesses.
+func negativeCompositeKey() *sweep {
+	return &sweep{cursor: 0, done: 0, limit: 10}
+}
+
+// negativeUnrelated: limit is never touched atomically, so plain access
+// is fine.
+func negativeUnrelated(s *sweep) int64 {
+	return s.limit
+}
+
+// Package-level atomic counter.
+var generation int64
+
+func bumpGeneration() int64 {
+	return atomic.AddInt64(&generation, 1)
+}
+
+func positiveVarRead() int64 {
+	return generation // want `generation is accessed with sync/atomic elsewhere in this package`
+}
+
+func negativeVarAtomic() int64 {
+	return atomic.LoadInt64(&generation)
+}

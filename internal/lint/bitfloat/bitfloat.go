@@ -1,0 +1,203 @@
+// Package bitfloat guards the bit-pattern convention of PR 6/7: float64
+// SER values that cross a checkpoint or wire boundary travel as IEEE-754
+// bit patterns (math.Float64bits as uint64), never as formatted decimal
+// text, so resumed Reports and distributed folds are bit-exact by
+// construction. Two findings in checkpoint/wire packages:
+//
+//  1. A float-typed argument formatted through a lossy-looking fmt verb
+//     (%v, %g, %e, %f, or the verb-less Print family). Decimal formatting
+//     is where NaN payloads, negative zero, and shortest-round-trip
+//     assumptions go to die; hex float (%x/%X) and %b are exact and not
+//     flagged.
+//
+//  2. A struct field of float type carrying a `json:"..."` tag — a JSON
+//     number on a serialization boundary. Go's encoding/json does emit
+//     shortest decimals that round-trip exact float64 values, so paths
+//     that rely on that documented property (the NDJSON node tiles)
+//     suppress with an explicit //serlint:allow bitfloat <reason>; paths
+//     feeding the coordinator's fold or the checkpoint files must use
+//     uint64 bit patterns instead.
+package bitfloat
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the bitfloat check.
+var Analyzer = &analysis.Analyzer{
+	Name: "bitfloat",
+	Doc:  "flags float64 values serialized as decimal text or JSON numbers in checkpoint/wire paths",
+	Run:  run,
+}
+
+// formatCalls maps fmt function name to the index of its format-string
+// argument; -1 means the verb-less Print family (every operand is %v).
+var formatCalls = map[string]int{
+	"Sprintf":  0,
+	"Printf":   0,
+	"Errorf":   0,
+	"Appendf":  1,
+	"Fprintf":  1,
+	"Print":    -1,
+	"Println":  -1,
+	"Sprint":   -1,
+	"Sprintln": -1,
+	"Fprint":   -1,
+	"Fprintln": -1,
+	"Append":   -1,
+	"Appendln": -1,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkFmtCall(pass, n)
+		case *ast.StructType:
+			checkJSONFields(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+func checkFmtCall(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name := analysis.PkgFuncName(pass.TypesInfo, call)
+	if pkg != "fmt" {
+		return
+	}
+	fmtIdx, ok := formatCalls[name]
+	if !ok {
+		return
+	}
+	if fmtIdx < 0 {
+		for _, arg := range call.Args {
+			if isFloaty(pass.TypesInfo, arg) {
+				pass.Reportf(arg.Pos(), "float value formatted as decimal text by fmt.%s on a checkpoint/wire path; use math.Float64bits (or //serlint:allow bitfloat <reason>)", name)
+			}
+		}
+		return
+	}
+	if fmtIdx >= len(call.Args) {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[fmtIdx]).(*ast.BasicLit)
+	operands := call.Args[fmtIdx+1:]
+	if !ok {
+		// Non-literal format string: be conservative about float operands.
+		for _, arg := range operands {
+			if isFloaty(pass.TypesInfo, arg) {
+				pass.Reportf(arg.Pos(), "float value passed to fmt.%s with a non-constant format string on a checkpoint/wire path; use math.Float64bits (or //serlint:allow bitfloat <reason>)", name)
+			}
+		}
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	for i, verb := range verbs(format) {
+		if i >= len(operands) {
+			break
+		}
+		if strings.ContainsRune("vgGeEfF", verb) && isFloaty(pass.TypesInfo, operands[i]) {
+			pass.Reportf(operands[i].Pos(), "float value formatted with %%%c by fmt.%s on a checkpoint/wire path; decimal text is not the bit-pattern convention — use math.Float64bits or %%x (or //serlint:allow bitfloat <reason>)", verb, name)
+		}
+	}
+}
+
+// verbs returns the operand-consuming verbs of a format string in order,
+// with '*' width/precision arguments represented as verb '*'.
+func verbs(format string) []rune {
+	var out []rune
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision
+		for i < len(rs) {
+			r := rs[i]
+			if r == '*' {
+				out = append(out, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0.123456789[]", r) {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] != '%' {
+			out = append(out, rs[i])
+		}
+	}
+	return out
+}
+
+// isFloaty reports whether the expression's type is a float, or a
+// slice/array/map-of-float that a %v would render as decimal text.
+func isFloaty(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return floatUnder(tv.Type, 0)
+}
+
+func floatUnder(t types.Type, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return floatUnder(u.Elem(), depth+1)
+	case *types.Array:
+		return floatUnder(u.Elem(), depth+1)
+	case *types.Map:
+		return floatUnder(u.Elem(), depth+1)
+	case *types.Pointer:
+		return floatUnder(u.Elem(), depth+1)
+	}
+	return false
+}
+
+func checkJSONFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if field.Tag == nil {
+			continue
+		}
+		raw, err := strconv.Unquote(field.Tag.Value)
+		if err != nil {
+			continue
+		}
+		jsonTag, ok := reflect.StructTag(raw).Lookup("json")
+		if !ok || jsonTag == "-" || strings.Contains(jsonTag, ",string") {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !floatUnder(tv.Type, 0) {
+			continue
+		}
+		pos := field.Pos()
+		name := "(embedded)"
+		if len(field.Names) > 0 {
+			pos = field.Names[0].Pos()
+			name = field.Names[0].Name
+		}
+		pass.Reportf(pos, "float field %s is serialized as a JSON number; wire/checkpoint values use IEEE-754 bit patterns (uint64 via math.Float64bits) — or //serlint:allow bitfloat <reason>", name)
+	}
+}

@@ -1,0 +1,12 @@
+package bitfloat_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/bitfloat"
+	"repro/internal/lint/linttest"
+)
+
+func TestBitfloat(t *testing.T) {
+	linttest.Run(t, bitfloat.Analyzer, "testdata")
+}

@@ -1,0 +1,83 @@
+// Fixture for the bitfloat analyzer: floats leaving as decimal text or
+// JSON numbers on checkpoint/wire paths.
+package fixture
+
+import (
+	"fmt"
+	"math"
+)
+
+func positiveVerbV(v float64) string {
+	return fmt.Sprintf("value %v", v) // want `float value formatted with %v by fmt\.Sprintf`
+}
+
+func positiveVerbG(v float64) string {
+	return fmt.Sprintf("%g", v) // want `float value formatted with %g by fmt\.Sprintf`
+}
+
+func positiveErrorf(v float64) error {
+	return fmt.Errorf("bad value %f", v) // want `float value formatted with %f by fmt\.Errorf`
+}
+
+func positivePrintFamily(v float64) string {
+	return fmt.Sprint(v) // want `float value formatted as decimal text by fmt\.Sprint`
+}
+
+func positiveSlice(vals []float64) string {
+	return fmt.Sprintf("%v", vals) // want `float value formatted with %v by fmt\.Sprintf`
+}
+
+func positiveNonConstFormat(f string, v float64) string {
+	return fmt.Sprintf(f, v) // want `float value passed to fmt\.Sprintf with a non-constant format string`
+}
+
+// negativeBits is the convention: uint64 bit patterns.
+func negativeBits(v float64) string {
+	return fmt.Sprintf("bits 0x%016x", math.Float64bits(v))
+}
+
+// negativeHexFloat: %x on a float is exact hexadecimal notation.
+func negativeHexFloat(v float64) string {
+	return fmt.Sprintf("%x", v)
+}
+
+// negativeInt: %v on non-floats is unrelated.
+func negativeInt(n int) string {
+	return fmt.Sprintf("%v", n)
+}
+
+// negativeSkippedOperand: the float is consumed by %x, the int by %v.
+func negativeSkippedOperand(v float64, n int) string {
+	return fmt.Sprintf("%x %v", v, n)
+}
+
+// positiveWire is a float JSON number on a wire struct.
+type positiveWire struct {
+	Total float64 `json:"total"` // want `float field Total is serialized as a JSON number`
+}
+
+// positiveWireSlice: slices of floats are numbers too.
+type positiveWireSlice struct {
+	Values []float64 `json:"values"` // want `float field Values is serialized as a JSON number`
+}
+
+// negativeBitsWire carries the IEEE-754 bit pattern.
+type negativeBitsWire struct {
+	TotalBits uint64   `json:"total_bits"`
+	Values    []uint64 `json:"values"`
+}
+
+// negativeUntagged never crosses a serialization boundary.
+type negativeUntagged struct {
+	scratch float64
+}
+
+// negativeExcluded is excluded from serialization.
+type negativeExcluded struct {
+	Scratch float64 `json:"-"`
+}
+
+// negativeStringTag serializes as a JSON string, not a number.
+type negativeStringTag struct {
+	Total float64 `json:"total,string"`
+}

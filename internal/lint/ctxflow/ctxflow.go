@@ -1,0 +1,147 @@
+// Package ctxflow enforces context plumbing discipline, the invariant
+// behind prompt cancellation and deadline propagation in every sweep
+// path. Two findings:
+//
+//  1. A function that already has a caller's context.Context in scope must
+//     not mint a fresh context.Background() or context.TODO() — the new
+//     root silently detaches the work from the caller's cancellation and
+//     deadline, the exact failure mode the word-granular cancel tests
+//     exist to prevent. Deliberately detached lifetimes (a background
+//     janitor spawned from a request handler) are suppressed in place
+//     with //serlint:allow ctxflow <reason>.
+//
+//  2. An exported function or method that accepts a context must use it.
+//     A dropped ctx is an API lie: callers pass deadlines that are
+//     silently ignored. A parameter named _ is an explicit, visible
+//     statement that the context is unused and is not flagged.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flags context.Background()/TODO() where a caller ctx is in scope, and exported funcs that drop their ctx param",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := ctxParams(pass.TypesInfo, fd)
+			if len(params) == 0 {
+				continue
+			}
+			flagFreshRoots(pass, fd)
+			if fd.Name.IsExported() && exportedRecv(pass.TypesInfo, fd) {
+				flagDropped(pass, fd, params)
+			}
+		}
+	}
+	return nil
+}
+
+// ctxParams returns the named (non-underscore) context.Context parameters
+// of fd.
+func ctxParams(info *types.Info, fd *ast.FuncDecl) []*ast.Ident {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	var out []*ast.Ident
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContext(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// exportedRecv reports whether fd is a plain function or a method on an
+// exported receiver type; ctx drops on unexported types are a package-
+// internal affair.
+func exportedRecv(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// flagFreshRoots reports context.Background()/TODO() calls anywhere in the
+// body, including nested function literals, where the caller ctx remains
+// lexically in scope.
+func flagFreshRoots(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := analysis.PkgFuncName(pass.TypesInfo, call)
+		if pkg == "context" && (name == "Background" || name == "TODO") {
+			pass.Reportf(call.Pos(), "context.%s() detaches this work from the caller context already in scope; thread the ctx parameter (or //serlint:allow ctxflow <reason>)", name)
+		}
+		return true
+	})
+}
+
+// flagDropped reports named ctx params with zero uses in the body.
+func flagDropped(pass *analysis.Pass, fd *ast.FuncDecl, params []*ast.Ident) {
+	for _, p := range params {
+		obj := pass.TypesInfo.Defs[p]
+		if obj == nil {
+			continue
+		}
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if used {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			pass.Reportf(p.Pos(), "exported %s accepts ctx but never uses it; callers' deadlines and cancellation are silently ignored — plumb it or rename the parameter to _", fd.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Fixture for the ctxflow analyzer: context plumbing discipline.
+package fixture
+
+import "context"
+
+func positiveFreshRoot(ctx context.Context) error {
+	child, cancel := context.WithCancel(context.Background()) // want `context\.Background\(\) detaches this work from the caller context`
+	defer cancel()
+	<-child.Done()
+	return ctx.Err()
+}
+
+func positiveTODO(ctx context.Context) context.Context {
+	_ = ctx
+	return context.TODO() // want `context\.TODO\(\) detaches this work from the caller context`
+}
+
+// positiveInClosure minted inside a func literal still detaches from the
+// enclosing ctx.
+func positiveInClosure(ctx context.Context) func() context.Context {
+	_ = ctx.Err()
+	return func() context.Context {
+		return context.Background() // want `context\.Background\(\) detaches this work from the caller context`
+	}
+}
+
+func PositiveDropped(ctx context.Context, n int) int { // want `exported PositiveDropped accepts ctx but never uses it`
+	return n * 2
+}
+
+type Engine struct{}
+
+func (e *Engine) PositiveMethodDropped(ctx context.Context) error { // want `exported PositiveMethodDropped accepts ctx but never uses it`
+	return nil
+}
+
+func NegativeUsed(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func NegativeUnderscore(_ context.Context, n int) int {
+	return n
+}
+
+// negativeUnexportedDrop: the drop check covers the exported API surface
+// only.
+func negativeUnexportedDrop(ctx context.Context, n int) int {
+	return n
+}
+
+type helper struct{}
+
+// NegativeUnexportedRecv: exported method on an unexported type is not
+// API surface.
+func (h helper) NegativeUnexportedRecv(ctx context.Context) int {
+	return 1
+}
+
+// negativeNoCtx: without a caller ctx in scope, minting a root is the only
+// option and is not flagged.
+func negativeNoCtx() context.Context {
+	return context.Background()
+}

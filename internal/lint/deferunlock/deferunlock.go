@@ -1,0 +1,94 @@
+// Package deferunlock flags mu.Lock() calls that are not immediately
+// followed by defer mu.Unlock() in sweep-driver and recovery paths. PR 6's
+// panic isolation contract — a panicking worker or user callback is
+// recovered into a structured error without deadlocking the sweep — holds
+// only when the unlock is deferred before any code that can panic runs;
+// a manual unlock after the critical section keeps the lock held exactly
+// when recovery needs it released.
+//
+// Short manual critical sections that are provably panic-free (plain field
+// reads under a hot mutex) are suppressed in place with
+// //serlint:allow deferunlock <reason>, which keeps every such exception
+// auditable in lint-report.json.
+package deferunlock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the deferunlock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "deferunlock",
+	Doc:  "flags sync lock acquisitions not immediately followed by the matching defer unlock",
+	Run:  run,
+}
+
+var unlockFor = map[string]string{
+	"Lock":  "Unlock",
+	"RLock": "RUnlock",
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			recv, lockName, ok := syncLockCall(pass.TypesInfo, stmt)
+			if !ok {
+				continue
+			}
+			want := unlockFor[lockName]
+			if i+1 < len(block.List) {
+				if d, ok := block.List[i+1].(*ast.DeferStmt); ok {
+					if r, name, ok := syncUnlockExpr(pass.TypesInfo, d.Call); ok &&
+						name == want && types.ExprString(r) == types.ExprString(recv) {
+						continue
+					}
+				}
+			}
+			pass.Reportf(stmt.Pos(), "%s.%s() is not immediately followed by defer %s.%s(); panic recovery depends on the deferred unlock (or //serlint:allow deferunlock <reason>)",
+				types.ExprString(recv), lockName, types.ExprString(recv), want)
+		}
+		return true
+	})
+	return nil
+}
+
+// syncLockCall matches a statement of the form `recv.Lock()` or
+// `recv.RLock()` where the method comes from package sync (directly, via
+// embedding, or through the sync.Locker interface).
+func syncLockCall(info *types.Info, stmt ast.Stmt) (recv ast.Expr, name string, ok bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil, "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	return syncMethod(info, call, unlockFor)
+}
+
+func syncUnlockExpr(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	return syncMethod(info, call, map[string]string{"Unlock": "", "RUnlock": ""})
+}
+
+func syncMethod(info *types.Info, call *ast.CallExpr, names map[string]string) (ast.Expr, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	if _, named := names[sel.Sel.Name]; !named {
+		return nil, "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}

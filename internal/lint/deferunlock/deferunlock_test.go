@@ -1,0 +1,12 @@
+package deferunlock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/deferunlock"
+	"repro/internal/lint/linttest"
+)
+
+func TestDeferunlock(t *testing.T) {
+	linttest.Run(t, deferunlock.Analyzer, "testdata")
+}

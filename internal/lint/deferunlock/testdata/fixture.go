@@ -1,0 +1,84 @@
+// Fixture for the deferunlock analyzer: Lock without an immediate
+// deferred Unlock.
+package fixture
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func positiveManualUnlock(c *counter) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not immediately followed by defer c\.mu\.Unlock\(\)`
+	c.n++
+	c.mu.Unlock()
+}
+
+func positiveGapBeforeDefer(c *counter) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not immediately followed by defer c\.mu\.Unlock\(\)`
+	c.n++
+	defer c.mu.Unlock()
+}
+
+func positiveWrongReceiver(c, d *counter) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) is not immediately followed by defer c\.mu\.Unlock\(\)`
+	defer d.mu.Unlock()
+	c.n++
+}
+
+func negativeDeferred(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func positiveReadLock(t *table, k string) int {
+	t.mu.RLock() // want `t\.mu\.RLock\(\) is not immediately followed by defer t\.mu\.RUnlock\(\)`
+	v := t.m[k]
+	t.mu.RUnlock()
+	return v
+}
+
+func negativeReadLock(t *table, k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// negativeLocker exercises an embedded mutex: the methods still resolve to
+// package sync, and the deferred form passes.
+type embedded struct {
+	sync.Mutex
+	n int
+}
+
+func negativeEmbedded(e *embedded) {
+	e.Lock()
+	defer e.Unlock()
+	e.n++
+}
+
+func positiveEmbedded(e *embedded) {
+	e.Lock() // want `e\.Lock\(\) is not immediately followed by defer e\.Unlock\(\)`
+	e.n++
+	e.Unlock()
+}
+
+// negativeNotSync is a lookalike type outside package sync; its Lock is
+// none of our business.
+type fakeLock struct{ held bool }
+
+func (f *fakeLock) Lock()   { f.held = true }
+func (f *fakeLock) Unlock() { f.held = false }
+
+func negativeFake(f *fakeLock) {
+	f.Lock()
+	f.held = true
+	f.Unlock()
+}

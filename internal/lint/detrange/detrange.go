@@ -1,0 +1,153 @@
+// Package detrange flags `for range` over map values in result-producing
+// packages: Go randomizes map iteration order, so any value that is folded,
+// appended, serialized, or compared inside such a loop can differ run to
+// run — exactly the class of bug that breaks byte-identical resumed
+// Reports and bit-identical distributed folds.
+//
+// One idiom is recognized as safe without a directive: a loop whose body
+// only appends the iteration variables (or expressions over them) to local
+// slices that are then passed to a sort.* or slices.Sort* call later in
+// the same enclosing block — the canonical collect-then-sort prelude.
+// Everything else needs either restructuring onto sorted keys or an
+// explicit //serlint:allow detrange <reason> stating why order cannot
+// reach a result (e.g. a commutative counter, a set membership test).
+package detrange
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the detrange check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags range-over-map iteration in result-producing packages unless keys are collected and sorted",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if collectThenSort(pass, rng, stack) {
+			return true
+		}
+		pass.Reportf(rng.Pos(), "range over map %s has non-deterministic iteration order; iterate sorted keys (or //serlint:allow detrange <reason>)", typeName(tv.Type))
+		return true
+	})
+	return nil
+}
+
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// collectThenSort reports whether rng is the safe collect-then-sort idiom:
+// every statement in the body is `s = append(s, ...)` into a local slice,
+// and each such slice is later passed to sort.*/slices.Sort* in the block
+// that encloses the loop.
+func collectThenSort(pass *analysis.Pass, rng *ast.RangeStmt, stack []ast.Node) bool {
+	if len(rng.Body.List) == 0 {
+		return false
+	}
+	// Phase 1: body must be append-only, and record the target objects.
+	targets := map[types.Object]bool{}
+	for _, stmt := range rng.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+			return false // not the builtin append
+		}
+		if len(call.Args) < 2 {
+			return false
+		}
+		if arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident); !ok || arg0.Name != lhs.Name {
+			return false // append target differs from assignee
+		}
+		obj := pass.TypesInfo.Uses[lhs]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[lhs]
+		}
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+	// Phase 2: find the block enclosing the loop and require a sort call
+	// mentioning each target after the loop.
+	var encl *ast.BlockStmt
+	var child ast.Node = rng
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			encl = b
+			break
+		}
+		child = stack[i]
+	}
+	if encl == nil {
+		return false
+	}
+	after := false
+	sorted := map[types.Object]bool{}
+	for _, stmt := range encl.List {
+		if ast.Node(stmt) == child {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _ := analysis.PkgFuncName(pass.TypesInfo, call)
+			if pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(a ast.Node) bool {
+					if id, ok := a.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil && targets[obj] {
+							sorted[obj] = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	for obj := range targets {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}

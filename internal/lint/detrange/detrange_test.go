@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detrange"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetrange(t *testing.T) {
+	linttest.Run(t, detrange.Analyzer, "testdata")
+}

@@ -1,0 +1,96 @@
+// Fixture for the detrange analyzer: range-over-map iteration.
+package fixture
+
+import "sort"
+
+// positiveFold folds map values in iteration order — the canonical
+// order-dependent result.
+func positiveFold(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `range over map map\[string\]float64 has non-deterministic iteration order`
+		total += v * total // order-dependent: not commutative
+	}
+	return total
+}
+
+// positiveCollectNoSort collects keys but never sorts them, so the slice
+// order still leaks map order.
+func positiveCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map map\[string\]int has non-deterministic iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// positiveMixedBody appends but also does other work in the body, so the
+// collect-then-sort exemption must not apply.
+func positiveMixedBody(m map[string]int) ([]string, int) {
+	var keys []string
+	n := 0
+	for k := range m { // want `range over map map\[string\]int has non-deterministic iteration order`
+		keys = append(keys, k)
+		n++
+	}
+	sort.Strings(keys)
+	return keys, n
+}
+
+// negativeCollectThenSort is the sanctioned prelude: append-only body,
+// sorted before use in the same block.
+func negativeCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// negativeCollectThenSliceSort uses the slices package sort.
+func negativeCollectThenSliceSort(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortInts(keys)
+	sort.Ints(keys)
+	return keys
+}
+
+func sortInts([]int) {}
+
+// negativeNested collects inside a nested block and sorts in that same
+// block.
+func negativeNested(ms []map[string]int) [][]string {
+	var out [][]string
+	for _, m := range ms {
+		var keys []string
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out = append(out, keys)
+	}
+	return out
+}
+
+// negativeSlice ranges over a slice, which is ordered.
+func negativeSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+// mapAlias exercises named types whose underlying type is a map.
+type mapAlias map[string]int
+
+func positiveNamedMap(m mapAlias) int {
+	n := 0
+	for range m { // want `range over map fixture\.mapAlias has non-deterministic iteration order`
+		n++
+	}
+	return n
+}

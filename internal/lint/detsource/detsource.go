@@ -1,0 +1,72 @@
+// Package detsource flags environmental entropy in kernel and
+// fingerprint-relevant packages: wall-clock reads (time.Now, time.Since,
+// time.Until) and the process-global math/rand and math/rand/v2 sources
+// (rand.Int, rand.Float64, rand.Shuffle, ...). A kernel's output must be a
+// pure function of (circuit, options, seed) — seed-pinned golden tests,
+// checkpoint fingerprints, and the distributed fold all depend on it — so
+// all randomness has to flow from an explicitly seeded *rand.Rand plumbed
+// through options, and all timing belongs to the callers that own
+// scheduling.
+//
+// Constructing seeded sources stays legal: rand.New, rand.NewSource,
+// rand.NewPCG, rand.NewChaCha8, and rand.NewZipf are not flagged, and
+// methods on a *rand.Rand value are always fine.
+package detsource
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the detsource check.
+var Analyzer = &analysis.Analyzer{
+	Name: "detsource",
+	Doc:  "flags wall-clock and unseeded global math/rand use in kernel and fingerprint-relevant packages",
+	Run:  run,
+}
+
+// seededConstructors are the package-level math/rand(/v2) functions that
+// build explicit sources rather than drawing from the global one.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, _ []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name := analysis.PkgFuncName(pass.TypesInfo, call)
+		switch pkg {
+		case "time":
+			if clockFuncs[name] {
+				pass.Reportf(call.Pos(), "time.%s reads the wall clock in a determinism-critical package; results must be a pure function of (circuit, options, seed)", name)
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededConstructors[name] {
+				pass.Reportf(call.Pos(), "%s.%s draws from the process-global random source; use an explicitly seeded *rand.Rand plumbed through options", pathBase(pkg), name)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func pathBase(pkg string) string {
+	if pkg == "math/rand/v2" {
+		return "rand/v2"
+	}
+	return "rand"
+}

@@ -1,0 +1,12 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detsource"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetsource(t *testing.T) {
+	linttest.Run(t, detsource.Analyzer, "testdata")
+}

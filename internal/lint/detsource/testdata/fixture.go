@@ -1,0 +1,54 @@
+// Fixture for the detsource analyzer: wall-clock and global-rand entropy.
+package fixture
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func positiveNow() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock in a determinism-critical package`
+}
+
+func positiveSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock in a determinism-critical package`
+}
+
+func positiveUntil(t0 time.Time) time.Duration {
+	return time.Until(t0) // want `time\.Until reads the wall clock in a determinism-critical package`
+}
+
+func positiveGlobalRand() int {
+	return rand.Int() // want `rand\.Int draws from the process-global random source`
+}
+
+func positiveGlobalShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `rand\.Shuffle draws from the process-global random source`
+}
+
+func positiveGlobalV2() int {
+	return randv2.IntN(10) // want `rand/v2\.IntN draws from the process-global random source`
+}
+
+// negativeSeeded builds an explicit source — the sanctioned pattern.
+func negativeSeeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// negativeSeededV2 builds an explicit v2 source.
+func negativeSeededV2(seed uint64) float64 {
+	r := randv2.New(randv2.NewPCG(seed, seed))
+	return r.Float64()
+}
+
+// negativeMethods draws from a plumbed *rand.Rand; methods never match.
+func negativeMethods(r *rand.Rand) int {
+	return r.Intn(7)
+}
+
+// negativeClockFree uses time values without reading the clock.
+func negativeClockFree(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}

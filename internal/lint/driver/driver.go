@@ -1,0 +1,115 @@
+// Package driver is the serlint entry point behind cmd/serlint. It speaks
+// the `go vet -vettool` protocol with the standard library only:
+//
+//   - `serlint -V=full` and `serlint -flags` answer cmd/go's tool
+//     handshake (build-ID line, JSON flag list);
+//   - `serlint <unit>.cfg` analyzes one vet unit: the JSON config cmd/go
+//     writes per package, with imports type-checked from the export data
+//     files listed in it (the same contract x/tools' unitchecker
+//     implements);
+//   - `serlint ./...` re-executes itself through `go vet -vettool` so the
+//     standalone CLI and the vet integration share one code path and one
+//     build cache;
+//   - `serlint -report lint-report.json ./...` scans //serlint:allow
+//     directives and writes the auditable suppression inventory.
+package driver
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Main runs serlint with the given command-line arguments (excluding the
+// program name) and returns the process exit code.
+func Main(args []string) int {
+	var reportPath string
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			return printVersion()
+		case arg == "-flags" || arg == "--flags":
+			// cmd/go queries the tool's analyzer flags; serlint has none.
+			fmt.Println("[]")
+			return 0
+		case arg == "-report" || arg == "--report":
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "serlint: -report requires a file argument")
+				return 2
+			}
+			reportPath = args[i+1]
+			i++
+		case strings.HasPrefix(arg, "-report="):
+			reportPath = strings.TrimPrefix(arg, "-report=")
+		case arg == "-h" || arg == "-help" || arg == "--help":
+			usage()
+			return 0
+		default:
+			rest = append(rest, arg)
+		}
+	}
+
+	if reportPath != "" {
+		return runReport(reportPath, rest)
+	}
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnit(rest[0])
+	}
+	if len(rest) == 0 {
+		usage()
+		return 2
+	}
+	return runVet(rest)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `serlint enforces the repo's determinism contract (see internal/lint).
+
+usage:
+  serlint ./...                      vet packages (wraps go vet -vettool)
+  serlint -report lint.json ./...    write the //serlint:allow inventory
+  go vet -vettool=$(which serlint) ./...
+`)
+}
+
+// printVersion answers cmd/go's -V=full handshake. The buildID hash makes
+// vet's result cache invalidate whenever the serlint binary changes.
+func printVersion() int {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("serlint version devel comments-go-here buildID=%x\n", h.Sum(nil))
+	return 0
+}
+
+// runVet re-executes serlint as a vettool under go vet, which handles
+// package loading, export data, and per-package caching.
+func runVet(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serlint: cannot locate own executable: %v\n", err)
+		return 2
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "serlint: go vet: %v\n", err)
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,318 @@
+// End-to-end tests of the serlint driver: build the real binary once,
+// synthesize a throwaway module, and exercise the `go vet -vettool`
+// protocol, the standalone CLI, the handshake endpoints, and report mode
+// exactly as CI uses them.
+package driver_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	toolPath  string
+	buildErr  error
+)
+
+// serlintBin builds cmd/serlint once per test process.
+func serlintBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "serlint-driver-test")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		toolPath = filepath.Join(dir, "serlint")
+		cmd := exec.Command("go", "build", "-o", toolPath, "repro/cmd/serlint")
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building serlint: %v", buildErr)
+	}
+	return toolPath
+}
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// writeModule materializes a module in a temp dir from path->content.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		full := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(full), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const testGoMod = "module lintit\n\ngo 1.24\n"
+
+func runVet(t *testing.T, dir string) (string, int) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+serlintBin(t), "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("go vet: %v\n%s", err, out)
+	}
+	return string(out), code
+}
+
+func TestVettoolFlagsViolation(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"internal/core/clock.go": `package core
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	out, code := runVet(t, dir)
+	if code == 0 {
+		t.Fatalf("go vet passed on a detsource violation; output:\n%s", out)
+	}
+	if !strings.Contains(out, "time.Now reads the wall clock") || !strings.Contains(out, "serlint:detsource") {
+		t.Fatalf("diagnostic missing or unattributed:\n%s", out)
+	}
+	if !strings.Contains(out, "clock.go:5") {
+		t.Fatalf("diagnostic not anchored to file:line:\n%s", out)
+	}
+}
+
+func TestVettoolCleanPackagePasses(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"internal/core/pure.go": `package core
+
+func Fold(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+`,
+	})
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("go vet failed on a clean package (exit %d):\n%s", code, out)
+	}
+}
+
+func TestVettoolHonorsSuppression(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"internal/core/clock.go": `package core
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //serlint:allow detsource integration-test reason
+}
+`,
+	})
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("suppressed finding still failed vet (exit %d):\n%s", code, out)
+	}
+}
+
+func TestVettoolScopingSkipsOutOfScopePackages(t *testing.T) {
+	// detsource does not cover internal/verilog, so the same violation
+	// there must pass.
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"internal/verilog/clock.go": `package verilog
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("out-of-scope package failed vet (exit %d):\n%s", code, out)
+	}
+}
+
+func TestVettoolSkipsTestFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"internal/core/pure.go": `package core
+
+func ID(x int) int { return x }
+`,
+		"internal/core/pure_test.go": `package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestID(t *testing.T) {
+	_ = time.Now() // violations in tests are exercised on purpose
+	if ID(1) != 1 {
+		t.Fatal("broken")
+	}
+}
+`,
+	})
+	out, code := runVet(t, dir)
+	if code != 0 {
+		t.Fatalf("test-file clock read failed vet (exit %d):\n%s", code, out)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	out, err := exec.Command(serlintBin(t), "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(string(out)))
+	// cmd/go's tool-ID parser: >= 3 fields, f[1] == "version", and a devel
+	// tool's last field carries the buildID.
+	if len(fields) < 3 || fields[0] != "serlint" || fields[1] != "version" {
+		t.Fatalf("-V=full output %q does not satisfy the go tool handshake", out)
+	}
+	if fields[2] == "devel" && !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Fatalf("-V=full devel output %q lacks a buildID field", out)
+	}
+
+	flagsOut, err := exec.Command(serlintBin(t), "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []any
+	if err := json.Unmarshal(flagsOut, &flags); err != nil || len(flags) != 0 {
+		t.Fatalf("-flags output %q is not an empty JSON array", flagsOut)
+	}
+}
+
+func TestStandaloneCLI(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"internal/core/clock.go": `package core
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`,
+	})
+	cmd := exec.Command(serlintBin(t), "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() == 0 {
+		t.Fatalf("standalone serlint ./... did not fail on a violation: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "serlint:detsource") {
+		t.Fatalf("standalone run missing the diagnostic:\n%s", out)
+	}
+}
+
+func TestReportMode(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"internal/core/clock.go": `package core
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //serlint:allow detsource report-test reason
+}
+`,
+	})
+	outPath := filepath.Join(dir, "lint-report.json")
+	cmd := exec.Command(serlintBin(t), "-report", outPath, "./...")
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("serlint -report: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Tool         string `json:"tool"`
+		Module       string `json:"module"`
+		Suppressions []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Reason   string `json:"reason"`
+		} `json:"suppressions"`
+		Problems []string `json:"problems"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("lint-report.json: %v\n%s", err, data)
+	}
+	if rep.Tool != "serlint" || rep.Module != "lintit" {
+		t.Fatalf("report header = %q/%q, want serlint/lintit", rep.Tool, rep.Module)
+	}
+	if len(rep.Suppressions) != 1 || rep.Suppressions[0].Analyzer != "detsource" ||
+		rep.Suppressions[0].Reason != "report-test reason" || rep.Suppressions[0].Line != 6 {
+		t.Fatalf("suppression inventory = %+v", rep.Suppressions)
+	}
+	if len(rep.Problems) != 0 {
+		t.Fatalf("unexpected problems: %v", rep.Problems)
+	}
+}
+
+func TestReportModeFailsOnMalformedDirective(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": testGoMod,
+		"internal/core/clock.go": `package core
+
+//serlint:allow detsource
+func ID(x int) int { return x }
+`,
+	})
+	outPath := filepath.Join(dir, "lint-report.json")
+	cmd := exec.Command(serlintBin(t), "-report", outPath, "./...")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("report mode must exit 1 on a reasonless directive: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "missing its mandatory reason") {
+		t.Fatalf("missing-reason problem not printed:\n%s", out)
+	}
+}

@@ -1,0 +1,124 @@
+// Report mode: inventory every //serlint:allow directive in the matched
+// packages and write it as JSON. CI uploads the result (lint-report.json)
+// so the set of escape hatches in force is a reviewable artifact of every
+// build, not something to grep for.
+
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+// report is the lint-report.json document.
+type report struct {
+	Tool         string             `json:"tool"`
+	Module       string             `json:"module"`
+	Suppressions []lint.Suppression `json:"suppressions"`
+	// Problems lists malformed directives (missing reason, unknown
+	// analyzer). A non-empty list fails the run: broken escape hatches
+	// must not pass silently.
+	Problems []string `json:"problems,omitempty"`
+}
+
+// reportPackage is the `go list -json` subset report mode needs.
+type reportPackage struct {
+	Dir          string
+	ImportPath   string
+	Module       *struct{ Path string }
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+func runReport(outPath string, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json=Dir,ImportPath,Module,GoFiles,TestGoFiles,XTestGoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serlint: go list: %v\n%s", err, stderr.String())
+		return 2
+	}
+
+	rep := report{Tool: "serlint", Suppressions: []lint.Suppression{}}
+	known := lint.Names()
+	cwd, _ := os.Getwd()
+	fset := token.NewFileSet()
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p reportPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			fmt.Fprintf(os.Stderr, "serlint: decoding go list output: %v\n", err)
+			return 2
+		}
+		if rep.Module == "" && p.Module != nil {
+			rep.Module = p.Module.Path
+		}
+		var names []string
+		for _, group := range [][]string{p.GoFiles, p.TestGoFiles, p.XTestGoFiles} {
+			for _, f := range group {
+				names = append(names, filepath.Join(p.Dir, f))
+			}
+		}
+		files, err := loader.ParseFiles(fset, names)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serlint: %v\n", err)
+			return 2
+		}
+		sups, problems := lint.Directives(fset, files, known)
+		for i := range sups {
+			if rel, err := filepath.Rel(cwd, sups[i].File); err == nil && !filepath.IsAbs(rel) {
+				sups[i].File = rel
+			}
+		}
+		rep.Suppressions = append(rep.Suppressions, sups...)
+		for _, d := range problems {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("%s: %s", fset.Position(d.Pos), d.Message))
+		}
+	}
+
+	sort.Slice(rep.Suppressions, func(i, j int) bool {
+		a, b := rep.Suppressions[i], rep.Suppressions[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	sort.Strings(rep.Problems)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serlint: %v\n", err)
+		return 2
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "serlint: %v\n", err)
+		return 2
+	}
+	fmt.Printf("serlint: %d suppressions in force, %d problems -> %s\n", len(rep.Suppressions), len(rep.Problems), outPath)
+	if len(rep.Problems) > 0 {
+		for _, p := range rep.Problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		return 1
+	}
+	return 0
+}

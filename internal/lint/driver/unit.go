@@ -1,0 +1,105 @@
+// Vet-unit mode: analyze one package from the JSON config cmd/go hands a
+// vettool, mirroring cmd/go's internal vetConfig struct field for field.
+
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/loader"
+)
+
+// unitConfig mirrors cmd/go/internal/work.vetConfig, the JSON document a
+// vettool receives per analyzed package.
+type unitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serlint: %v\n", err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "serlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// serlint exports no facts, so the vetx output is always an empty
+	// placeholder — but it must exist or cmd/go reports a tool failure.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			_ = os.WriteFile(cfg.VetxOutput, []byte("serlint\n"), 0o666)
+		}
+	}
+
+	// Dependency-only runs, test-binary variants ("p [p.test]", "p.test"),
+	// and packages outside every analyzer's scope need no analysis.
+	if cfg.VetxOnly || strings.Contains(cfg.ID, " [") || strings.HasSuffix(cfg.ImportPath, ".test") {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := loader.ParseFiles(fset, loader.NonTest(cfg.GoFiles))
+	if err != nil {
+		writeVetx()
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "serlint: %v\n", err)
+		return 1
+	}
+	if len(files) == 0 {
+		writeVetx()
+		return 0
+	}
+	pkg, info, err := loader.Check(fset, files, cfg.ImportPath, cfg.ImportMap, loader.FileLookup(cfg.PackageFile), cfg.GoVersion)
+	if err != nil {
+		writeVetx()
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "serlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, runErr := lint.Run(fset, files, pkg, info, cfg.ModulePath, cfg.ImportPath)
+	writeVetx()
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "serlint: %v\n", runErr)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [serlint:%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}

@@ -1,0 +1,194 @@
+// Package linttest runs a serlint analyzer over a testdata fixture
+// directory and checks its diagnostics against `// want "regexp"`
+// expectations embedded in the fixture source — the same contract as
+// golang.org/x/tools' analysistest, rebuilt on the stdlib-only loader so
+// the suite needs no module downloads.
+//
+// A want comment asserts one or more diagnostics on its own line:
+//
+//	for k := range m { // want `range over map`
+//	x := time.Now()    // want "time.Now" "second diagnostic on this line"
+//
+// Each quoted string is an anchored-nowhere regexp matched against the
+// diagnostic message. Every diagnostic must be claimed by a want on its
+// line and every want must be claimed by a diagnostic; leftovers on
+// either side fail the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// expectation is one parsed want pattern, keyed to a fixture line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	used bool
+}
+
+// Run analyzes the fixture package in dir (all non-test .go files) with a
+// and compares diagnostics to the fixtures' want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	diags, fset, files := analyze(t, a, dir)
+
+	wants := parseWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// Diagnostics runs a over the fixture package in dir and returns the raw
+// diagnostics, for tests that assert on them directly.
+func Diagnostics(t *testing.T, a *analysis.Analyzer, dir string) ([]analysis.Diagnostic, *token.FileSet) {
+	t.Helper()
+	diags, fset, _ := analyze(t, a, dir)
+	return diags, fset
+}
+
+// analyze parses and type-checks the fixture directory and runs the
+// analyzer. Any load or type error is fatal: fixtures are meant to be
+// real, compilable Go.
+func analyze(t *testing.T, a *analysis.Analyzer, dir string) ([]analysis.Diagnostic, *token.FileSet, []*fixtureFile) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("linttest: reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	files, err := loader.ParseFiles(fset, names)
+	if err != nil {
+		t.Fatalf("linttest: parsing fixtures: %v", err)
+	}
+
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			imports = append(imports, path)
+		}
+	}
+	sort.Strings(imports)
+	exports, err := loader.Exports(imports)
+	if err != nil {
+		t.Fatalf("linttest: resolving export data: %v", err)
+	}
+	pkg, info, err := loader.Check(fset, files, "fixture", nil, loader.FileLookup(exports), "")
+	if err != nil {
+		t.Fatalf("linttest: type-checking fixtures: %v", err)
+	}
+
+	pass := &analysis.Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("linttest: running %s: %v", a.Name, err)
+	}
+	var ff []*fixtureFile
+	for i, f := range files {
+		ff = append(ff, &fixtureFile{name: names[i], file: f})
+	}
+	return pass.Diagnostics(), fset, ff
+}
+
+type fixtureFile struct {
+	name string
+	file *ast.File
+}
+
+// claim marks the first unused expectation at file:line whose pattern
+// matches msg, reporting whether one was found.
+func claim(wants []*expectation, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.used && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the quoted patterns of a want comment: each is either a
+// Go-quoted string or a backquoted raw string.
+var wantRE = regexp.MustCompile("(\"(?:[^\"\\\\]|\\\\.)*\")|(`[^`]*`)")
+
+// parseWants collects every want comment in the fixture files.
+func parseWants(t *testing.T, fset *token.FileSet, files []*fixtureFile) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, ff := range files {
+		for _, cg := range ff.file.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				body := strings.TrimPrefix(text, "want ")
+				matches := wantRE.FindAllString(body, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted pattern", filepath.Base(pos.Filename), pos.Line)
+				}
+				for _, m := range matches {
+					pat, err := unquotePattern(m)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", filepath.Base(pos.Filename), pos.Line, m, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: want pattern %s: %v", filepath.Base(pos.Filename), pos.Line, m, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquotePattern(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		if len(s) < 2 || !strings.HasSuffix(s, "`") {
+			return "", fmt.Errorf("unterminated raw string")
+		}
+		return s[1 : len(s)-1], nil
+	}
+	return strconv.Unquote(s)
+}

@@ -1,0 +1,132 @@
+// Package loader is the type-checking core shared by the serlint driver
+// and the linttest fixture harness: parse Go files, resolve imports from
+// gc export data (the .a files the go command already built), and produce
+// the (*types.Package, *types.Info) pair the analyzers consume. Export
+// data comes either from a `go vet` unit config (driver) or from
+// `go list -export -deps -json` (linttest, fully offline — no module
+// downloads, only the local toolchain's build cache).
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// ParseFiles parses the named files with comments retained.
+func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check type-checks files as package path. Imports are canonicalized
+// through importMap (identity when a path is absent) and resolved from gc
+// export data via lookup. goVersion may be empty.
+func Check(fset *token.FileSet, files []*ast.File, path string, importMap map[string]string, lookup func(path string) (io.ReadCloser, error), goVersion string) (*types.Package, *types.Info, error) {
+	compilerImporter := importer.ForCompiler(fset, "gc", lookup)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if mapped, ok := importMap[importPath]; ok {
+			importPath = mapped
+		}
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.(types.ImporterFrom).ImportFrom(importPath, "", 0)
+	})
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Export     string
+}
+
+// Exports resolves export-data files for the given import paths and all
+// their dependencies by shelling out to `go list -export -deps -json`.
+// The returned map is keyed by import path. It works offline: go list
+// compiles export data into the local build cache as needed.
+func Exports(imports []string) (map[string]string, error) {
+	if len(imports) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, imports...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -export: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// FileLookup adapts an import-path→file map to the lookup signature
+// Check wants.
+func FileLookup(files map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := files[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// NonTest filters out _test.go files. The determinism contract governs
+// shipped code; test files exercise violations on purpose.
+func NonTest(filenames []string) []string {
+	var out []string
+	for _, f := range filenames {
+		if !strings.HasSuffix(f, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Suppression directives: parsing, validation, and diagnostic filtering
+// for //serlint:allow. See the package doc for the directive grammar.
+
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// directivePrefix is the exact comment prefix, //go:build-style (no space
+// after the slashes).
+const directivePrefix = "//serlint:allow"
+
+// Suppression is one //serlint:allow directive found in source. It appears
+// in lint-report.json whether or not a diagnostic currently lands on it —
+// the report answers "what escape hatches are in force", not "which fired".
+type Suppression struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Reason   string `json:"reason"`
+}
+
+// Directives extracts every //serlint:allow directive from the files,
+// returning the well-formed suppressions plus problem diagnostics
+// (missing mandatory reason, unknown analyzer name) attributed to the
+// pseudo-analyzer "serlint". Problem diagnostics are not suppressible.
+func Directives(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]Suppression, []analysis.Diagnostic) {
+	var sups []Suppression
+	var problems []analysis.Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //serlint:allowed — not our directive
+				}
+				name, reason, ok := splitDirective(rest)
+				pos := fset.Position(c.Pos())
+				switch {
+				case !ok:
+					problems = append(problems, analysis.Diagnostic{
+						Analyzer: "serlint",
+						Pos:      c.Pos(),
+						Message:  "malformed //serlint:allow directive: want //serlint:allow <analyzer> <reason>",
+					})
+				case !known[name]:
+					problems = append(problems, analysis.Diagnostic{
+						Analyzer: "serlint",
+						Pos:      c.Pos(),
+						Message:  "//serlint:allow names unknown analyzer \"" + name + "\"",
+					})
+				case reason == "":
+					problems = append(problems, analysis.Diagnostic{
+						Analyzer: "serlint",
+						Pos:      c.Pos(),
+						Message:  "//serlint:allow " + name + " is missing its mandatory reason",
+					})
+				default:
+					sups = append(sups, Suppression{
+						Analyzer: name,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Reason:   reason,
+					})
+				}
+			}
+		}
+	}
+	return sups, problems
+}
+
+// splitDirective parses " <analyzer> <reason...>" after the prefix.
+func splitDirective(rest string) (name, reason string, ok bool) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", false
+	}
+	name = fields[0]
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+	return name, reason, true
+}
+
+// Filter drops diagnostics covered by a suppression directive and appends
+// the directive-problem diagnostics. A directive covers a diagnostic from
+// its named analyzer when it sits on the diagnostic's line, on the line
+// immediately above it, or in the doc comment of the top-level declaration
+// enclosing the diagnostic (covering the declaration's whole line range).
+// The surviving diagnostics are returned sorted by position; the in-force
+// suppressions are returned for reporting.
+func Filter(fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic, known map[string]bool) (kept []analysis.Diagnostic, sups []Suppression) {
+	sups, problems := Directives(fset, files, known)
+
+	// covered[analyzer][file] is the set of suppressed lines.
+	covered := map[string]map[string]map[int]bool{}
+	add := func(analyzer, file string, lo, hi int) {
+		byFile := covered[analyzer]
+		if byFile == nil {
+			byFile = map[string]map[int]bool{}
+			covered[analyzer] = byFile
+		}
+		lines := byFile[file]
+		if lines == nil {
+			lines = map[int]bool{}
+			byFile[file] = lines
+		}
+		for l := lo; l <= hi; l++ {
+			lines[l] = true
+		}
+	}
+	for _, s := range sups {
+		add(s.Analyzer, s.File, s.Line, s.Line+1)
+	}
+	// Doc-comment directives cover the whole declaration.
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				doc = d.Doc
+			case *ast.FuncDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				name, reason, ok := splitDirective(strings.TrimPrefix(c.Text, directivePrefix))
+				if !ok || reason == "" || !known[name] {
+					continue
+				}
+				lo := fset.Position(decl.Pos()).Line
+				hi := fset.Position(decl.End()).Line
+				add(name, fset.Position(c.Pos()).Filename, lo, hi)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if covered[d.Analyzer][pos.Filename][pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	kept = append(kept, problems...)
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos != kept[j].Pos {
+			return kept[i].Pos < kept[j].Pos
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	sort.Slice(sups, func(i, j int) bool {
+		if sups[i].File != sups[j].File {
+			return sups[i].File < sups[j].File
+		}
+		return sups[i].Line < sups[j].Line
+	})
+	return kept, sups
+}

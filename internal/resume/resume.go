@@ -282,7 +282,8 @@ func (cp *Checkpoint) Arm(engineName, fingerprint, kind string, units int) (*Sta
 		kind:     kind,
 		units:    units,
 		doneBits: make([]uint64, (units+63)/64),
-		last:     time.Now(),
+		//serlint:allow detsource checkpoint write cadence is scheduling only; the wall clock is never serialized into the checkpoint or any result
+		last: time.Now(),
 	}
 	if kind == KindSites {
 		s.values = make([]uint64, units)
@@ -467,6 +468,7 @@ func (s *State) Flush() error {
 }
 
 func (s *State) dueLocked() bool {
+	//serlint:allow detsource checkpoint write cadence is scheduling only; it decides when to persist, never what is persisted
 	return s.cp.interval <= 0 || time.Since(s.last) >= s.cp.interval
 }
 
@@ -490,6 +492,7 @@ func (s *State) rangesLocked() []Range {
 // in-memory checkpoint (empty path) skips the write.
 func (s *State) writeLocked() error {
 	if s.cp.path == "" {
+		//serlint:allow detsource checkpoint write cadence is scheduling only; the timestamp gates the next write and is never serialized
 		s.last = time.Now()
 		s.dirty = false
 		return nil
@@ -535,6 +538,7 @@ func (s *State) writeLocked() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resume: %w", werr)
 	}
+	//serlint:allow detsource checkpoint write cadence is scheduling only; the timestamp gates the next write and is never serialized
 	s.last = time.Now()
 	s.dirty = false
 	return nil

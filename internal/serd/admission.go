@@ -68,6 +68,7 @@ func (a *admission) acquire(ctx context.Context) error {
 		return nil
 	default:
 	}
+	//serlint:allow deferunlock queue gate: the lock must release before blocking on the slot channel, and the overflow path must release before counting the rejection; both critical sections are single panic-free integer updates
 	a.mu.Lock()
 	if a.queued >= a.maxQueue {
 		a.mu.Unlock()
@@ -78,8 +79,8 @@ func (a *admission) acquire(ctx context.Context) error {
 	a.mu.Unlock()
 	defer func() {
 		a.mu.Lock()
+		defer a.mu.Unlock()
 		a.queued--
-		a.mu.Unlock()
 	}()
 	select {
 	case a.slots <- struct{}{}:
@@ -99,8 +100,8 @@ func (a *admission) release() {
 // snapshot returns the current counters.
 func (a *admission) snapshot() AdmissionStats {
 	a.mu.Lock()
+	defer a.mu.Unlock()
 	queued := a.queued
-	a.mu.Unlock()
 	return AdmissionStats{
 		PoolSize: a.poolSize,
 		MaxQueue: a.maxQueue,

@@ -24,6 +24,7 @@ import (
 	"math"
 	"net/http"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -155,6 +156,7 @@ func (co *coordinator) stats() *CoordinatorStats {
 // is what makes chaos-test fault schedules replayable.
 func (co *coordinator) jitter() float64 {
 	co.jmu.Lock()
+	defer co.jmu.Unlock()
 	co.jstate += 0x9e3779b97f4a7c15
 	z := co.jstate
 	z ^= z >> 30
@@ -162,7 +164,6 @@ func (co *coordinator) jitter() float64 {
 	z ^= z >> 27
 	z *= 0x94d049bb133111eb
 	z ^= z >> 31
-	co.jmu.Unlock()
 	return float64(z>>11) / float64(1<<53)
 }
 
@@ -291,6 +292,7 @@ func (d *dispatch) take(base string, now time.Time) (fl *flight, hedged bool, wa
 	wait = 50 * time.Millisecond
 	if d.co.hedgeDelay >= 0 {
 		var best *flight
+		//serlint:allow detrange hedge-candidate selection is scheduling only: whichever flight is hedged, the winning values fold placement-only, so results are independent of iteration order
 		for _, f := range d.flights {
 			if f.committed || len(f.attempts) != 1 || f.task.attempts >= d.co.maxAttempts {
 				continue
@@ -348,6 +350,7 @@ func (d *dispatch) attemptContext() (context.Context, context.CancelFunc) {
 // signals and never touch the breaker — a client hanging up must not
 // retire a healthy worker.
 func (d *dispatch) finish(base string, br *breaker, fl *flight, vals []float64, err error) {
+	//serlint:allow deferunlock resolution paths must release d.mu before touching the breaker and the checkpoint store (lock-ordering), so every exit unlocks manually; the critical sections are panic-free map/slice bookkeeping
 	d.mu.Lock()
 	delete(fl.attempts, base)
 	if fl.committed || d.closed {
@@ -356,6 +359,7 @@ func (d *dispatch) finish(base string, br *breaker, fl *flight, vals []float64, 
 	}
 	if err == nil {
 		fl.committed = true
+		//serlint:allow detrange commutative: every sibling attempt is cancelled regardless of visit order
 		for _, cancel := range fl.attempts {
 			if cancel != nil {
 				cancel()
@@ -420,11 +424,11 @@ func (d *dispatch) finish(base string, br *breaker, fl *flight, vals []float64, 
 	br.onFailure(time.Now())
 	time.AfterFunc(delay, func() {
 		d.mu.Lock()
+		defer d.mu.Unlock()
 		if !d.closed {
 			d.pending = append(d.pending, t)
 			d.wakeLocked()
 		}
-		d.mu.Unlock()
 	})
 }
 
@@ -438,6 +442,7 @@ func (d *dispatch) finish(base string, br *breaker, fl *flight, vals []float64, 
 // puller whose own health probe just failed; reports true when the
 // dispatch was closed and the puller should stop.
 func (d *dispatch) failIfUnreachable(perr error) bool {
+	//serlint:allow detrange commutative all-open predicate over the breaker set; order cannot change the answer
 	for _, br := range d.co.breakers {
 		if br.snapshot().State != BreakerOpen {
 			return false
@@ -448,6 +453,7 @@ func (d *dispatch) failIfUnreachable(perr error) bool {
 	if d.closed {
 		return true
 	}
+	//serlint:allow detrange commutative any-in-flight predicate; order cannot change the answer
 	for _, f := range d.flights {
 		if len(f.attempts) > 0 {
 			return false
@@ -701,7 +707,8 @@ func (co *coordinator) callShard(ctx context.Context, base string, src CircuitSo
 	for i, v := range vals {
 		if math.IsNaN(v) || v < 0 || v > 1 {
 			co.valueRejects.Add(1)
-			return nil, fmt.Errorf("serd: worker %s: shard [%d,%d): value for site %d is %v, not a probability in [0,1]; refusing to fold", base, lo, hi, lo+i, v)
+			return nil, fmt.Errorf("serd: worker %s: shard [%d,%d): value for site %d is %s (bits 0x%016x), not a probability in [0,1]; refusing to fold",
+				base, lo, hi, lo+i, strconv.FormatFloat(v, 'g', -1, 64), math.Float64bits(v))
 		}
 	}
 	return vals, nil

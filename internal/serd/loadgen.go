@@ -35,6 +35,8 @@ type LoadgenConfig struct {
 }
 
 // LoadgenResult is the measured outcome, shaped for bench-serd.json.
+//
+//serlint:allow bitfloat operational latency/throughput metrics for humans and plots; they are never folded into a Report or compared bit-for-bit
 type LoadgenResult struct {
 	Target      string  `json:"target"`
 	Concurrency int     `json:"concurrency"`
@@ -123,9 +125,9 @@ func Loadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) {
 				local = append(local, float64(time.Since(t0).Nanoseconds())/1e6)
 			}
 			mu.Lock()
+			defer mu.Unlock()
 			latencies = append(latencies, local...)
 			errCount += errs
-			mu.Unlock()
 		}()
 	}
 	wg.Wait()

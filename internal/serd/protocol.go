@@ -41,6 +41,8 @@ func (cs CircuitSource) source() circuitio.Source {
 // selects the latch-window-weighted multi-cycle composition, and it is part
 // of the request fingerprint — weighted and unweighted analyses never alias
 // in the report cache.
+//
+//serlint:allow bitfloat request parameters, not results: encoding/json emits the shortest decimal that round-trips the exact float64, and the fingerprint is computed server-side from the decoded values
 type LatchParams struct {
 	ClockPeriodPs       float64 `json:"clock_period_ps"`
 	WindowPs            float64 `json:"window_ps"`
@@ -176,6 +178,8 @@ type StreamHeader struct {
 // StreamNode is one per-node tile: the NodeSER decomposition. JSON numbers
 // round-trip float64 exactly, so a client summing SERFIT in arrival order
 // reconstructs TotalFIT bit-identically to a local Run.
+//
+//serlint:allow bitfloat documented lossless convention (package doc): tiles use JSON shortest-decimal numbers, which round-trip the exact float64 bits
 type StreamNode struct {
 	Type        string  `json:"type"` // FrameNode
 	ID          int     `json:"id"`
@@ -187,6 +191,8 @@ type StreamNode struct {
 }
 
 // StreamTotal terminates a successful stream.
+//
+//serlint:allow bitfloat documented lossless convention (package doc): JSON shortest-decimal round-trips the exact float64 bits
 type StreamTotal struct {
 	Type     string  `json:"type"` // FrameTotal
 	Nodes    int     `json:"nodes"`
@@ -204,6 +210,8 @@ type StreamError struct {
 // the preceding node tiles cover exactly the committed ranges, Uncovered
 // lists the holes, and TotalFIT sums the covered nodes only. A client that
 // needs the complete result must retry the request.
+//
+//serlint:allow bitfloat documented lossless convention (package doc): JSON shortest-decimal round-trips the exact float64 bits
 type StreamPartial struct {
 	Type      string  `json:"type"` // FramePartial
 	Nodes     int     `json:"nodes"`

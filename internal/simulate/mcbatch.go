@@ -424,11 +424,13 @@ func runWordSweep(ctx context.Context, cfg wordSweepCfg, tot *mcTotals, newWorke
 		wordsDone = doneBase
 	)
 	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
+		func() {
+			mu.Lock()
+			defer mu.Unlock()
+			if firstErr == nil {
+				firstErr = err
+			}
+		}()
 		abort.Store(true)
 	}
 	perWordMerge := cfg.commit != nil
@@ -496,10 +498,16 @@ func runWordSweep(ctx context.Context, cfg wordSweepCfg, tot *mcTotals, newWorke
 				}
 				cur = -1
 			}
+			// The deferred unlock matters: a merge panic with the mutex
+			// still held would turn the outer recover's fail() — which
+			// takes the same mutex — into a self-deadlock instead of a
+			// structured *PanicError.
 			if !perWordMerge {
-				mu.Lock()
-				wk.merge(tot)
-				mu.Unlock()
+				func() {
+					mu.Lock()
+					defer mu.Unlock()
+					wk.merge(tot)
+				}()
 			}
 		}()
 	}
