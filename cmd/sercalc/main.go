@@ -31,6 +31,8 @@
 //	-timeout 0        bound the whole run (e.g. 30s); expiry exits with code 3
 //	-checkpoint ""    checkpoint file: commit sweep progress, resume completed work
 //	-checkpoint-interval 10s  minimum time between checkpoint writes (0 = every batch)
+//	-eco-cache ""     incremental re-estimation cache directory: a re-run after
+//	                  a netlist edit re-sweeps only the changed cones
 //
 // Setting any of the latch flags (-clock, -pulse, -window, -atten) replaces
 // the default latching-window model; combined with -frames N > 1 that also
@@ -92,6 +94,7 @@ func main() {
 		csvPath     = flag.String("csv", "", "write the full per-node table as CSV")
 		timeout     = flag.Duration("timeout", 0, "bound the whole run; expiry exits with code 3 (0 = no deadline)")
 		checkpoint  = flag.String("checkpoint", "", "checkpoint file: commit sweep progress, resume completed work")
+		ecoCache    = flag.String("eco-cache", "", "directory-backed incremental re-estimation cache: re-runs after netlist edits re-sweep only changed cones")
 		ckInterval  = flag.Duration("checkpoint-interval", 10*time.Second, "minimum time between checkpoint writes (0 = every batch)")
 	)
 	flag.Parse()
@@ -163,6 +166,9 @@ func main() {
 	}
 	if *checkpoint != "" {
 		opts = append(opts, sersim.WithCheckpoint(*checkpoint, *ckInterval))
+	}
+	if *ecoCache != "" {
+		opts = append(opts, sersim.WithECOCache(*ecoCache))
 	}
 	if *progress {
 		opts = append(opts, sersim.WithProgress(func(done, total int) {

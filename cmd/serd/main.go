@@ -99,6 +99,7 @@ func main() {
 		shardsPerWorker = flag.Int("shards-per-worker", 2, "shards the coordinator cuts per worker")
 		shardAttempts   = flag.Int("shard-attempts", 0, "dispatch attempts per shard (0 = 2 + workers)")
 		checkpointDir   = flag.String("checkpoint-dir", "", "durable shard-commit directory (coordinator mode)")
+		ecoCacheDir     = flag.String("eco-cache", "", "directory-backed incremental re-estimation cache (local sweeps)")
 		shardTimeout    = flag.Duration("shard-timeout", 0, "per-shard-attempt deadline (0 = none)")
 		retryBackoff    = flag.Duration("retry-backoff", 0, "base shard redispatch delay (0 = 25ms)")
 		retrySeed       = flag.Uint64("retry-seed", 0, "deterministic retry-jitter seed (0 = 1)")
@@ -128,6 +129,7 @@ func main() {
 			ShardsPerWorker:   *shardsPerWorker,
 			ShardAttempts:     *shardAttempts,
 			CheckpointDir:     *checkpointDir,
+			ECOCacheDir:       *ecoCacheDir,
 			ShardTimeout:      *shardTimeout,
 			RetryBackoff:      *retryBackoff,
 			RetrySeed:         *retrySeed,

@@ -314,8 +314,7 @@ func (b *BatchAnalyzer) run(sites []netlist.ID) {
 	// TestBatchPackingInvariance); lane states themselves are already
 	// packing-invariant because a lane's arithmetic only ever reads its own
 	// lane and off-path signal probabilities. The scalar engine folds in
-	// cone topological order instead, hence the documented ≤ 1e-12 (not
-	// bitwise) agreement between the engines.
+	// the same canonical order (see Analyzer.EPP).
 	slices.Sort(b.obs)
 	for _, id := range b.obs {
 		base := int(b.pos[id]) * stride

@@ -23,14 +23,16 @@
 // at once over the union of their cones, tracking per-node on-path lane
 // membership in a uint64 mask and storing the four-valued states
 // struct-of-arrays, which amortizes cone extraction, adjacency loads and
-// rule dispatch across the batch (~5× on the large ISCAS'89 profiles). The
-// engines agree to ≤ 1e-12 on every site; both read the netlist through
-// the CSR adjacency arrays (netlist.Circuit.FaninCSR/FanoutCSR).
+// rule dispatch across the batch (~5× on the large ISCAS'89 profiles). Both
+// engines read the netlist through the CSR adjacency arrays
+// (netlist.Circuit.FaninCSR/FanoutCSR) and fold the per-output miss product
+// in canonical ascending output-ID order, so a site's P_sensitized is a
+// pure function of its cone's dataflow graph, signal probabilities and
+// observation points — never of sweep scheduling or combinational levels.
 //
-// The batched engine is packing-invariant: a site's result is bit-identical
-// no matter which sites share its batch, in what order, at what width. Lane
-// arithmetic never reads companion lanes, and the per-output miss product is
-// folded in canonical output-ID order rather than sweep order. The AllSites
+// The batched engine is additionally packing-invariant: a site's result is
+// bit-identical no matter which sites share its batch, in what order, at
+// what width. Lane arithmetic never reads companion lanes. The AllSites
 // entry points exploit this by packing batches from the cone-locality site
 // schedule (internal/sched) — lanes in one batch share most of their union
 // cone — while remaining bit-equal to any other packing; callers driving
@@ -39,6 +41,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/graph"
 	"repro/internal/logic"
@@ -125,6 +128,7 @@ type Analyzer struct {
 	stamp  []uint32
 	epoch  uint32
 	ins    []logic.Prob4 // fanin gather scratch
+	obs    []netlist.ID  // output-ID sort scratch for the miss-product fold
 
 	// CSR adjacency views cached from the circuit (shared, read-only).
 	fiIdx []int32
@@ -216,11 +220,18 @@ func (a *Analyzer) EPP(site netlist.ID) Result {
 	if len(cone.Outputs) > 0 {
 		res.Outputs = make([]OutputEPP, len(cone.Outputs))
 	}
-	missAll := 1.0
 	for i, out := range cone.Outputs {
-		st := a.state[out]
-		res.Outputs[i] = OutputEPP{Output: out, State: st}
-		missAll *= 1 - st.PErr()
+		res.Outputs[i] = OutputEPP{Output: out, State: a.state[out]}
+	}
+	// Fold the per-output miss product in ascending output-ID order — the
+	// same canonical order as the batched engine — so the result depends
+	// only on the set of reachable outputs and their states, not on the
+	// sweep's level ordering (see BatchAnalyzer.run).
+	a.obs = append(a.obs[:0], cone.Outputs...)
+	slices.Sort(a.obs)
+	missAll := 1.0
+	for _, out := range a.obs {
+		missAll *= 1 - a.state[out].PErr()
 	}
 	res.PSensitized = 1 - missAll
 	if len(cone.Outputs) == 0 {

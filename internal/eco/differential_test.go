@@ -1,0 +1,230 @@
+package eco_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/eco"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/harden"
+	"repro/internal/netlist"
+	"repro/internal/ser"
+)
+
+// The differential edit-sequence harness: apply a randomized sequence of TMR
+// edits to a circuit and, at every step, demand that the ECO-cached estimate
+// is byte-identical to a cold recompute of the same configuration. The cache
+// can therefore never change a result — only the amount of work — and the
+// MemoHits assertions prove the comparison is not vacuous (the cached run
+// really did restore sites instead of sweeping them).
+
+// diffConfig is one cell of the engines × workers × frames matrix.
+type diffConfig struct {
+	engine  string
+	workers int
+	frames  int
+	vectors int // sampling engines only
+}
+
+func (dc diffConfig) String() string {
+	return fmt.Sprintf("%s/w%d/f%d", dc.engine, dc.workers, dc.frames)
+}
+
+func (dc diffConfig) serConfig(cache *eco.Cache, st *engine.Stats) ser.Config {
+	cfg := ser.Config{
+		Engine:  dc.engine,
+		Workers: dc.workers,
+		ECO:     cache,
+		Stats:   st,
+	}
+	if dc.frames > 1 {
+		cfg.Frames = dc.frames
+	}
+	if dc.engine == "monte-carlo" {
+		cfg.Method = ser.MethodMonteCarlo
+		cfg.MC.Vectors = dc.vectors
+		cfg.MC.Seed = 42
+	}
+	return cfg
+}
+
+// reportsIdentical compares two reports bitwise — every float via its
+// IEEE-754 bit pattern, so a ±0.0 or NaN-payload discrepancy fails too.
+func reportsIdentical(t *testing.T, cold, warm *ser.Report) {
+	t.Helper()
+	if cold.Circuit != warm.Circuit || cold.Engine != warm.Engine || cold.Method != warm.Method {
+		t.Fatalf("report headers differ: cold %v/%v/%v warm %v/%v/%v",
+			cold.Circuit, cold.Engine, cold.Method, warm.Circuit, warm.Engine, warm.Method)
+	}
+	if len(cold.Nodes) != len(warm.Nodes) {
+		t.Fatalf("node counts differ: cold %d warm %d", len(cold.Nodes), len(warm.Nodes))
+	}
+	if math.Float64bits(cold.TotalFIT) != math.Float64bits(warm.TotalFIT) {
+		t.Fatalf("TotalFIT differs bitwise: cold %v warm %v", cold.TotalFIT, warm.TotalFIT)
+	}
+	for i := range cold.Nodes {
+		cn, wn := cold.Nodes[i], warm.Nodes[i]
+		if cn.ID != wn.ID || cn.Name != wn.Name {
+			t.Fatalf("node %d identity differs: cold %d/%q warm %d/%q", i, cn.ID, cn.Name, wn.ID, wn.Name)
+		}
+		for _, f := range []struct {
+			field      string
+			cold, warm float64
+		}{
+			{"RateFIT", cn.RateFIT, wn.RateFIT},
+			{"PLatched", cn.PLatched, wn.PLatched},
+			{"PSensitized", cn.PSensitized, wn.PSensitized},
+			{"SERFIT", cn.SERFIT, wn.SERFIT},
+		} {
+			if math.Float64bits(f.cold) != math.Float64bits(f.warm) {
+				t.Fatalf("node %d (%s) %s differs bitwise: cold %v warm %v",
+					i, cn.Name, f.field, f.cold, f.warm)
+			}
+		}
+	}
+}
+
+// pickGates returns the edit sequence for a circuit: a deterministic
+// pseudo-random spread of gate IDs (seeded by the circuit size so every
+// matrix cell of the same circuit edits the same gates).
+func pickGates(c *netlist.Circuit, steps int) []netlist.ID {
+	var gates []netlist.ID
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind.IsGate() {
+			gates = append(gates, netlist.ID(i))
+		}
+	}
+	if len(gates) == 0 {
+		return nil
+	}
+	picked := make([]netlist.ID, 0, steps)
+	state := uint64(c.N())*2654435761 + 1
+	for len(picked) < steps {
+		state = state*6364136223846793005 + 1442695040888963407
+		g := gates[int(state>>33)%len(gates)]
+		dup := false
+		for _, p := range picked {
+			dup = dup || p == g
+		}
+		if !dup {
+			picked = append(picked, g)
+		}
+	}
+	return picked
+}
+
+// runDifferential drives one (circuit, config) cell through an edit sequence.
+func runDifferential(t *testing.T, c *netlist.Circuit, dc diffConfig, steps int) {
+	t.Helper()
+	ctx := context.Background()
+	cache, err := eco.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edits := pickGates(c, steps)
+	cur := c
+	var prev *netlist.Circuit
+	for step := 0; step <= len(edits); step++ {
+		if step > 0 {
+			prev = cur
+			cur, err = harden.TMR(cur, []netlist.ID{edits[step-1]})
+			if err != nil {
+				t.Fatalf("step %d: TMR: %v", step, err)
+			}
+		}
+		coldSt, warmSt := &engine.Stats{}, &engine.Stats{}
+		cold, err := ser.Run(ctx, cur, dc.serConfig(nil, coldSt))
+		if err != nil {
+			t.Fatalf("step %d: cold run: %v", step, err)
+		}
+		warm, err := ser.Run(ctx, cur, dc.serConfig(cache, warmSt))
+		if err != nil {
+			t.Fatalf("step %d: cached run: %v", step, err)
+		}
+		reportsIdentical(t, cold, warm)
+		n := int64(cur.N())
+		if got := warmSt.MemoHits.Load() + warmSt.Sites.Load(); got != n {
+			t.Fatalf("step %d: MemoHits(%d) + Sites(%d) = %d, want %d (whole sweep)",
+				step, warmSt.MemoHits.Load(), warmSt.Sites.Load(), got, n)
+		}
+		// Site-major engines must reuse at least every cone the differ calls
+		// unchanged relative to the previous step (the cache may hold more,
+		// from earlier steps). The word-major monte-carlo engine reuses
+		// all-or-nothing, so its cross-edit runs legitimately recompute
+		// everything. On tiny circuits one TMR edit can touch every cone;
+		// the bound degrades to 0 there rather than going vacuously green.
+		if step > 0 && dc.engine != "monte-carlo" {
+			unchanged := int64(cur.N() - len(eco.ChangedSites(prev, cur, dc.frames)))
+			if got := warmSt.MemoHits.Load(); got < unchanged {
+				t.Fatalf("step %d: cached re-estimate restored %d sites, want at least the %d unchanged cones",
+					step, got, unchanged)
+			}
+		}
+		// Re-running the identical request must be a pure replay for every
+		// engine: all sites restored, none swept, and still byte-identical.
+		replaySt := &engine.Stats{}
+		replay, err := ser.Run(ctx, cur, dc.serConfig(cache, replaySt))
+		if err != nil {
+			t.Fatalf("step %d: replay run: %v", step, err)
+		}
+		reportsIdentical(t, cold, replay)
+		if replaySt.MemoHits.Load() != n || replaySt.Sites.Load() != 0 {
+			t.Fatalf("step %d: replay swept %d sites and restored %d, want 0 swept / %d restored",
+				step, replaySt.Sites.Load(), replaySt.MemoHits.Load(), n)
+		}
+	}
+}
+
+func TestDifferentialEditSequence(t *testing.T) {
+	circuits := []struct {
+		name string
+		c    *netlist.Circuit
+		// small circuits are within the exact engines' exhaustive limit
+		small bool
+		seq   bool
+	}{
+		{"c17", circuitFile(t, "c17.bench"), true, false},
+		{"majority", circuitFile(t, "majority.bench"), true, false},
+		{"smallrandom", gen.SmallRandom(7), true, false},
+		{"smallrandomseq", gen.SmallRandomSequential(13), true, true},
+	}
+	for _, tc := range circuits {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			for _, eng := range []string{"epp-batch", "epp-scalar", "monte-carlo", "enum", "bdd"} {
+				for _, workers := range []int{1, 4} {
+					for _, frames := range []int{1, 2} {
+						// The exact engines reject the multi-cycle analysis;
+						// frames > 1 is only meaningful with flip-flops.
+						if frames > 1 && (eng == "enum" || eng == "bdd" || !tc.seq) {
+							continue
+						}
+						dc := diffConfig{engine: eng, workers: workers, frames: frames, vectors: 128}
+						t.Run(dc.String(), func(t *testing.T) {
+							runDifferential(t, tc.c, dc, 2)
+						})
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialS9234 runs the edit sequence on the largest published
+// profile with the production engine. One worker pool size and a single
+// edit keep it inside unit-test time; the bench_test acceptance test covers
+// the touched-cone ratio on this circuit.
+func TestDifferentialS9234(t *testing.T) {
+	if testing.Short() {
+		t.Skip("s9234 differential harness is not a -short test")
+	}
+	c, err := gen.ByName("s9234")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDifferential(t, c, diffConfig{engine: "epp-batch", workers: 4, frames: 1}, 1)
+}

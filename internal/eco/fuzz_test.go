@@ -1,0 +1,180 @@
+package eco_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/eco"
+	"repro/internal/gen"
+	"repro/internal/harden"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ser"
+)
+
+// FuzzConeDiffer checks the differ's soundness bound on randomized edits:
+// after any mutation, every site whose exact epp-scalar P_sensitized value
+// changes BITWISE must appear in ChangedSites AND in AnalyticChangedSites —
+// at one frame and at two. The analytic flavor is the binding one (it is
+// what the epp engines memoize on, and it is strictly tighter than the
+// structural flavor), so it gets the same adversarial treatment. (The
+// converse — a reported site whose value happens not to change — is
+// allowed: the differ is conservative, a spurious invalidation only costs a
+// recompute.) A counterexample here would be a cache that silently serves a
+// stale value, the one failure mode the whole ECO design must exclude.
+func FuzzConeDiffer(f *testing.F) {
+	f.Add(uint64(1), byte(0), uint16(0), uint16(0))
+	f.Add(uint64(2), byte(1), uint16(3), uint16(1))
+	f.Add(uint64(3), byte(2), uint16(5), uint16(2))
+	f.Add(uint64(7), byte(3), uint16(9), uint16(4))
+	f.Add(uint64(11), byte(4), uint16(2), uint16(7))
+	f.Add(uint64(13), byte(5), uint16(8), uint16(3))
+	f.Fuzz(func(t *testing.T, seed uint64, mutSel byte, a, b uint16) {
+		var base *netlist.Circuit
+		if mutSel&1 == 0 {
+			base = gen.SmallRandomSequential(seed % 64)
+		} else {
+			base = gen.SmallRandom(seed % 64)
+		}
+		mutated := mutate(t, base, mutSel/2%3, int(a), int(b))
+		if mutated == nil {
+			return // mutation not applicable to this circuit
+		}
+		frames := []int{1}
+		if len(base.FFs) > 0 {
+			frames = append(frames, 2)
+		}
+		for _, fr := range frames {
+			baseRep := estimateScalar(t, base, fr)
+			mutRep := estimateScalar(t, mutated, fr)
+			flavors := []struct {
+				name    string
+				changed []netlist.ID
+			}{
+				{"ChangedSites", eco.ChangedSites(base, mutated, fr)},
+				{"AnalyticChangedSites", eco.AnalyticChangedSites(base, mutated, fr)},
+			}
+			for _, fl := range flavors {
+				changed := make(map[netlist.ID]bool)
+				for _, id := range fl.changed {
+					changed[id] = true
+				}
+				// Every appended node is new and must be reported.
+				for id := base.N(); id < mutated.N(); id++ {
+					if !changed[netlist.ID(id)] {
+						t.Errorf("frames %d: new node %d not in %s", fr, id, fl.name)
+					}
+				}
+				// Every surviving site whose exact value moved must be reported.
+				n := base.N()
+				if mutated.N() < n {
+					n = mutated.N()
+				}
+				for id := 0; id < n; id++ {
+					bb := math.Float64bits(baseRep.Nodes[id].PSensitized)
+					mb := math.Float64bits(mutRep.Nodes[id].PSensitized)
+					if bb != mb && !changed[netlist.ID(id)] {
+						t.Errorf("frames %d: site %d (%s) changed %v -> %v but is not in %s",
+							fr, id, base.NameOf(netlist.ID(id)), baseRep.Nodes[id].PSensitized, mutRep.Nodes[id].PSensitized, fl.name)
+					}
+				}
+			}
+		}
+	})
+}
+
+func estimateScalar(t *testing.T, c *netlist.Circuit, frames int) *ser.Report {
+	t.Helper()
+	cfg := ser.Config{Engine: "epp-scalar"}
+	if frames > 1 {
+		cfg.Frames = frames
+	}
+	rep, err := ser.Run(context.Background(), c, cfg)
+	if err != nil {
+		t.Fatalf("frames %d: %v", frames, err)
+	}
+	return rep
+}
+
+// mutate applies one structural edit to c and rebuilds: a gate-kind swap
+// (kind 0), a fanin rewire to a strictly lower-level node (kind 1), or a
+// single-gate TMR (kind 2). Returns nil when the pick does not land on an
+// applicable node — the fuzzer treats that input as uninteresting.
+func mutate(t *testing.T, c *netlist.Circuit, kind byte, a, b int) *netlist.Circuit {
+	t.Helper()
+	var gates []netlist.ID
+	for i := range c.Nodes {
+		if c.Nodes[i].Kind.IsGate() {
+			gates = append(gates, netlist.ID(i))
+		}
+	}
+	if len(gates) == 0 {
+		return nil
+	}
+	target := gates[a%len(gates)]
+
+	if kind == 2 {
+		out, err := harden.TMR(c, []netlist.ID{target})
+		if err != nil {
+			t.Fatalf("TMR(%d): %v", target, err)
+		}
+		return out
+	}
+
+	// Rebuild with one node edited, TMR-style: copy (dropping the CSR-backed
+	// Fanout slices — netlist.New recomputes adjacency), mutate, revalidate.
+	nodes := make([]netlist.Node, c.N())
+	for i := range nodes {
+		src := c.Node(netlist.ID(i))
+		nodes[i] = netlist.Node{
+			ID:    src.ID,
+			Name:  src.Name,
+			Kind:  src.Kind,
+			Fanin: append([]netlist.ID(nil), src.Fanin...),
+			IsPO:  src.IsPO,
+		}
+	}
+	switch kind {
+	case 0: // kind swap, arity-preserving
+		swap := map[logic.Kind]logic.Kind{
+			logic.And: logic.Nand, logic.Nand: logic.And,
+			logic.Or: logic.Nor, logic.Nor: logic.Or,
+			logic.Xor: logic.Xnor, logic.Xnor: logic.Xor,
+			logic.Not: logic.Buf, logic.Buf: logic.Not,
+		}
+		nk, ok := swap[nodes[target].Kind]
+		if !ok {
+			return nil
+		}
+		nodes[target].Kind = nk
+	case 1: // rewire one fanin to a strictly lower-level node (stays acyclic)
+		tn := &nodes[target]
+		if len(tn.Fanin) == 0 {
+			return nil
+		}
+		j := b % len(tn.Fanin)
+		lvl := c.Level(target)
+		var cands []netlist.ID
+		for i := 0; i < c.N(); i++ {
+			id := netlist.ID(i)
+			if c.Level(id) < lvl && id != tn.Fanin[j] {
+				cands = append(cands, id)
+			}
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		tn.Fanin[j] = cands[(a+b)%len(cands)]
+	}
+	out, err := netlist.New(c.Name+"_mut", nodes,
+		append([]netlist.ID(nil), c.PIs...),
+		append([]netlist.ID(nil), c.POs...),
+		append([]netlist.ID(nil), c.FFs...))
+	if err != nil {
+		// Some rewires are structurally invalid (e.g. a now-dangling net the
+		// validator rejects); skip rather than fail — the fuzzer explores.
+		return nil
+	}
+	return out
+}

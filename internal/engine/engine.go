@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/eco"
 	"repro/internal/latch"
 	"repro/internal/netlist"
 	"repro/internal/resume"
@@ -164,6 +165,30 @@ type Request struct {
 	// sweep (restored words included); the site-major counters reflect only
 	// the work actually performed by this call.
 	Stats *Stats
+	// Memo, when non-nil, memoizes per-site results across netlist edits
+	// (the ECO cache): before sweeping, every site whose observation-cone
+	// hash is cached under this request's memo key is restored from the
+	// cache — bit-identical, stored as IEEE-754 bit patterns — and skipped
+	// exactly like checkpoint-committed sites (restored ranges replay
+	// through OnBatch first, the sweep covers the complement, freshly
+	// computed batches are stored back). Engines are packing-invariant, so
+	// a memo-assisted sweep is byte-identical to a cold one.
+	//
+	// Soundness contract (the ser layer enforces it, direct users must):
+	// Bias must be nil — the engine rejects the combination — and SP, if
+	// set, must be the circuit's default topological vector (nil-bias
+	// Parker–McCluskey), because the memo key deliberately excludes circuit
+	// content and SP: per-site values are then pure functions of the cone
+	// content hashed by internal/eco. Memo cannot combine with Resume
+	// (pick one restore source) or with a SiteLo/SiteHi shard (the
+	// coordinator owns cross-request reuse). The word-major monte-carlo
+	// engine reuses all-or-nothing: a full-circuit hit skips the sweep,
+	// any miss recomputes every site (its shared-good-sim kernel prices a
+	// sweep by words, not sites), and its memo key folds in the ordered
+	// source-ID list (source insertion shifts every later source's vector
+	// stream). Site-major engines force ascending-ID sweep order under a
+	// memo, like under a checkpoint; results are unchanged.
+	Memo *eco.Cache
 	// Resume, when non-nil, makes the sweep crash-safe: completed units
 	// (site batches or 64-vector words) and their integer counters are
 	// committed to the checkpoint file at its cadence, and a sweep armed
@@ -216,6 +241,11 @@ type Stats struct {
 	GoodSims atomic.Int64
 	// Words counts 64-vector words applied (sampling engines).
 	Words atomic.Int64
+	// MemoHits counts sites restored from the ECO memo cache instead of
+	// swept (Request.Memo). Sites counts only sites actually analyzed, so
+	// MemoHits + Sites covers the whole sweep on a memo-assisted run —
+	// the ratio is the incremental re-estimation saving.
+	MemoHits atomic.Int64
 }
 
 // SweptNodesPerSite reports batching efficiency: union-cone nodes swept per

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bddsp"
 	"repro/internal/core"
+	"repro/internal/eco"
 	"repro/internal/exact"
 	"repro/internal/netlist"
 	"repro/internal/resume"
@@ -125,7 +126,7 @@ func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float
 			eng := local.Batch()
 			sites := make([]netlist.ID, 0, eng.Width())
 			tmp := make([]float64, eng.Width())
-			var prevSwept, prevSites int64
+			var prevSwept int64
 			return func(lo, hi int) error {
 				if order != nil {
 					batch := order[lo:hi]
@@ -141,10 +142,11 @@ func (batchEngine) PSensitizedAll(ctx context.Context, req *Request, out []float
 					eng.PSensitizedBatch(sites, out[lo:hi])
 				}
 				if req.Stats != nil {
-					swept, ns := eng.Counters()
+					// Sites are counted generically by siteSweep; only the
+					// kernel's union-cone member count comes from here.
+					swept, _ := eng.Counters()
 					req.Stats.SweptNodes.Add(swept - prevSwept)
-					req.Stats.Sites.Add(ns - prevSites)
-					prevSwept, prevSites = swept, ns
+					prevSwept = swept
 				}
 				return nil
 			}, nil
@@ -243,6 +245,46 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 		// sharding by site only multiplies work. The coordinator runs sampling
 		// requests whole instead.
 		return fmt.Errorf("engine: monte-carlo does not support a site-range shard (the word-major shared-good-sim kernel amortizes good simulations across all sites; shard by seed or run whole instead)")
+	}
+	if err := req.checkMemo(); err != nil {
+		return err
+	}
+	var (
+		memoKey    string
+		memoHashes []eco.Hash
+	)
+	if req.Memo != nil {
+		// All-or-nothing reuse: the shared-good-sim kernel prices a sweep by
+		// vector words (one good simulation per word amortized across every
+		// site), so skipping a site subset saves nothing — a full-circuit
+		// hit skips the whole sweep, any miss recomputes every site and
+		// stores the complete vector back. The memo key folds in the ordered
+		// source-ID list (see Request.memoKey), so a source-set edit — which
+		// shifts every later source's vector stream — can never alias.
+		memoHashes = req.Memo.Hashes(c, req.memoFrames())
+		memoKey = req.memoKey("monte-carlo", true)
+		if _, hits := req.Memo.Lookup(memoKey, memoHashes, out); hits == n {
+			if req.Stats != nil {
+				req.Stats.MemoHits.Add(int64(n))
+			}
+			if req.OnProgress != nil {
+				req.OnProgress(n, n)
+			}
+			if req.OnBatch != nil {
+				for lo := 0; lo < n; lo += 64 {
+					hi := lo + 64
+					if hi > n {
+						hi = n
+					}
+					if err := callOnBatch(req.OnBatch, lo, hi); err != nil {
+						return wrapSweepErr("monte-carlo", n, n, err)
+					}
+				}
+			}
+			return nil
+		}
+		// Partial hits were written into out; the full recompute below
+		// overwrites every entry, so nothing stale can survive.
 	}
 	opt := req.mcOptions()
 	words := opt.Words()
@@ -369,6 +411,12 @@ func (mcEngine) PSensitizedAll(ctx context.Context, req *Request, out []float64)
 		req.Stats.Words.Add(st.Words)
 		req.Stats.SweptNodes.Add(st.SweptMembers)
 		req.Stats.Sites.Add(st.Sites)
+	}
+	if req.Memo != nil {
+		req.Memo.Store(memoKey, memoHashes, 0, n, out)
+		if err := req.Memo.Flush(); err != nil {
+			return err
+		}
 	}
 	if req.OnBatch != nil {
 		for lo := 0; lo < c.N(); lo += 64 {

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/eco"
 	"repro/internal/resume"
 )
 
@@ -117,6 +118,87 @@ func (r *Request) Fingerprint(engineName string, sp []float64) string {
 	wVec(r.Bias)
 	wVec(sp)
 	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// memoKey is the ECO cache's request identity: every result-affecting
+// option of Fingerprint except circuit content and the SP vector, which the
+// per-site cone hashes replace — that exclusion is what lets results
+// transfer between an edited circuit and its base. Requires the Memo
+// soundness contract (nil Bias, default topological SP); see Request.Memo.
+// Sampling engines additionally fold in the ordered source-ID list: vector
+// streams draw per source in global ascending-ID order, so a source-set
+// change shifts every later source's draws even when cones are unchanged.
+func (r *Request) memoKey(engineName string, sampling bool) string {
+	h := sha256.New()
+	var buf [8]byte
+	wInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wF64 := func(v float64) { wInt(int64(math.Float64bits(v))) }
+	wStr := func(s string) {
+		wInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	wStr("eco-v1")
+	wStr(engineName)
+	wInt(int64(r.Frames))
+	wInt(int64(r.Vectors))
+	wInt(int64(r.Seed))
+	wInt(int64(r.Rules))
+	wInt(int64(r.BDDBudget))
+	if r.Latch == nil {
+		wInt(0)
+	} else {
+		wInt(1)
+		wF64(r.Latch.ClockPeriodPs)
+		wF64(r.Latch.WindowPs)
+		wF64(r.Latch.PulseWidthPs)
+		wF64(r.Latch.AttenuationPerLevel)
+	}
+	if sampling {
+		srcs := r.Circuit.Sources()
+		wInt(int64(len(srcs)))
+		for _, id := range srcs {
+			wInt(int64(id))
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// memoFrames normalizes the request's frame count for cone hashing.
+func (r *Request) memoFrames() int {
+	if r.Frames < 1 {
+		return 1
+	}
+	return r.Frames
+}
+
+// memoHashes returns the cone hashes of the request's circuit in the flavor
+// the named engine is sound under: the analytic (EPP) engines read only
+// cone structure plus signal-probability values, so they use the tighter
+// SP-flavor digests (sp is the sweep's own vector); sampling and exact
+// engines depend on the full backward structure and use the structural
+// flavor. See the internal/eco soundness argument.
+func (r *Request) memoHashes(engName string, sp []float64) []eco.Hash {
+	if e, err := Lookup(engName); err == nil && e.Class() == ClassAnalytic {
+		return r.Memo.AnalyticHashes(r.Circuit, r.memoFrames(), sp)
+	}
+	return r.Memo.Hashes(r.Circuit, r.memoFrames())
+}
+
+// checkMemo validates the memo combination rules shared by all engines.
+func (r *Request) checkMemo() error {
+	if r.Memo == nil {
+		return nil
+	}
+	if r.Resume != nil {
+		return fmt.Errorf("engine: Memo cannot combine with Resume (pick one restore source; the ECO cache already persists results)")
+	}
+	if r.Bias != nil {
+		return fmt.Errorf("engine: Memo requires nil Bias (per-site values must be pure functions of cone content; see Request.Memo)")
+	}
+	return nil
 }
 
 // span is one contiguous claimable range of a sweep's unit space.
@@ -332,8 +414,33 @@ func siteSweep(ctx context.Context, req *Request, engName string, sp []float64, 
 		rs       *resume.State
 		doneBase int
 	)
+	if err := req.checkMemo(); err != nil {
+		return err
+	}
+	if req.Stats != nil {
+		// Count analyzed sites generically: every chunk a worker actually
+		// computes (restored sites — checkpoint or memo — are not analyzed,
+		// so on a memo-assisted run MemoHits + Sites covers the whole sweep).
+		stats, inner := req.Stats, newWorker
+		newWorker = func() (func(lo, hi int) error, error) {
+			w, err := inner()
+			if err != nil {
+				return nil, err
+			}
+			return func(lo, hi int) error {
+				if err := w(lo, hi); err != nil {
+					return err
+				}
+				stats.Sites.Add(int64(hi - lo))
+				return nil
+			}, nil
+		}
+	}
 	onBatch := req.OnBatch
 	if sharded {
+		if req.Memo != nil {
+			return fmt.Errorf("engine: a site-range shard cannot carry an ECO memo cache (the coordinator owns cross-request reuse)")
+		}
 		// A shard is one slice of a larger logical sweep whose durability the
 		// coordinator owns (it commits returned ranges against the full-sweep
 		// checkpoint); a per-shard checkpoint would fingerprint as the full
@@ -382,6 +489,41 @@ func siteSweep(ctx context.Context, req *Request, engName string, sp []float64, 
 			}
 			return nil
 		}
+	} else if req.Memo != nil {
+		// The memo restore mirrors the checkpoint path: cached sites are
+		// restored into out (bit-identical — values are stored as IEEE-754
+		// bit patterns keyed by cone hash), replayed through OnBatch so
+		// streaming consumers see every site exactly once, and the sweep
+		// covers the complement. Freshly computed batches are stored back
+		// under the commit hook, and the cache is flushed on every exit
+		// path, so even a budgeted or deadlined sweep banks its results.
+		hashes := req.memoHashes(engName, sp)
+		key := req.memoKey(engName, false)
+		ranges, hits := req.Memo.Lookup(key, hashes, out)
+		doneBase = hits
+		if req.Stats != nil {
+			req.Stats.MemoHits.Add(int64(hits))
+		}
+		if onBatch != nil {
+			for _, rg := range ranges {
+				if err := callOnBatch(onBatch, rg.Lo, rg.Hi); err != nil {
+					return wrapSweepErr(engName, n, doneBase, err)
+				}
+			}
+		}
+		rr := make([]resume.Range, len(ranges))
+		for i, rg := range ranges {
+			rr[i] = resume.Range{Lo: rg.Lo, Hi: rg.Hi}
+		}
+		spans = pendingSpans(n, chunk, rr)
+		memo, inner := req.Memo, onBatch
+		onBatch = func(lo, hi int) error {
+			memo.Store(key, hashes, lo, hi, out[lo:hi])
+			if inner != nil {
+				return inner(lo, hi)
+			}
+			return nil
+		}
 	} else {
 		spans = chunkSpans(0, n, chunk)
 	}
@@ -396,6 +538,11 @@ func siteSweep(ctx context.Context, req *Request, engName string, sp []float64, 
 		// cancel) the committed batches since the last cadence write become
 		// durable, so -checkpoint composes with -timeout into convergence.
 		if ferr := rs.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if req.Memo != nil {
+		if ferr := req.Memo.Flush(); ferr != nil && err == nil {
 			err = ferr
 		}
 	}
@@ -422,7 +569,7 @@ func callOnBatch(onBatch func(lo, hi int) error, lo, hi int) (err error) {
 // engines' kernels are packing-invariant, so the order never changes
 // results.
 func (r *Request) sweepOrdered() bool {
-	return r.OrderedSweep || r.Resume != nil || r.SiteHi > r.SiteLo
+	return r.OrderedSweep || r.Resume != nil || r.Memo != nil || r.SiteHi > r.SiteLo
 }
 
 // shardRange validates and resolves the request's optional [SiteLo, SiteHi)

@@ -258,6 +258,83 @@ func TestTMRReducesLogicSER(t *testing.T) {
 	}
 }
 
+// TestTMRSequentialCircuit: protecting a gate that feeds a flip-flop must
+// rewire the DFF's D input through the voter, preserve the FF population
+// (IDs and names), and leave the single-frame transfer function — primary
+// outputs AND every FF's next state — unchanged for shared source vectors.
+func TestTMRSequentialCircuit(t *testing.T) {
+	for seed := uint64(0); seed < 6; seed++ {
+		c := gen.SmallRandomSequential(seed + 40)
+		// Pick a gate feeding a DFF, the sequential-specific rewire case.
+		var target netlist.ID = netlist.InvalidID
+		for _, ff := range c.FFs {
+			if d := c.Node(ff).Fanin[0]; c.Node(d).Kind.IsGate() {
+				target = d
+				break
+			}
+		}
+		if target == netlist.InvalidID {
+			continue // every FF reads a source directly; nothing to test here
+		}
+		h, err := TMR(c, []netlist.ID{target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.N() != c.N()+Overhead(1) {
+			t.Fatalf("seed %d: node count %d, want %d", seed, h.N(), c.N()+Overhead(1))
+		}
+		if len(h.FFs) != len(c.FFs) {
+			t.Fatalf("seed %d: FF count changed: %d -> %d", seed, len(c.FFs), len(h.FFs))
+		}
+		voter := h.ByName(c.NameOf(target) + "_v")
+		for i, ff := range c.FFs {
+			if h.FFs[i] != ff || h.NameOf(h.FFs[i]) != c.NameOf(ff) {
+				t.Fatalf("seed %d: FF %d no longer preserved", seed, ff)
+			}
+			if c.Node(ff).Fanin[0] == target && h.Node(ff).Fanin[0] != voter {
+				t.Errorf("seed %d: DFF %s still reads the protected gate, not its voter",
+					seed, c.NameOf(ff))
+			}
+		}
+		// Single-frame transfer function: treat FFs as sources, compare the
+		// observation points (POs and next-state D inputs) bit for bit.
+		ec, eh := simulate.NewEngine(c), simulate.NewEngine(h)
+		src := simulate.NewVectorSource(seed, nil)
+		for trial := 0; trial < 10; trial++ {
+			for _, s := range c.Sources() {
+				w := src.Word(s)
+				ec.SetSource(s, w)
+				eh.SetSource(s, w) // source IDs are preserved by TMR
+			}
+			ec.Run()
+			eh.Run()
+			for i, po := range c.POs {
+				if ec.Value(po) != eh.Value(h.POs[i]) {
+					t.Fatalf("seed %d: outputs diverge at PO %s", seed, c.NameOf(po))
+				}
+			}
+			for _, ff := range c.FFs {
+				if ec.Value(c.Node(ff).Fanin[0]) != eh.Value(h.Node(ff).Fanin[0]) {
+					t.Fatalf("seed %d: next state diverges at FF %s", seed, c.NameOf(ff))
+				}
+			}
+		}
+	}
+}
+
+// TestTMREmptySelection: no selection is a (validated) copy, not an error —
+// the optimizer relies on the k=0 boundary of the Overhead accounting.
+func TestTMREmptySelection(t *testing.T) {
+	c := sample(t)
+	h, err := TMR(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != c.N() {
+		t.Errorf("empty selection changed node count: %d -> %d", c.N(), h.N())
+	}
+}
+
 func TestTMRRejectsNonGates(t *testing.T) {
 	c := sample(t)
 	if _, err := TMR(c, []netlist.ID{c.ByName("a")}); err == nil {

@@ -1,0 +1,178 @@
+// The greedy hardening optimizer: the paper's rank → harden → re-estimate
+// loop packaged as one call, made interactive-speed by incremental (ECO)
+// re-estimation — each iteration re-sweeps only the cones the TMR transform
+// touched.
+
+package harden
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/eco"
+	"repro/internal/engine"
+	"repro/internal/netlist"
+	"repro/internal/ser"
+)
+
+// OptimizeConfig configures Optimize.
+type OptimizeConfig struct {
+	// BudgetFIT is the target: the loop stops once the FIT objective —
+	// the summed SER of the original circuit's sites, added replicas and
+	// voters excluded (the rad-hard-voter accounting; see the package
+	// caveat on soft voters) — is at or below this value. 0 means "as low
+	// as MaxSteps allows".
+	BudgetFIT float64
+	// MaxSteps bounds the number of gates protected (0 = the number of
+	// combinational gates in c — every gate is eligible once).
+	MaxSteps int
+	// SER configures the estimator. Its ECO field is attached automatically
+	// when nil and the configuration is eligible, so every re-estimate
+	// after the first sweeps only the touched cones; ineligible
+	// configurations (a bias vector, Monte Carlo SP) run uncached — the
+	// optimizer still works, each step just pays a full sweep. The Stats
+	// field is overwritten per iteration to produce the Step counters.
+	SER ser.Config
+}
+
+// Step records one optimizer iteration, including the engine counters that
+// prove (or measure) the incremental re-estimate: SweptSites is the number
+// of sites the engine actually recomputed after the TMR edit, MemoHits the
+// number restored from the cache — on an ECO-assisted run their sum is the
+// circuit size and SweptSites ≈ the touched-cone count.
+type Step struct {
+	// Picked is the protected gate (an ID of the original circuit, stable
+	// across iterations — the TMR transform preserves original IDs).
+	Picked netlist.ID
+	// Name is the picked gate's name in the original circuit.
+	Name string
+	// BeforeFIT/AfterFIT bracket the FIT objective across this step.
+	BeforeFIT float64
+	AfterFIT  float64
+	// SweptSites / MemoHits are the re-estimate's engine counters.
+	SweptSites int64
+	MemoHits   int64
+}
+
+// Result is Optimize's outcome.
+type Result struct {
+	// Circuit is the hardened netlist (every Steps[i].Picked TMR-protected).
+	Circuit *netlist.Circuit
+	// Report is the final full estimate of Circuit (all sites, voters and
+	// replicas included — apply your own accounting to its Nodes).
+	Report *ser.Report
+	// BaselineFIT is the objective before any protection; FinalFIT after
+	// the last step. The objective sums SERFIT over the original circuit's
+	// node IDs only.
+	BaselineFIT float64
+	FinalFIT    float64
+	// Protected lists the protected gates in pick order.
+	Protected []netlist.ID
+	// Steps is the per-iteration audit trail.
+	Steps []Step
+	// OverheadGates is the total gate-count cost (Overhead of len(Steps)).
+	OverheadGates int
+}
+
+// Optimize runs greedy selective hardening on c: estimate, TMR the
+// highest-SER unprotected original gate, re-estimate, repeat — until the
+// FIT objective (original sites only; added voter/replica gates are
+// accounted rad-hard) reaches cfg.BudgetFIT, every gate is protected, or
+// MaxSteps is hit. With an ECO cache attached (the default when eligible)
+// each re-estimate sweeps only the cones the edit touched, so exploring a
+// k-gate hardening set costs O(k × touched cones) instead of O(k × full
+// sweep); each Step carries the engine counters that quantify it.
+//
+// The loop is deterministic: ties in the ranking break by ascending node
+// ID, and the estimates themselves are bit-exact under the repository's
+// standing engine contracts, so the pick order is reproducible across
+// worker counts and cache states.
+func Optimize(ctx context.Context, c *netlist.Circuit, cfg OptimizeConfig) (*Result, error) {
+	if cfg.BudgetFIT < 0 {
+		return nil, fmt.Errorf("harden: negative FIT budget %v", cfg.BudgetFIT)
+	}
+	if cfg.MaxSteps < 0 {
+		return nil, fmt.Errorf("harden: negative MaxSteps %d", cfg.MaxSteps)
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = c.NumGates()
+	}
+	serCfg := cfg.SER
+	if serCfg.ECO == nil {
+		// Opportunistic: eligible configurations get the incremental loop,
+		// the rest run uncached rather than erroring.
+		ser.AttachECO(&serCfg, eco.NewCache())
+	}
+
+	origN := c.N()
+	estimate := func(cc *netlist.Circuit) (*ser.Report, *engine.Stats, error) {
+		st := &engine.Stats{}
+		serCfg.Stats = st
+		rep, err := ser.Run(ctx, cc, serCfg)
+		return rep, st, err
+	}
+	// objective sums the original sites' SER: protecting gate g reroutes
+	// its consumers through a voter, so g's own sensitization and its
+	// downstream exposure drop, while the added replicas and voter gates —
+	// new error sites in the raw report — are excluded, i.e. accounted as
+	// radiation-hardened cells (the package caveat: counting soft voters as
+	// sites can make raw TMR a net loss, which would stall any greedy
+	// descent).
+	objective := func(rep *ser.Report) float64 {
+		var sum float64
+		for id := 0; id < origN && id < len(rep.Nodes); id++ {
+			sum += rep.Nodes[id].SERFIT
+		}
+		return sum
+	}
+
+	rep, _, err := estimate(c)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Circuit: c, Report: rep, BaselineFIT: objective(rep)}
+	res.FinalFIT = res.BaselineFIT
+	protected := make(map[netlist.ID]bool)
+	kinds := c.Kinds()
+
+	for len(res.Steps) < maxSteps && res.FinalFIT > cfg.BudgetFIT {
+		// Greedy pick: the highest-SER unprotected original gate in the
+		// current (partially hardened) estimate; ties break by ID.
+		pick := netlist.InvalidID
+		best := 0.0
+		for id := 0; id < origN; id++ {
+			if protected[netlist.ID(id)] || !kinds[id].IsGate() {
+				continue
+			}
+			if s := res.Report.Nodes[id].SERFIT; pick == netlist.InvalidID || s > best {
+				pick, best = netlist.ID(id), s
+			}
+		}
+		if pick == netlist.InvalidID {
+			break // every gate protected; budget unreachable by TMR alone
+		}
+		hardened, err := TMR(res.Circuit, []netlist.ID{pick})
+		if err != nil {
+			return nil, err
+		}
+		rep, st, err := estimate(hardened)
+		if err != nil {
+			return nil, err
+		}
+		after := objective(rep)
+		res.Steps = append(res.Steps, Step{
+			Picked:     pick,
+			Name:       c.NameOf(pick),
+			BeforeFIT:  res.FinalFIT,
+			AfterFIT:   after,
+			SweptSites: st.Sites.Load(),
+			MemoHits:   st.MemoHits.Load(),
+		})
+		res.Protected = append(res.Protected, pick)
+		protected[pick] = true
+		res.Circuit, res.Report, res.FinalFIT = hardened, rep, after
+	}
+	res.OverheadGates = Overhead(len(res.Steps))
+	return res, nil
+}

@@ -1,0 +1,204 @@
+package harden
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/netlist"
+	"repro/internal/ser"
+	"repro/internal/sigprob"
+)
+
+func TestOverhead(t *testing.T) {
+	for _, tc := range []struct{ k, want int }{{0, 0}, {1, 6}, {3, 18}, {10, 60}} {
+		if got := Overhead(tc.k); got != tc.want {
+			t.Errorf("Overhead(%d) = %d, want %d", tc.k, got, tc.want)
+		}
+	}
+}
+
+// TestOptimizeGreedyDescent runs the optimizer on a seed-pinned circuit and
+// checks the full audit trail: the FIT chain is contiguous and monotone
+// non-increasing under the rad-hard-voter objective, every pick is a
+// distinct original gate, the hardened circuit grew by exactly Overhead, and
+// each step's engine counters account for every site of the circuit it
+// estimated. (MemoHits may legitimately be zero on a small circuit — a TMR
+// near the sources shifts signal probabilities through everything — so the
+// restore-proof lives in the eco package's differential harness, not here.)
+func TestOptimizeGreedyDescent(t *testing.T) {
+	c := gen.SmallRandom(17)
+	const steps = 4
+	res, err := Optimize(context.Background(), c, OptimizeConfig{MaxSteps: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 || len(res.Steps) > steps {
+		t.Fatalf("took %d steps, want 1..%d", len(res.Steps), steps)
+	}
+	if res.BaselineFIT != res.Steps[0].BeforeFIT {
+		t.Errorf("BaselineFIT %v != first BeforeFIT %v", res.BaselineFIT, res.Steps[0].BeforeFIT)
+	}
+	if last := res.Steps[len(res.Steps)-1]; res.FinalFIT != last.AfterFIT {
+		t.Errorf("FinalFIT %v != last AfterFIT %v", res.FinalFIT, last.AfterFIT)
+	}
+	seen := map[netlist.ID]bool{}
+	for i, s := range res.Steps {
+		if i > 0 && s.BeforeFIT != res.Steps[i-1].AfterFIT {
+			t.Errorf("step %d: BeforeFIT %v != previous AfterFIT %v", i, s.BeforeFIT, res.Steps[i-1].AfterFIT)
+		}
+		if s.AfterFIT > s.BeforeFIT {
+			t.Errorf("step %d: objective rose %v -> %v", i, s.BeforeFIT, s.AfterFIT)
+		}
+		if int(s.Picked) >= c.N() || !c.Node(s.Picked).Kind.IsGate() {
+			t.Errorf("step %d: pick %d is not an original gate", i, s.Picked)
+		}
+		if seen[s.Picked] {
+			t.Errorf("step %d: gate %d picked twice", i, s.Picked)
+		}
+		seen[s.Picked] = true
+		if s.Name != c.NameOf(s.Picked) {
+			t.Errorf("step %d: Name %q, want %q", i, s.Name, c.NameOf(s.Picked))
+		}
+		if res.Protected[i] != s.Picked {
+			t.Errorf("step %d: Protected[%d] = %d, want %d", i, i, res.Protected[i], s.Picked)
+		}
+		// The circuit estimated at step i carries i+1 protections.
+		n := int64(c.N() + Overhead(i+1))
+		if s.SweptSites+s.MemoHits != n {
+			t.Errorf("step %d: SweptSites(%d) + MemoHits(%d) != %d sites", i, s.SweptSites, s.MemoHits, n)
+		}
+	}
+	if res.Circuit.N() != c.N()+Overhead(len(res.Steps)) {
+		t.Errorf("hardened circuit has %d nodes, want %d", res.Circuit.N(), c.N()+Overhead(len(res.Steps)))
+	}
+	if res.OverheadGates != Overhead(len(res.Steps)) {
+		t.Errorf("OverheadGates = %d, want %d", res.OverheadGates, Overhead(len(res.Steps)))
+	}
+	if res.Report == nil || len(res.Report.Nodes) != res.Circuit.N() {
+		t.Fatalf("final Report does not cover the hardened circuit")
+	}
+}
+
+// TestOptimizeDeterministic: two runs from scratch pick the same gates and
+// land on bit-identical FIT values — the determinism the doc promises (the
+// ranking ties break by ID, the estimates are bit-exact).
+func TestOptimizeDeterministic(t *testing.T) {
+	c := gen.SmallRandom(23)
+	run := func() *Result {
+		t.Helper()
+		res, err := Optimize(context.Background(), c, OptimizeConfig{MaxSteps: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if len(a.Steps) != len(b.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(a.Steps), len(b.Steps))
+	}
+	for i := range a.Steps {
+		if a.Steps[i].Picked != b.Steps[i].Picked {
+			t.Errorf("step %d: picks differ: %d vs %d", i, a.Steps[i].Picked, b.Steps[i].Picked)
+		}
+		if a.Steps[i].AfterFIT != b.Steps[i].AfterFIT {
+			t.Errorf("step %d: AfterFIT differs: %v vs %v", i, a.Steps[i].AfterFIT, b.Steps[i].AfterFIT)
+		}
+	}
+	if a.FinalFIT != b.FinalFIT {
+		t.Errorf("FinalFIT differs: %v vs %v", a.FinalFIT, b.FinalFIT)
+	}
+}
+
+// TestOptimizeBudget: a budget at or above the baseline takes zero steps; a
+// budget between the baseline and the one-step result takes exactly one.
+func TestOptimizeBudget(t *testing.T) {
+	c := gen.SmallRandom(29)
+	probe, err := Optimize(context.Background(), c, OptimizeConfig{MaxSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probe.Steps) != 1 {
+		t.Fatalf("probe took %d steps, want 1", len(probe.Steps))
+	}
+	if probe.FinalFIT >= probe.BaselineFIT {
+		t.Fatalf("probe step did not reduce the objective: %v -> %v", probe.BaselineFIT, probe.FinalFIT)
+	}
+
+	res, err := Optimize(context.Background(), c, OptimizeConfig{BudgetFIT: probe.BaselineFIT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 0 || res.FinalFIT != res.BaselineFIT {
+		t.Errorf("budget >= baseline: took %d steps, FinalFIT %v (baseline %v)", len(res.Steps), res.FinalFIT, res.BaselineFIT)
+	}
+	if res.OverheadGates != 0 {
+		t.Errorf("zero-step run reports OverheadGates %d", res.OverheadGates)
+	}
+
+	mid := (probe.BaselineFIT + probe.FinalFIT) / 2
+	res, err = Optimize(context.Background(), c, OptimizeConfig{BudgetFIT: mid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != 1 {
+		t.Errorf("budget %v (between baseline %v and one-step %v): took %d steps, want 1",
+			mid, probe.BaselineFIT, probe.FinalFIT, len(res.Steps))
+	}
+	if res.FinalFIT > mid {
+		t.Errorf("stopped above budget: FinalFIT %v > %v", res.FinalFIT, mid)
+	}
+}
+
+// TestOptimizeExhaustsGates: with an unreachable budget and no step bound
+// the loop protects every gate once, then stops rather than spinning.
+func TestOptimizeExhaustsGates(t *testing.T) {
+	c := gen.SmallRandom(2) // small gate count keeps this cheap
+	res, err := Optimize(context.Background(), c, OptimizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) != c.NumGates() {
+		t.Errorf("protected %d gates, want all %d", len(res.Steps), c.NumGates())
+	}
+}
+
+// TestOptimizeIneligibleConfigRunsUncached: a Monte Carlo SP configuration
+// cannot use the ECO cache (whole-circuit SP input); the optimizer must
+// still converge, with every step paying a full sweep (MemoHits == 0).
+func TestOptimizeIneligibleConfigRunsUncached(t *testing.T) {
+	c := gen.SmallRandom(31)
+	res, err := Optimize(context.Background(), c, OptimizeConfig{
+		MaxSteps: 2,
+		SER:      ser.Config{SPMethod: ser.SPMonteCarlo, SP: sigprob.Config{Vectors: 4096, Seed: 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) == 0 {
+		t.Fatal("no steps taken")
+	}
+	for i, s := range res.Steps {
+		if s.MemoHits != 0 {
+			t.Errorf("step %d: MemoHits %d on an ECO-ineligible configuration", i, s.MemoHits)
+		}
+	}
+}
+
+func TestOptimizeRejectsNegativeConfig(t *testing.T) {
+	c := gen.SmallRandom(3)
+	if _, err := Optimize(context.Background(), c, OptimizeConfig{BudgetFIT: -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+	if _, err := Optimize(context.Background(), c, OptimizeConfig{MaxSteps: -1}); err == nil {
+		t.Error("negative MaxSteps accepted")
+	}
+}
+
+func TestOptimizeContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Optimize(ctx, gen.SmallRandom(5), OptimizeConfig{MaxSteps: 1}); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}

@@ -89,6 +89,7 @@ var scopes = map[string][]string{
 	detrangeName: {
 		"internal/core", "internal/simulate", "internal/engine",
 		"internal/seq", "internal/serd", "internal/resume", "internal/sched",
+		"internal/eco",
 	},
 	// Kernel and fingerprint-relevant packages: results must be a pure
 	// function of (circuit, options, seed). serd/table2 are deliberately
@@ -102,6 +103,7 @@ var scopes = map[string][]string{
 		"internal/bddsp", "internal/sched", "internal/netlist",
 		"internal/graph", "internal/faults", "internal/ser",
 		"internal/gen", "internal/harden", "internal/resume",
+		"internal/eco",
 	},
 	// Sweep drivers and recovery paths where PR 6's panic isolation
 	// depends on defer-unlock ordering.
@@ -114,7 +116,7 @@ var scopes = map[string][]string{
 	ctxflowName:    {"..."},
 	// Checkpoint and wire serialization paths standardized on IEEE-754
 	// bit patterns in PR 6/7.
-	bitfloatName: {"internal/resume", "internal/serd", "internal/circuitio"},
+	bitfloatName: {"internal/resume", "internal/serd", "internal/circuitio", "internal/eco"},
 }
 
 const (

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/eco"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/latch"
@@ -198,6 +199,25 @@ type Config struct {
 	// <= 0 writes after every committed batch or word — maximally durable
 	// and deterministic, at the cost of one small file write per unit.
 	CheckpointInterval time.Duration
+	// ECO, when non-nil, memoizes per-site P_sensitized results across
+	// netlist edits: sites whose observation-cone content hash is already
+	// cached are restored bit-identically and skipped, so re-estimating an
+	// edited circuit (the rank → harden → re-estimate loop) costs only the
+	// touched cones. The Report is byte-identical to an uncached run.
+	// Requires a configuration whose per-site values are pure functions of
+	// cone content: topological signal probabilities with default (nil)
+	// source bias, and no checkpoint (the cache already persists results);
+	// Validate rejects anything else — use AttachECO for opportunistic
+	// attachment. Stream runs uncached (restored ranges would break its
+	// ordered emission). Share one cache across runs (it is safe for
+	// concurrent use); see internal/eco for the soundness argument.
+	ECO *eco.Cache
+	// Stats, when non-nil, accumulates the engine's work counters for the
+	// run — swept sites/nodes, sampling words, ECO memo hits. One Stats may
+	// be shared across runs (counters are atomic); use a fresh Stats per
+	// run to measure a single sweep, e.g. to verify an incremental
+	// re-estimate swept only the edited region.
+	Stats *engine.Stats
 }
 
 // engineName resolves the effective engine: an explicit override wins,
@@ -295,7 +315,48 @@ func (cfg *Config) Validate(c *netlist.Circuit) error {
 	if err := validBias("SP.SourceProb", cfg.SP.SourceProb, c); err != nil {
 		return err
 	}
-	return validBias("MC.SourceProb", cfg.MC.SourceProb, c)
+	if err := validBias("MC.SourceProb", cfg.MC.SourceProb, c); err != nil {
+		return err
+	}
+	if cfg.ECO != nil {
+		return cfg.ecoEligible()
+	}
+	return nil
+}
+
+// ecoEligible reports whether the configuration may carry an ECO cache:
+// the memoization is sound only when each site's P_sensitized value is a
+// pure function of its observation-cone content, which requires the default
+// topological signal probabilities and unbiased sources (a Monte Carlo SP
+// vector or a bias vector is a whole-circuit input that no per-site hash
+// covers). A checkpoint is rejected as a conflicting restore source.
+func (cfg *Config) ecoEligible() error {
+	if cfg.SPMethod != SPTopological {
+		return fmt.Errorf("ser: the ECO cache requires topological signal probabilities (SPMethod %v makes SP a whole-circuit input the per-site cone hashes cannot cover)", cfg.SPMethod)
+	}
+	if cfg.SP.SourceProb != nil || cfg.MC.SourceProb != nil {
+		return fmt.Errorf("ser: the ECO cache requires default (nil) source bias (a bias vector is indexed by whole-circuit node IDs, outside the per-site cone hashes)")
+	}
+	if cfg.CheckpointPath != "" {
+		return fmt.Errorf("ser: the ECO cache cannot combine with a checkpoint (pick one restore source; the cache already persists results)")
+	}
+	return nil
+}
+
+// AttachECO attaches the cache to cfg when the configuration is eligible
+// (see Config.ECO) and reports whether it did. Use it when the caller — a
+// daemon serving arbitrary requests, say — wants incremental re-estimation
+// opportunistically rather than as a hard requirement: ineligible
+// configurations simply run uncached instead of erroring.
+func AttachECO(cfg *Config, cache *eco.Cache) bool {
+	if cache == nil || cfg.ECO != nil {
+		return cfg.ECO != nil
+	}
+	if cfg.ecoEligible() != nil {
+		return false
+	}
+	cfg.ECO = cache
+	return true
 }
 
 // validBias checks a per-source probability vector for range and, when the
@@ -405,9 +466,13 @@ func prepare(c *netlist.Circuit, cfg *Config) (*prepared, error) {
 		p.req.Latch = &p.latch
 	}
 	p.req.MaxSweepNodes = cfg.MaxSweepNodes
+	p.req.Stats = cfg.Stats
 	if cfg.CheckpointPath != "" {
 		p.req.Resume = resume.New(cfg.CheckpointPath, cfg.CheckpointInterval)
 	}
+	// Validate already vetted eligibility (ecoEligible); the engine enforces
+	// its own combination rules (no shard, no resume, nil bias) besides.
+	p.req.Memo = cfg.ECO
 	if eng.Class() == engine.ClassAnalytic {
 		p.req.SP = SignalProbabilities(c, *cfg)
 	}
@@ -588,6 +653,10 @@ func Stream(ctx context.Context, c *netlist.Circuit, cfg Config) iter.Seq2[NodeS
 		rates := p.faults.RatesFIT(c)
 		platch := p.platchVector(c)
 		psens := make([]float64, n)
+		// Stream runs uncached: a memo restore replays hit ranges before the
+		// complement is swept, which would break the in-ID-order emission
+		// contract. Run keeps the cache; Stream trades it for ordering.
+		p.req.Memo = nil
 		// Ordered emission needs OnBatch ranges to be final node-ID ranges.
 		// For the per-site engines that means a serial sweep; the sampling
 		// engine keeps its word-level parallelism — it finalizes all sites

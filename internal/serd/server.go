@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/circuitio"
+	"repro/internal/eco"
 	"repro/internal/engine"
 	"repro/internal/netlist"
 	"repro/internal/ser"
@@ -80,6 +81,13 @@ type Config struct {
 	// ShardAttempts bounds dispatch attempts per shard before the request
 	// fails (0 = 2 + number of workers).
 	ShardAttempts int
+	// ECOCacheDir, when non-empty, opens a directory-backed eco.Cache and
+	// attaches it to every eligible locally-run analysis (ser.AttachECO):
+	// repeat and incrementally-edited circuits restore unchanged cones from
+	// the cache instead of re-sweeping them. Coordinator-sharded sweeps
+	// never consult it — shards cover ID ranges, not cone-hash keys — and
+	// ineligible requests (biased sources, Monte Carlo SPs) run uncached.
+	ECOCacheDir string
 	// CheckpointDir, when non-empty, makes coordinator shard commits durable:
 	// each sweep's progress lands in <dir>/<fingerprint>.ckpt and a retried
 	// request re-dispatches only the missing ranges. Empty = in-memory
@@ -121,6 +129,7 @@ type Server struct {
 	reports  *reportCache
 	adm      *admission
 	coord    *coordinator
+	eco      *eco.Cache // nil unless ECOCacheDir is set and opened
 	logf     func(format string, args ...any)
 	mux      *http.ServeMux
 }
@@ -151,6 +160,16 @@ func New(cfg Config) *Server {
 	}
 	if len(cfg.Workers) > 0 {
 		s.coord = newCoordinator(cfg, logf)
+	}
+	if cfg.ECOCacheDir != "" {
+		cache, err := eco.Open(cfg.ECOCacheDir)
+		if err != nil {
+			// The cache is an accelerator, never a correctness dependency:
+			// an unopenable directory degrades to uncached sweeps.
+			logf("serd: ECO cache disabled: %v", err)
+		} else {
+			s.eco = cache
+		}
 	}
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("POST /v1/shard", s.handleShard)
@@ -300,6 +319,7 @@ func (s *Server) runReport(ctx context.Context, c *netlist.Circuit, cfg ser.Conf
 		rep, err := ser.Assemble(c, cfg, psens)
 		return rep, nil, err
 	}
+	ser.AttachECO(&cfg, s.eco)
 	rep, err := ser.Run(ctx, c, cfg)
 	return rep, nil, err
 }

@@ -9,6 +9,7 @@ import (
 	"iter"
 	"time"
 
+	"repro/internal/eco"
 	"repro/internal/engine"
 	"repro/internal/ser"
 )
@@ -281,6 +282,41 @@ func WithCheckpoint(path string, interval time.Duration) Option {
 		}
 		rc.cfg.CheckpointPath = path
 		rc.cfg.CheckpointInterval = interval
+		return nil
+	}
+}
+
+// WithECOCache makes repeated runs incremental across netlist edits via a
+// directory-backed ECO cache: per-site results are memoized keyed by a
+// content hash of each site's observation cone, so re-running an edited
+// circuit (after a TMR transform, say) recomputes only the sites whose
+// cones the edit touched and restores the rest bit-identically — the Report
+// is byte-identical to an uncached run. The directory is created if needed;
+// corrupted cache files degrade to misses, never to stale results.
+// Requires a configuration whose per-site values are pure functions of cone
+// content: the default topological signal probabilities with unbiased
+// sources, and no WithCheckpoint — anything else is rejected up front. The
+// monte-carlo engine reuses all-or-nothing (its shared-good-sim kernel
+// prices a sweep by words, not sites). RunStream ignores the cache (ordered
+// emission). See internal/eco for the soundness argument.
+func WithECOCache(dir string) Option {
+	return func(rc *runConfig) error {
+		cache, err := eco.Open(dir)
+		if err != nil {
+			return err
+		}
+		rc.cfg.ECO = cache
+		return nil
+	}
+}
+
+// WithECO attaches an in-process ECO cache handle (NewECOCache or
+// OpenECOCache), letting many Run calls — the interactive
+// rank → harden → re-estimate loop — share one memo without re-reading the
+// cache directory per call. Same eligibility rules as WithECOCache.
+func WithECO(cache *ECOCache) Option {
+	return func(rc *runConfig) error {
+		rc.cfg.ECO = cache
 		return nil
 	}
 }

@@ -98,11 +98,13 @@
 package sersim
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/bddsp"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/eco"
 	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/faults"
@@ -327,6 +329,59 @@ var ErrSweepBudget = engine.ErrBudget
 func TMR(c *Circuit, selected []ID) (*Circuit, error) {
 	return harden.TMR(c, selected)
 }
+
+// TMROverhead reports the gate-count cost of a TMR transform protecting k
+// gates: 2 replicas + 4 voter gates each.
+func TMROverhead(k int) int { return harden.Overhead(k) }
+
+// ECOCache memoizes per-site P_sensitized results across netlist edits,
+// keyed by a content hash of each site's observation cone: re-running an
+// edited circuit recomputes only the sites whose cones the edit touched and
+// restores the rest bit-identically, so the rank → harden → re-estimate
+// loop costs O(touched cones) instead of O(full sweep) per iteration.
+// Attach one with WithECO (in-process sharing across runs) or WithECOCache
+// (directory-backed persistence); see internal/eco for the invalidation
+// soundness argument and OptimizeHardening for the packaged loop.
+type ECOCache = eco.Cache
+
+// NewECOCache returns an in-memory ECO cache, shared across Run calls
+// within the process.
+func NewECOCache() *ECOCache { return eco.NewCache() }
+
+// OpenECOCache returns a directory-backed ECO cache: cached results persist
+// across processes in <dir>/<request-key>.eco files (atomic writes;
+// corrupted files degrade to cache misses, never to stale results).
+func OpenECOCache(dir string) (*ECOCache, error) { return eco.Open(dir) }
+
+// ECOChangedSites returns, ascending, every node ID of edited whose
+// P_sensitized value may differ from the same ID in base under a
+// frames-frame analysis — the netlist differ behind the ECO cache's
+// observability counters. IDs not returned are guaranteed unchanged.
+func ECOChangedSites(base, edited *Circuit, frames int) []ID {
+	return eco.ChangedSites(base, edited, frames)
+}
+
+// OptimizeHardening runs the greedy selective-hardening loop: starting from
+// a full estimate, repeatedly TMR the highest-SER unprotected gate and
+// re-estimate — incrementally, through a shared ECOCache, so each iteration
+// sweeps only the cones the TMR touched — until the FIT objective meets the
+// budget. See HardenOptimizeConfig for the knobs and HardenResult for the
+// per-step audit trail (including swept-site counters).
+func OptimizeHardening(ctx context.Context, c *Circuit, cfg HardenOptimizeConfig) (*HardenResult, error) {
+	return harden.Optimize(ctx, c, cfg)
+}
+
+// HardenOptimizeConfig configures OptimizeHardening.
+type HardenOptimizeConfig = harden.OptimizeConfig
+
+// HardenResult is OptimizeHardening's outcome: the hardened circuit, the
+// final report, and one HardenStep of audit trail per protected gate.
+type HardenResult = harden.Result
+
+// HardenStep records one optimizer iteration: the picked gate, the FIT
+// objective before/after, and the engine work counters proving the
+// re-estimate was incremental.
+type HardenStep = harden.Step
 
 // MultiCycleAnalyzer extends the single-cycle analysis across clock cycles:
 // errors captured by flip-flops keep propagating in subsequent frames (the
